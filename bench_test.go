@@ -1,0 +1,226 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one per artifact, plus protocol microbenchmarks. The
+// experiment benches run reduced-scale populations (the harness exposes a
+// scale knob; cmd/experiments reproduces full size) and report the key
+// accuracy metric of the artifact via b.ReportMetric so regressions in
+// the *shape* of the result are visible, not just in runtime.
+package ldpmarginals_test
+
+import (
+	"testing"
+
+	"ldpmarginals"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/experiments"
+	"ldpmarginals/internal/rng"
+)
+
+// benchOpts is the reduced-scale configuration shared by the experiment
+// benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: 0.05, Seed: 20180610, Workers: 0, MaxMarginals: 10}
+}
+
+// lastY returns the final point of the named series, or -1.
+func lastY(res *experiments.Result, name string) float64 {
+	for _, s := range res.Series {
+		if s.Name == name && len(s.Y) > 0 {
+			return s.Y[len(s.Y)-1]
+		}
+	}
+	return -1
+}
+
+func BenchmarkTable2_CommunicationAndError(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3_EMFailureRate(b *testing.B) {
+	opts := benchOpts()
+	opts.Scale = 0.02
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3_TaxiCorrelationHeatmap(b *testing.B) {
+	opts := benchOpts()
+	opts.Scale = 0.01
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4_VaryN(b *testing.B) {
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = lastY(res, "InpHT/d=8,k=2")
+	}
+	b.ReportMetric(tv, "InpHT-TV(d=8,k=2,maxN)")
+}
+
+func BenchmarkFig5_VaryK(b *testing.B) {
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig5(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = lastY(res, "InpHT")
+	}
+	b.ReportMetric(tv, "InpHT-TV(k=7)")
+}
+
+func BenchmarkFig6_LargeD_EM(b *testing.B) {
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig6(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = lastY(res, "InpEM/d=16")
+	}
+	b.ReportMetric(tv, "InpEM-TV(d=16,eps=1.4)")
+}
+
+func BenchmarkFig7_ChiSquare(b *testing.B) {
+	opts := benchOpts()
+	opts.Scale = 0.1
+	var stat float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig7(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stat = lastY(res, "InpHT")
+	}
+	b.ReportMetric(stat, "InpHT-chi2(last-pair)")
+}
+
+func BenchmarkFig8_ChowLiu(b *testing.B) {
+	opts := benchOpts()
+	opts.Scale = 0.1
+	opts.Repeats = 1
+	var mi float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig8(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mi = lastY(res, "InpHT")
+	}
+	b.ReportMetric(mi, "InpHT-treeMI(eps=1.4)")
+}
+
+func BenchmarkFig9_VaryEps(b *testing.B) {
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = lastY(res, "InpHT/d=8,k=2")
+	}
+	b.ReportMetric(tv, "InpHT-TV(d=8,k=2,eps=1.4)")
+}
+
+func BenchmarkFig10_FrequencyOracles(b *testing.B) {
+	var tv float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		tv = lastY(res, "InpHTCMS")
+	}
+	b.ReportMetric(tv, "InpHTCMS-TV(d=16)")
+}
+
+func BenchmarkAblationPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationPRR(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHTNormalization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHTNormalization(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Microbenchmarks: per-user client cost and per-marginal estimate cost of
+// each protocol at the paper's default d=8, k=2, eps=ln3.
+func benchProtocols(b *testing.B) []ldpmarginals.Protocol {
+	b.Helper()
+	cfg := ldpmarginals.Config{D: 8, K: 2, Epsilon: 1.0986, OptimizedPRR: true}
+	var ps []ldpmarginals.Protocol
+	for _, kind := range ldpmarginals.AllKinds() {
+		p, err := ldpmarginals.NewProtocol(kind, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+func BenchmarkClientPerturb(b *testing.B) {
+	for _, p := range benchProtocols(b) {
+		b.Run(p.Name(), func(b *testing.B) {
+			client := p.NewClient()
+			r := rng.New(1)
+			for i := 0; i < b.N; i++ {
+				if _, err := client.Perturb(uint64(i)&255, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAggregatorEstimate(b *testing.B) {
+	ds := ldpmarginals.NewTaxiDataset(20000, 1)
+	for _, p := range benchProtocols(b) {
+		b.Run(p.Name(), func(b *testing.B) {
+			run, err := core.Run(p, ds.Records, 1, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := run.Agg.Estimate(0b11); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulatePopulation(b *testing.B) {
+	ds := ldpmarginals.NewTaxiDataset(1<<15, 2)
+	for _, p := range benchProtocols(b) {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(p, ds.Records, uint64(i), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

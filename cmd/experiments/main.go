@@ -1,0 +1,80 @@
+// Command experiments regenerates the tables and figures of the paper's
+// evaluation from this repository's implementations.
+//
+// Usage:
+//
+//	experiments -exp fig4                # one experiment at full scale
+//	experiments -exp all -scale 0.1      # everything, 10% population sizes
+//	experiments -exp table3 -out results # also write text files
+//
+// Experiment ids: table2 table3 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10
+// ablation-prr ablation-htnorm.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ldpmarginals/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		exp     = flag.String("exp", "all", "experiment id or 'all'")
+		scale   = flag.Float64("scale", 1, "population scale factor (1 = paper sizes)")
+		seed    = flag.Uint64("seed", 20180610, "random seed")
+		workers = flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		repeats = flag.Int("repeats", 0, "repeat count override (0 = per-experiment default)")
+		maxMarg = flag.Int("max-marginals", 0, "cap on marginals averaged per point (0 = default)")
+		out     = flag.String("out", "", "directory to write per-experiment text files (optional)")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:        *scale,
+		Seed:         *seed,
+		Workers:      *workers,
+		Repeats:      *repeats,
+		MaxMarginals: *maxMarg,
+	}
+	reg := experiments.Registry()
+
+	var ids []string
+	if *exp == "all" {
+		ids = experiments.IDs()
+	} else {
+		if _, ok := reg[*exp]; !ok {
+			log.Fatalf("unknown experiment %q; available: %v", *exp, experiments.IDs())
+		}
+		ids = []string{*exp}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		res, err := reg[id](opts)
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		text := res.Render()
+		fmt.Println(text)
+		fmt.Printf("(%s finished in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *out != "" {
+			path := filepath.Join(*out, id+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatalf("writing %s: %v", path, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command ldpserver runs the HTTP collection endpoint for one marginal
+// release deployment: clients POST wire-encoded reports to /report and
+// analysts query reconstructed marginals from /marginal.
+//
+// Usage:
+//
+//	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1
+//
+// Endpoints:
+//
+//	POST /report            binary report frame (internal/encoding)
+//	GET  /marginal?beta=N   reconstructed marginal over attribute mask N
+//	GET  /status            deployment metadata and report count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"strings"
+
+	"ldpmarginals"
+	"ldpmarginals/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ldpserver: ")
+
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		protocol = flag.String("protocol", "InpHT", "protocol name")
+		d        = flag.Int("d", 8, "number of binary attributes")
+		k        = flag.Int("k", 2, "largest marginal size supported")
+		eps      = flag.Float64("eps", math.Log(3), "privacy budget epsilon")
+	)
+	flag.Parse()
+
+	cfg := ldpmarginals.Config{D: *d, K: *k, Epsilon: *eps, OptimizedPRR: true}
+	p, err := makeProtocol(*protocol, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serving %s (d=%d k=%d eps=%.3g) on %s\n", p.Name(), *d, *k, *eps, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func makeProtocol(name string, cfg ldpmarginals.Config) (ldpmarginals.Protocol, error) {
+	for _, kind := range ldpmarginals.AllKinds() {
+		if strings.EqualFold(kind.String(), name) {
+			return ldpmarginals.NewProtocol(kind, cfg)
+		}
+	}
+	switch strings.ToLower(name) {
+	case "inpem":
+		return ldpmarginals.NewEM(ldpmarginals.EMConfig{D: cfg.D, K: cfg.K, Epsilon: cfg.Epsilon})
+	case "inpolh":
+		return ldpmarginals.NewOLH(ldpmarginals.OLHConfig{D: cfg.D, K: cfg.K, Epsilon: cfg.Epsilon})
+	case "inphtcms":
+		return ldpmarginals.NewHCMS(ldpmarginals.HCMSConfig{D: cfg.D, K: cfg.K, Epsilon: cfg.Epsilon})
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", name)
+	}
+}

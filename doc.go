@@ -1,0 +1,30 @@
+// Package ldpmarginals is a Go implementation of "Marginal Release Under
+// Local Differential Privacy" (Cormode, Kulkarni, Srivastava — SIGMOD
+// 2018): protocols that let an untrusted aggregator reconstruct any
+// k-way marginal table over d binary attributes from a population of
+// users, each of whom releases a single locally-differentially-private
+// report.
+//
+// The package exposes the paper's six protocols (InpRR, InpPS, InpHT,
+// MargRR, MargPS, MargHT), the evaluated baselines (InpEM expectation
+// maximization, InpOLH and InpHTCMS frequency oracles), synthetic
+// datasets mirroring the paper's evaluation data, and the downstream
+// applications: chi-squared association testing and Chow-Liu dependency
+// tree fitting.
+//
+// # Quick start
+//
+//	ds := ldpmarginals.NewTaxiDataset(100_000, 1)
+//	p, err := ldpmarginals.NewProtocol(ldpmarginals.InpHT, ldpmarginals.Config{
+//		D: ds.D, K: 2, Epsilon: 1.1,
+//	})
+//	if err != nil { ... }
+//	run, err := ldpmarginals.Simulate(p, ds.Records, 42, 0)
+//	if err != nil { ... }
+//	beta, _ := ds.Mask("CC", "Tip")
+//	table, err := run.Agg.Estimate(beta)
+//
+// The experiment harness that regenerates every table and figure of the
+// paper lives in cmd/experiments; see EXPERIMENTS.md for the recorded
+// paper-vs-measured comparison.
+package ldpmarginals

@@ -1,0 +1,276 @@
+package bounds
+
+import (
+	"math"
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/rng"
+)
+
+func TestTailBoundsDecreaseInNAndC(t *testing.T) {
+	b1, err := BernsteinTail(1000, 0.05, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := BernsteinTail(4000, 0.05, 1, 2)
+	b3, _ := BernsteinTail(1000, 0.1, 1, 2)
+	if b2 >= b1 || b3 >= b1 {
+		t.Errorf("Bernstein tail should shrink with n and c: %v %v %v", b1, b2, b3)
+	}
+	h1, err := HoeffdingTail(1000, 0.05, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := HoeffdingTail(4000, 0.05, 1)
+	if h2 >= h1 {
+		t.Errorf("Hoeffding tail should shrink with n: %v %v", h1, h2)
+	}
+	if _, err := BernsteinTail(0, 0.1, 1, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := HoeffdingTail(10, -1, 1); err == nil {
+		t.Error("c<0 should error")
+	}
+}
+
+func TestTailBoundsClampToOne(t *testing.T) {
+	b, _ := BernsteinTail(1, 1e-9, 1, 1)
+	if b != 1 {
+		t.Errorf("tiny-deviation bound should clamp to 1, got %v", b)
+	}
+}
+
+func TestBernsteinHoldsEmpirically(t *testing.T) {
+	// Mean of N Rademacher variables: sigma2 = 1, m = 1. The empirical
+	// tail must lie below the Bernstein bound.
+	const n, trials = 400, 4000
+	const c = 0.1
+	r := rng.New(1)
+	exceed := 0
+	for tr := 0; tr < trials; tr++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.PlusMinusOne(0.5)
+		}
+		if math.Abs(float64(sum))/n >= c {
+			exceed++
+		}
+	}
+	bound, err := BernsteinTail(n, c, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(exceed) / trials
+	if got > bound {
+		t.Errorf("empirical tail %v exceeds Bernstein bound %v", got, bound)
+	}
+}
+
+func TestMasterTailMatchesTheoremShape(t *testing.T) {
+	// Larger ps (less sampling dilution) must give smaller tails; so
+	// must larger pr (less response noise).
+	p1, err := MasterTail(10000, 0.05, 0.1, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := MasterTail(10000, 0.05, 0.5, 0.75)
+	p3, _ := MasterTail(10000, 0.05, 0.1, 0.9)
+	if p2 >= p1 || p3 >= p1 {
+		t.Errorf("master tail should shrink with ps and pr: %v %v %v", p1, p2, p3)
+	}
+	if _, err := MasterTail(10, 0.1, 0, 0.75); err == nil {
+		t.Error("ps=0 should error")
+	}
+	if _, err := MasterTail(10, 0.1, 0.5, 0.4); err == nil {
+		t.Error("pr<=1/2 should error")
+	}
+}
+
+func TestMasterTailHoldsForRRS(t *testing.T) {
+	// Simulate the exact estimator of Theorem 4.2 on +-1 inputs and
+	// check the deviation tail is below the bound.
+	const n = 20000
+	const ps, pr = 0.25, 0.75
+	const c = 0.08
+	const trials = 300
+	r := rng.New(2)
+	exceed := 0
+	truth := -1.0 // all users hold -1 at the observed position
+	for tr := 0; tr < trials; tr++ {
+		var sum float64
+		for i := 0; i < n; i++ {
+			if !r.Bernoulli(ps) {
+				continue // t*_i[j] = 0
+			}
+			v := truth
+			if !r.Bernoulli(pr) {
+				v = -v
+			}
+			sum += v / (ps * (2*pr - 1)) // unbiased per-user estimate
+		}
+		if math.Abs(sum/n-truth) >= c {
+			exceed++
+		}
+	}
+	bound, err := MasterTail(n, c, ps, pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(exceed) / trials
+	if got > bound {
+		t.Errorf("empirical tail %v exceeds master bound %v", got, bound)
+	}
+}
+
+func TestBoundOrderingMatchesTable2(t *testing.T) {
+	// At d=16, k=2 the paper's ranking: InpHT < MargRR < MargPS=MargHT
+	// << InpRR < InpPS... actually InpRR and InpPS share 2^d; check the
+	// clean separations only.
+	p := Params{N: 1 << 18, D: 16, K: 2, Epsilon: 1.1}
+	ht, err := InpHT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrr, _ := MargRR(p)
+	mps, _ := MargPS(p)
+	mht, _ := MargHT(p)
+	irr, _ := InpRR(p)
+	ips, _ := InpPS(p)
+	if !(ht < mrr && mrr < mps && mps <= mht) {
+		t.Errorf("bound ordering broken: ht=%v mrr=%v mps=%v mht=%v", ht, mrr, mps, mht)
+	}
+	if !(mht < irr && irr < ips) {
+		t.Errorf("input methods should dominate at d=16: mht=%v irr=%v ips=%v", mht, irr, ips)
+	}
+}
+
+func TestForProtocolDispatch(t *testing.T) {
+	p := Params{N: 1000, D: 8, K: 2, Epsilon: 1}
+	for _, name := range []string{"InpRR", "InpPS", "InpHT", "MargRR", "MargPS", "MargHT"} {
+		v, err := ForProtocol(name, p)
+		if err != nil || v <= 0 {
+			t.Errorf("%s: %v, %v", name, v, err)
+		}
+	}
+	if _, err := ForProtocol("InpEM", p); err == nil {
+		t.Error("InpEM has no bound and should error")
+	}
+	if _, err := InpHT(Params{N: 0, D: 8, K: 2, Epsilon: 1}); err == nil {
+		t.Error("invalid params should error")
+	}
+}
+
+func TestInpHTBoundUsesCoefficientCount(t *testing.T) {
+	p := Params{N: 10000, D: 8, K: 2, Epsilon: 1}
+	got, err := InpHT(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(float64(bitops.CountAtMostK(8, 2))) * p.common()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("InpHT bound = %v, want %v", got, want)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 3 x^{-1/2}.
+	xs := []float64{100, 400, 1600, 6400}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 / math.Sqrt(x)
+	}
+	slope, err := FitPowerLaw(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(slope+0.5) > 1e-9 {
+		t.Errorf("slope = %v, want -0.5", slope)
+	}
+	if _, err := FitPowerLaw([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point should error")
+	}
+	if _, err := FitPowerLaw([]float64{1, -1}, []float64{1, 1}); err == nil {
+		t.Error("negative data should error")
+	}
+	if _, err := FitPowerLaw([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("degenerate x should error")
+	}
+}
+
+// measureTV runs the protocol and returns mean 2-way TV, for the
+// scaling checks below.
+func measureTV(t *testing.T, kind core.Kind, n int, d int, eps float64, seed uint64) float64 {
+	t.Helper()
+	r := rng.New(seed)
+	records := make([]uint64, n)
+	for i := range records {
+		base := r.Bernoulli(0.5)
+		var rec uint64
+		for j := 0; j < d; j++ {
+			p := 0.25
+			if base {
+				p = 0.6
+			}
+			if r.Bernoulli(p) {
+				rec |= 1 << uint(j)
+			}
+		}
+		records[i] = rec
+	}
+	p, err := core.New(kind, core.Config{D: d, K: 2, Epsilon: eps, OptimizedPRR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(p, records, seed+77, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := marginal.MeanTV(res.Agg, records, bitops.MasksWithExactlyK(d, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tv
+}
+
+func TestInpHTErrorScalesAsRootN(t *testing.T) {
+	// The paper's headline confirmation: measured error follows
+	// N^{-1/2}. Average over a few repeats per point to stabilize the
+	// slope, then require it within [-0.75, -0.3].
+	ns := []float64{1 << 14, 1 << 16, 1 << 18}
+	ys := make([]float64, len(ns))
+	for i, n := range ns {
+		var sum float64
+		const reps = 3
+		for rep := 0; rep < reps; rep++ {
+			sum += measureTV(t, core.InpHT, int(n), 8, 1.1, uint64(1000*i+rep))
+		}
+		ys[i] = sum / reps
+	}
+	slope, err := FitPowerLaw(ns, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slope < -0.75 || slope > -0.3 {
+		t.Errorf("InpHT error-vs-N slope = %v, want ~-0.5 (ys=%v)", slope, ys)
+	}
+}
+
+func TestMeasuredErrorBelowScaledBound(t *testing.T) {
+	// The O~ bounds suppress constants; sanity-check that measured
+	// errors sit below the bound value itself at realistic parameters
+	// (the bounds are loose, so this is a weak but real invariant).
+	for _, kind := range []core.Kind{core.InpHT, core.MargPS} {
+		p := Params{N: 1 << 16, D: 8, K: 2, Epsilon: 1.1}
+		bound, err := ForProtocol(kind.String(), p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := measureTV(t, kind, p.N, p.D, p.Epsilon, 5)
+		if got > bound {
+			t.Errorf("%v measured TV %v above theoretical bound %v", kind, got, bound)
+		}
+	}
+}

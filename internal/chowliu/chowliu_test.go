@@ -1,0 +1,258 @@
+package chowliu
+
+import (
+	"math"
+	"testing"
+
+	"ldpmarginals/internal/dataset"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/rng"
+)
+
+// chainRecords samples a Markov chain over d bits: X0 fair, each
+// successive bit copies its predecessor with flip probability flip.
+func chainRecords(n, d int, flip float64, seed uint64) []uint64 {
+	r := rng.New(seed)
+	recs := make([]uint64, n)
+	for i := range recs {
+		var rec uint64
+		prev := r.Bernoulli(0.5)
+		if prev {
+			rec |= 1
+		}
+		for j := 1; j < d; j++ {
+			cur := prev
+			if r.Bernoulli(flip) {
+				cur = !cur
+			}
+			if cur {
+				rec |= 1 << uint(j)
+			}
+			prev = cur
+		}
+		recs[i] = rec
+	}
+	return recs
+}
+
+type exactEstimator struct{ records []uint64 }
+
+func (e exactEstimator) Estimate(beta uint64) (*marginal.Table, error) {
+	return marginal.FromRecords(e.records, beta)
+}
+
+func TestFitRecoversChain(t *testing.T) {
+	// The true structure is a path 0-1-2-3-4; Chow-Liu on exact
+	// marginals must recover exactly the chain edges.
+	records := chainRecords(80000, 5, 0.15, 1)
+	tree, err := FitFromEstimator(exactEstimator{records}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Edges) != 4 {
+		t.Fatalf("tree has %d edges, want 4", len(tree.Edges))
+	}
+	for j := 0; j < 4; j++ {
+		if !tree.HasEdge(j, j+1) {
+			t.Errorf("missing chain edge (%d,%d); edges=%v", j, j+1, tree.Edges)
+		}
+	}
+}
+
+func TestFitIsMaximal(t *testing.T) {
+	// The Chow-Liu tree's total MI must beat an arbitrary alternative
+	// spanning tree (here: the star rooted at 0).
+	records := chainRecords(50000, 6, 0.2, 2)
+	est := exactEstimator{records}
+	mi, err := PairMI(est, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Fit(mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var starMI float64
+	for j := 1; j < 6; j++ {
+		starMI += mi[0][j]
+	}
+	if tree.TotalMI < starMI-1e-12 {
+		t.Errorf("Chow-Liu total MI %v below star tree %v", tree.TotalMI, starMI)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit([][]float64{{0}}); err == nil {
+		t.Error("d=1 should error")
+	}
+	if _, err := Fit([][]float64{{0, 1}, {1}}); err == nil {
+		t.Error("ragged matrix should error")
+	}
+	nanMI := [][]float64{{0, math.NaN()}, {math.NaN(), 0}}
+	if _, err := Fit(nanMI); err == nil {
+		t.Error("NaN MI should error")
+	}
+	if _, err := PairMI(exactEstimator{nil}, 1); err == nil {
+		t.Error("PairMI with d=1 should error")
+	}
+}
+
+func TestFitDeterministicTieBreak(t *testing.T) {
+	// All-equal weights: any spanning tree is optimal; the fit must be
+	// deterministic across calls.
+	mi := [][]float64{
+		{0, 1, 1},
+		{1, 0, 1},
+		{1, 1, 0},
+	}
+	a, err := Fit(mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(mi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("tie-broken fit is not deterministic")
+		}
+	}
+}
+
+func TestBuildModelAndCPTs(t *testing.T) {
+	records := chainRecords(60000, 4, 0.1, 3)
+	est := exactEstimator{records}
+	tree, err := FitFromEstimator(est, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := BuildModel(tree, est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Parent[0] != -1 {
+		t.Error("root should have no parent")
+	}
+	if len(model.Order) != 4 || model.Order[0] != 0 {
+		t.Errorf("order = %v, want root first", model.Order)
+	}
+	// Chain with flip 0.1: P(child=1 | parent=1) ~ 0.9.
+	for v := 1; v < 4; v++ {
+		if model.Parent[v] < 0 {
+			continue
+		}
+		if math.Abs(model.CPT[v][1]-0.9) > 0.05 {
+			t.Errorf("CPT[%d][1] = %v, want ~0.9", v, model.CPT[v][1])
+		}
+		if math.Abs(model.CPT[v][0]-0.1) > 0.05 {
+			t.Errorf("CPT[%d][0] = %v, want ~0.1", v, model.CPT[v][0])
+		}
+	}
+	if _, err := BuildModel(tree, est, 99); err == nil {
+		t.Error("bad root should error")
+	}
+}
+
+func TestModelSamplingMatchesSource(t *testing.T) {
+	// Sampling from the fitted model should reproduce the source's
+	// pairwise marginals closely.
+	records := chainRecords(60000, 4, 0.15, 4)
+	est := exactEstimator{records}
+	tree, err := FitFromEstimator(est, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := BuildModel(tree, est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	sampled := make([]uint64, 60000)
+	for i := range sampled {
+		sampled[i] = model.Sample(r)
+	}
+	for j := 0; j < 3; j++ {
+		beta := uint64(0b11) << uint(j)
+		want, _ := marginal.FromRecords(records, beta)
+		got, _ := marginal.FromRecords(sampled, beta)
+		tv, _ := want.TVDistance(got)
+		if tv > 0.02 {
+			t.Errorf("sampled pair (%d,%d) TV = %v, want < 0.02", j, j+1, tv)
+		}
+	}
+}
+
+func TestLogLikelihoodPrefersTrueModel(t *testing.T) {
+	// The model fitted on chain data must score chain data higher than
+	// uniform random data.
+	records := chainRecords(30000, 5, 0.1, 6)
+	est := exactEstimator{records}
+	tree, err := FitFromEstimator(est, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := BuildModel(tree, est, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llChain, err := model.LogLikelihood(records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	random := make([]uint64, 30000)
+	for i := range random {
+		random[i] = r.Uint64n(32)
+	}
+	llRandom, err := model.LogLikelihood(random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if llChain <= llRandom {
+		t.Errorf("chain LL %v should exceed random LL %v", llChain, llRandom)
+	}
+	if _, err := model.LogLikelihood(nil); err == nil {
+		t.Error("no records should error")
+	}
+}
+
+func TestFitOnTaxi(t *testing.T) {
+	// The taxi generator's strongly-dependent pairs should appear as
+	// tree edges.
+	ds := dataset.NewTaxi(80000, 8)
+	tree, err := FitFromEstimator(exactEstimator{ds.Records}, ds.D)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{
+		{dataset.TaxiNightPick, dataset.TaxiNightDrop},
+		{dataset.TaxiMPick, dataset.TaxiMDrop},
+		{dataset.TaxiCC, dataset.TaxiTip},
+	}
+	for _, p := range pairs {
+		if !tree.HasEdge(p[0], p[1]) {
+			t.Errorf("expected edge (%s,%s) in tree %v",
+				ds.Names[p[0]], ds.Names[p[1]], tree.Edges)
+		}
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := newUnionFind(5)
+	if !uf.union(0, 1) {
+		t.Error("first union should succeed")
+	}
+	if uf.union(1, 0) {
+		t.Error("repeated union should fail")
+	}
+	if !uf.union(2, 3) || !uf.union(0, 2) {
+		t.Error("unions should succeed")
+	}
+	if uf.find(3) != uf.find(1) {
+		t.Error("3 and 1 should be connected")
+	}
+	if uf.find(4) == uf.find(0) {
+		t.Error("4 should be isolated")
+	}
+}

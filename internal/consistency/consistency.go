@@ -1,0 +1,186 @@
+// Package consistency post-processes a collection of estimated marginal
+// tables so that overlapping marginals agree — the "consistency"
+// property Barak et al. pursue in the centralized model, applied here to
+// LDP estimates. Independently-noised tables generally disagree on
+// shared sub-marginals (e.g. the 1-way marginal of attribute a implied
+// by C_{ab} differs from the one implied by C_{ac}); analysts and
+// downstream model fitters expect a single coherent answer.
+//
+// The algorithm is iterative proportional-style additive correction:
+// for every shared sub-marginal, compute the precision-weighted
+// consensus across all tables containing it, then shift each table's
+// cells uniformly within each sub-cell group to match the consensus.
+// The shift preserves each table's total mass and its internal
+// higher-order structure; a few sweeps converge to mutual agreement.
+// Optionally the result is projected to the probability simplex.
+package consistency
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+)
+
+// Options controls the enforcement sweep.
+type Options struct {
+	// Rounds is the number of full sweeps over shared sub-marginals
+	// (default 3; one round suffices when tables share only one
+	// sub-marginal each).
+	Rounds int
+	// Project projects every table to the probability simplex after the
+	// sweeps, producing genuine distributions.
+	Project bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Rounds <= 0 {
+		o.Rounds = 3
+	}
+	return o
+}
+
+// Enforce adjusts the tables in place so shared sub-marginals agree. All
+// tables must be over distinct attribute masks; weights (one per table,
+// or nil for uniform) set the relative trust in each table's evidence,
+// e.g. per-marginal user counts from a marginal-view protocol.
+func Enforce(tables []*marginal.Table, weights []float64, opts Options) error {
+	opts = opts.withDefaults()
+	if len(tables) == 0 {
+		return fmt.Errorf("consistency: no tables")
+	}
+	if weights != nil && len(weights) != len(tables) {
+		return fmt.Errorf("consistency: %d weights for %d tables", len(weights), len(tables))
+	}
+	seen := map[uint64]bool{}
+	for _, t := range tables {
+		if t == nil {
+			return fmt.Errorf("consistency: nil table")
+		}
+		if seen[t.Beta] {
+			return fmt.Errorf("consistency: duplicate marginal %b", t.Beta)
+		}
+		seen[t.Beta] = true
+	}
+	w := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		if weights[i] < 0 {
+			return 0
+		}
+		return weights[i]
+	}
+
+	// Collect every sub-marginal shared by at least two tables.
+	shared := map[uint64][]int{}
+	for i, a := range tables {
+		for j := i + 1; j < len(tables); j++ {
+			common := a.Beta & tables[j].Beta
+			if common == 0 {
+				continue
+			}
+			for _, sub := range bitops.SubMasks(common) {
+				if sub == 0 {
+					continue
+				}
+				if shared[sub] == nil {
+					for idx, t := range tables {
+						if bitops.IsSubset(sub, t.Beta) {
+							shared[sub] = append(shared[sub], idx)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(shared) == 0 {
+		return nil // nothing overlaps; vacuously consistent
+	}
+
+	for round := 0; round < opts.Rounds; round++ {
+		for sub, members := range shared {
+			// Weighted consensus of the implied sub-marginal.
+			consensus, err := marginal.New(sub)
+			if err != nil {
+				return err
+			}
+			var totalW float64
+			for _, idx := range members {
+				imp, err := tables[idx].MarginalizeTo(sub)
+				if err != nil {
+					return err
+				}
+				imp.Scale(w(idx))
+				if err := consensus.Add(imp); err != nil {
+					return err
+				}
+				totalW += w(idx)
+			}
+			if totalW == 0 {
+				continue
+			}
+			consensus.Scale(1 / totalW)
+			// Shift each member's cells so its implied sub-marginal
+			// equals the consensus: spread each sub-cell's deficit
+			// uniformly over the table cells mapping to it.
+			for _, idx := range members {
+				t := tables[idx]
+				imp, err := t.MarginalizeTo(sub)
+				if err != nil {
+					return err
+				}
+				groupSize := float64(len(t.Cells) / len(consensus.Cells))
+				for c := range t.Cells {
+					full := bitops.Expand(uint64(c), t.Beta)
+					sc := bitops.Compress(full, sub)
+					t.Cells[c] += (consensus.Cells[sc] - imp.Cells[sc]) / groupSize
+				}
+			}
+		}
+	}
+	if opts.Project {
+		for _, t := range tables {
+			t.ProjectToSimplex()
+		}
+	}
+	return nil
+}
+
+// MaxDisagreement measures the largest L-infinity gap between the
+// sub-marginals implied by any two tables on any shared attribute set —
+// 0 means fully consistent. Useful in tests and as a diagnostic.
+func MaxDisagreement(tables []*marginal.Table) (float64, error) {
+	var worst float64
+	for i := 0; i < len(tables); i++ {
+		for j := i + 1; j < len(tables); j++ {
+			common := tables[i].Beta & tables[j].Beta
+			if common == 0 {
+				continue
+			}
+			for _, sub := range bitops.SubMasks(common) {
+				if sub == 0 {
+					continue
+				}
+				a, err := tables[i].MarginalizeTo(sub)
+				if err != nil {
+					return 0, err
+				}
+				b, err := tables[j].MarginalizeTo(sub)
+				if err != nil {
+					return 0, err
+				}
+				for c := range a.Cells {
+					d := a.Cells[c] - b.Cells[c]
+					if d < 0 {
+						d = -d
+					}
+					if d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+	}
+	return worst, nil
+}

@@ -1,0 +1,229 @@
+package consistency
+
+import (
+	"math"
+	"testing"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/dataset"
+	"ldpmarginals/internal/marginal"
+)
+
+func TestEnforceValidation(t *testing.T) {
+	if err := Enforce(nil, nil, Options{}); err == nil {
+		t.Error("no tables should error")
+	}
+	a, _ := marginal.Uniform(0b11)
+	b, _ := marginal.Uniform(0b11)
+	if err := Enforce([]*marginal.Table{a, b}, nil, Options{}); err == nil {
+		t.Error("duplicate masks should error")
+	}
+	if err := Enforce([]*marginal.Table{a, nil}, nil, Options{}); err == nil {
+		t.Error("nil table should error")
+	}
+	c, _ := marginal.Uniform(0b101)
+	if err := Enforce([]*marginal.Table{a, c}, []float64{1}, Options{}); err == nil {
+		t.Error("weight count mismatch should error")
+	}
+}
+
+func TestEnforceMakesTablesConsistent(t *testing.T) {
+	// Two overlapping 2-way tables with deliberately disagreeing
+	// implied 1-way marginals for the shared attribute 0.
+	ab, _ := marginal.FromCells(0b011, []float64{0.4, 0.1, 0.3, 0.2}) // P(a=1) = 0.3
+	ac, _ := marginal.FromCells(0b101, []float64{0.2, 0.3, 0.2, 0.3}) // P(a=1) = 0.6
+	tables := []*marginal.Table{ab, ac}
+	before, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < 0.2 {
+		t.Fatalf("setup should disagree, got %v", before)
+	}
+	if err := Enforce(tables, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > 1e-9 {
+		t.Errorf("disagreement after enforcement = %v, want ~0", after)
+	}
+	// Total mass preserved.
+	for _, tab := range tables {
+		if math.Abs(tab.Sum()-1) > 1e-9 {
+			t.Errorf("mass changed: %v", tab.Sum())
+		}
+	}
+}
+
+func TestEnforceConsensusIsWeighted(t *testing.T) {
+	ab, _ := marginal.FromCells(0b011, []float64{0.5, 0.0, 0.5, 0.0}) // P(a=1) = 0
+	ac, _ := marginal.FromCells(0b101, []float64{0.0, 0.5, 0.0, 0.5}) // P(a=1) = 1
+	tables := []*marginal.Table{ab, ac}
+	// All weight on the second table: consensus P(a=1) = 1.
+	if err := Enforce(tables, []float64{0, 1}, Options{Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	sub, err := tables[0].MarginalizeTo(0b001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sub.Cells[1]-1) > 1e-9 {
+		t.Errorf("weighted consensus ignored: P(a=1) = %v, want 1", sub.Cells[1])
+	}
+}
+
+func TestEnforceLeavesExactTablesAlone(t *testing.T) {
+	// Tables computed from the same data are already consistent: the
+	// sweep must be (numerically) a no-op.
+	ds := dataset.NewTaxi(20000, 1)
+	var tables []*marginal.Table
+	var orig [][]float64
+	for _, beta := range []uint64{0b011, 0b101, 0b110} {
+		tab, err := ds.Marginal(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tab)
+		orig = append(orig, append([]float64(nil), tab.Cells...))
+	}
+	if err := Enforce(tables, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for i, tab := range tables {
+		for c := range tab.Cells {
+			if math.Abs(tab.Cells[c]-orig[i][c]) > 1e-9 {
+				t.Fatalf("exact table %d changed at cell %d", i, c)
+			}
+		}
+	}
+}
+
+func TestEnforceOnLDPEstimatesImprovesCoherence(t *testing.T) {
+	ds := dataset.NewTaxi(100000, 2)
+	p, err := core.New(core.MargPS, core.Config{D: ds.D, K: 2, Epsilon: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.Run(p, ds.Records, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	betas := []uint64{0b00000011, 0b00000101, 0b00000110, 0b00001001}
+	var tables []*marginal.Table
+	for _, beta := range betas {
+		tab, err := run.Agg.Estimate(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tab)
+	}
+	before, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before <= 0 {
+		t.Fatal("independently-noised tables should disagree")
+	}
+	if err := Enforce(tables, nil, Options{Rounds: 5}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > before/10 {
+		t.Errorf("disagreement %v -> %v; expected at least 10x reduction", before, after)
+	}
+	// Accuracy must not degrade materially: each adjusted table stays
+	// close to the exact marginal.
+	for i, beta := range betas {
+		exact, err := ds.Marginal(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tv, err := tables[i].TVDistance(exact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tv > 0.1 {
+			t.Errorf("table %b TV after enforcement = %v", beta, tv)
+		}
+	}
+}
+
+func TestEnforceWithProjection(t *testing.T) {
+	ab, _ := marginal.FromCells(0b011, []float64{0.6, -0.1, 0.4, 0.1})
+	ac, _ := marginal.FromCells(0b101, []float64{0.3, 0.3, 0.2, 0.2})
+	tables := []*marginal.Table{ab, ac}
+	if err := Enforce(tables, nil, Options{Project: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		var sum float64
+		for _, c := range tab.Cells {
+			if c < -1e-12 {
+				t.Errorf("negative cell after projection: %v", tab.Cells)
+			}
+			sum += c
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("mass after projection = %v", sum)
+		}
+	}
+}
+
+func TestEnforceDisjointTablesNoOp(t *testing.T) {
+	a, _ := marginal.FromCells(0b0011, []float64{0.7, 0.1, 0.1, 0.1})
+	b, _ := marginal.FromCells(0b1100, []float64{0.1, 0.1, 0.1, 0.7})
+	orig := append([]float64(nil), a.Cells...)
+	if err := Enforce([]*marginal.Table{a, b}, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	for c := range orig {
+		if a.Cells[c] != orig[c] {
+			t.Error("disjoint tables should be untouched")
+		}
+	}
+}
+
+func TestMaxDisagreementZeroForSingle(t *testing.T) {
+	a, _ := marginal.Uniform(0b11)
+	d, err := MaxDisagreement([]*marginal.Table{a})
+	if err != nil || d != 0 {
+		t.Errorf("single table disagreement = %v, %v", d, err)
+	}
+}
+
+func TestInpHTIsAutomaticallyConsistent(t *testing.T) {
+	// InpHT reconstructs every marginal from one shared coefficient
+	// pool, so overlapping tables agree exactly without any
+	// post-processing — a structural advantage over the marginal-view
+	// protocols, which need Enforce.
+	ds := dataset.NewTaxi(50000, 9)
+	p, err := core.New(core.InpHT, core.Config{D: ds.D, K: 2, Epsilon: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := core.Run(p, ds.Records, 21, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tables []*marginal.Table
+	for _, beta := range []uint64{0b011, 0b101, 0b110, 0b1001} {
+		tab, err := run.Agg.Estimate(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tables = append(tables, tab)
+	}
+	disagreement, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disagreement > 1e-9 {
+		t.Errorf("InpHT tables should be consistent by construction, got %v", disagreement)
+	}
+}

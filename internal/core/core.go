@@ -1,0 +1,242 @@
+// Package core implements the paper's primary contribution: six protocols
+// for k-way marginal release under epsilon-local differential privacy
+// (Section 4), behind a common Protocol / Client / Aggregator interface.
+//
+// The protocols differ along two axes — the view of the data (the full
+// input distribution vs. a randomly sampled marginal) and the release
+// primitive (parallel randomized response, preferential sampling, or
+// randomized response on a sampled Hadamard coefficient):
+//
+//	             PRR        PS (GRR)    Hadamard+RR
+//	input view   InpRR      InpPS       InpHT
+//	marginal     MargRR     MargPS      MargHT
+//
+// Every client emits a single Report per user, every aggregator consumes
+// reports and answers Estimate(beta) for any |beta| <= K, and aggregation
+// is associative (Merge) so populations can be simulated in parallel.
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/rng"
+)
+
+// MaxInputAttributes bounds d for the input-materializing protocols
+// InpRR and InpPS, which must handle 2^d cells. The paper itself advises
+// against these methods beyond small d (Section 5.2).
+const MaxInputAttributes = 20
+
+// Kind identifies one of the six protocols.
+type Kind int
+
+// The six protocol kinds, in the order of the paper's Table 2.
+const (
+	InpRR Kind = iota
+	InpPS
+	InpHT
+	MargRR
+	MargPS
+	MargHT
+)
+
+// AllKinds lists every protocol kind in Table 2 order.
+func AllKinds() []Kind {
+	return []Kind{InpRR, InpPS, InpHT, MargRR, MargPS, MargHT}
+}
+
+// String returns the paper's name for the protocol.
+func (k Kind) String() string {
+	switch k {
+	case InpRR:
+		return "InpRR"
+	case InpPS:
+		return "InpPS"
+	case InpHT:
+		return "InpHT"
+	case MargRR:
+		return "MargRR"
+	case MargPS:
+		return "MargPS"
+	case MargHT:
+		return "MargHT"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config carries the shared parameters of a marginal-release deployment.
+type Config struct {
+	// D is the number of binary attributes per user.
+	D int
+	// K is the largest marginal size the collection must support; any
+	// |beta| <= K is answerable afterwards.
+	K int
+	// Epsilon is the local differential privacy parameter, shared by all
+	// users.
+	Epsilon float64
+	// OptimizedPRR selects the Wang et al. probabilities for the
+	// PRR-based protocols (the paper's default experimental setting);
+	// false selects the vanilla symmetric eps/2 probabilities of
+	// Fact 3.2.
+	OptimizedPRR bool
+}
+
+// Validate checks the configuration ranges shared by all protocols.
+func (c Config) Validate() error {
+	if c.D < 1 || c.D > bitops.MaxAttributes {
+		return fmt.Errorf("core: d=%d out of range (1..%d)", c.D, bitops.MaxAttributes)
+	}
+	if c.K < 1 || c.K > c.D {
+		return fmt.Errorf("core: k=%d out of range (1..d=%d)", c.K, c.D)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("core: epsilon must be positive, got %v", c.Epsilon)
+	}
+	return nil
+}
+
+// Report is the single message a user sends to the aggregator. Which
+// fields are meaningful depends on the protocol:
+//
+//	InpRR:   Bits (2^d-bit bitmap)
+//	InpPS:   Index (reported cell)
+//	InpHT:   Index (coefficient mask), Sign
+//	MargRR:  Beta (sampled marginal), Bits (2^k-bit bitmap)
+//	MargPS:  Beta, Index (compact cell in the marginal)
+//	MargHT:  Beta, Index (compact coefficient), Sign
+type Report struct {
+	Beta  uint64
+	Index uint64
+	Sign  int8
+	Bits  []uint64
+}
+
+// Client produces one LDP report per user record.
+type Client interface {
+	// Perturb encodes and randomizes a user's record. The record is an
+	// attribute bitmask within the protocol's 2^d domain.
+	Perturb(record uint64, r *rng.RNG) (Report, error)
+}
+
+// Aggregator accumulates reports and reconstructs marginals. It also
+// satisfies marginal.Estimator.
+type Aggregator interface {
+	// Consume incorporates one user report.
+	Consume(rep Report) error
+	// Estimate reconstructs the marginal over beta, |beta| <= K.
+	Estimate(beta uint64) (*marginal.Table, error)
+	// Merge folds another aggregator of the same protocol into this one.
+	Merge(other Aggregator) error
+	// N returns the number of reports consumed.
+	N() int
+}
+
+// Protocol couples a client construction with its aggregator and cost
+// accounting. Implementations are immutable after construction and safe
+// for concurrent use.
+type Protocol interface {
+	// Name returns the paper's protocol name.
+	Name() string
+	// Config returns the deployment parameters.
+	Config() Config
+	// CommunicationBits is the per-user message size in bits (Table 2).
+	CommunicationBits() int
+	// NewClient returns a client for this protocol.
+	NewClient() Client
+	// NewAggregator returns an empty aggregator for this protocol.
+	NewAggregator() Aggregator
+}
+
+// New constructs the protocol of the given kind.
+func New(kind Kind, cfg Config) (Protocol, error) {
+	switch kind {
+	case InpRR:
+		return NewInpRR(cfg)
+	case InpPS:
+		return NewInpPS(cfg)
+	case InpHT:
+		return NewInpHT(cfg)
+	case MargRR:
+		return NewMargRR(cfg)
+	case MargPS:
+		return NewMargPS(cfg)
+	case MargHT:
+		return NewMargHT(cfg)
+	default:
+		return nil, fmt.Errorf("core: unknown protocol kind %d", int(kind))
+	}
+}
+
+// margIndex is the shared bookkeeping of the marginal-view protocols: the
+// list C of all C(d,k) k-way marginals and the inverse lookup.
+type margIndex struct {
+	masks []uint64
+	pos   map[uint64]int
+}
+
+func newMargIndex(d, k int) *margIndex {
+	masks := bitops.MasksWithExactlyK(d, k)
+	pos := make(map[uint64]int, len(masks))
+	for i, m := range masks {
+		pos[m] = i
+	}
+	return &margIndex{masks: masks, pos: pos}
+}
+
+// supersetsOf returns the positions in C of the k-way marginals
+// containing beta.
+func (mi *margIndex) supersetsOf(beta uint64) []int {
+	var out []int
+	for i, m := range mi.masks {
+		if bitops.IsSubset(beta, m) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// estimateFromKWay answers a sub-marginal query |beta| <= k given a
+// function producing the estimated k-way table and user count for a
+// position in C. Estimates from every k-way superset of beta are
+// marginalized down to beta and averaged weighted by their user counts.
+func (mi *margIndex) estimateFromKWay(beta uint64, kWay func(pos int) (*marginal.Table, int, error)) (*marginal.Table, error) {
+	if p, ok := mi.pos[beta]; ok {
+		t, _, err := kWay(p)
+		return t, err
+	}
+	supers := mi.supersetsOf(beta)
+	if len(supers) == 0 {
+		return nil, fmt.Errorf("core: marginal %b is not contained in any collected %d-way marginal", beta, bitops.OnesCount(mi.masks[0]))
+	}
+	out, err := marginal.New(beta)
+	if err != nil {
+		return nil, err
+	}
+	var weight float64
+	for _, p := range supers {
+		t, n, err := kWay(p)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			continue
+		}
+		sub, err := t.MarginalizeTo(beta)
+		if err != nil {
+			return nil, err
+		}
+		sub.Scale(float64(n))
+		if err := out.Add(sub); err != nil {
+			return nil, err
+		}
+		weight += float64(n)
+	}
+	if weight == 0 {
+		return marginal.Uniform(beta)
+	}
+	out.Scale(1 / weight)
+	return out, nil
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/mech"
+	"ldpmarginals/internal/rng"
+)
+
+// inpPS is the InpPS protocol (Section 4.2): each user releases a single
+// (noisy) cell index of their one-hot input through preferential sampling
+// (generalized randomized response over all 2^d cells). Communication is
+// only d bits, but accuracy degrades with 2^d — for larger d the
+// probability of reporting the true index becomes so small that reports
+// are nearly uniform, matching Theorem 4.4's bound.
+type inpPS struct {
+	cfg  Config
+	grr  *mech.GRR
+	size uint64
+}
+
+// NewInpPS constructs the InpPS protocol. d is limited to
+// MaxInputAttributes because the aggregator materializes 2^d counters.
+func NewInpPS(cfg Config) (Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.D > MaxInputAttributes {
+		return nil, fmt.Errorf("core: InpPS with d=%d would materialize 2^%d cells (limit d=%d)",
+			cfg.D, cfg.D, MaxInputAttributes)
+	}
+	grr, err := mech.NewGRR(cfg.Epsilon, 1<<uint(cfg.D))
+	if err != nil {
+		return nil, err
+	}
+	return &inpPS{cfg: cfg, grr: grr, size: 1 << uint(cfg.D)}, nil
+}
+
+func (p *inpPS) Name() string           { return "InpPS" }
+func (p *inpPS) Config() Config         { return p.cfg }
+func (p *inpPS) CommunicationBits() int { return p.cfg.D }
+
+func (p *inpPS) NewClient() Client { return &inpPSClient{p: p} }
+
+func (p *inpPS) NewAggregator() Aggregator {
+	return &inpPSAgg{p: p, counts: make([]uint64, p.size)}
+}
+
+type inpPSClient struct{ p *inpPS }
+
+// Perturb reports the true cell with probability p_s and a uniformly
+// random other cell otherwise (Fact 3.1).
+func (c *inpPSClient) Perturb(record uint64, r *rng.RNG) (Report, error) {
+	if record >= c.p.size {
+		return Report{}, fmt.Errorf("core: record %d outside 2^%d domain", record, c.p.cfg.D)
+	}
+	return Report{Index: c.p.grr.Perturb(record, r)}, nil
+}
+
+type inpPSAgg struct {
+	p      *inpPS
+	counts []uint64
+	n      int
+}
+
+func (a *inpPSAgg) N() int { return a.n }
+
+func (a *inpPSAgg) Consume(rep Report) error {
+	if rep.Index >= a.p.size {
+		return fmt.Errorf("core: InpPS report index %d out of range", rep.Index)
+	}
+	a.counts[rep.Index]++
+	a.n++
+	return nil
+}
+
+func (a *inpPSAgg) Merge(other Aggregator) error {
+	o, ok := other.(*inpPSAgg)
+	if !ok {
+		return fmt.Errorf("core: merging %T into InpPS aggregator", other)
+	}
+	for i, c := range o.counts {
+		a.counts[i] += c
+	}
+	a.n += o.n
+	return nil
+}
+
+// Estimate unbiases the reported-index frequencies into the reconstructed
+// distribution and aggregates the target marginal (Theorem 4.4's
+// estimator, Section 4.1).
+func (a *inpPSAgg) Estimate(beta uint64) (*marginal.Table, error) {
+	if err := checkBetaWithin(beta, a.p.cfg); err != nil {
+		return nil, err
+	}
+	if a.n == 0 {
+		return nil, fmt.Errorf("core: InpPS aggregator has no reports")
+	}
+	out, err := marginal.New(beta)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(a.n)
+	for j := uint64(0); j < a.p.size; j++ {
+		est := a.p.grr.UnbiasFrequency(float64(a.counts[j]) * inv)
+		out.Cells[bitops.Compress(j, beta)] += est
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/mech"
+	"ldpmarginals/internal/rng"
+)
+
+// inpRR is the InpRR protocol (Section 4.2): every user perturbs all 2^d
+// positions of their one-hot input with parallel randomized response and
+// sends the full noisy bitmap. Simple and accurate for small d, but the
+// communication cost of 2^d bits per user makes it impractical beyond
+// d of about 16, exactly as the paper observes.
+type inpRR struct {
+	cfg  Config
+	prr  *mech.PRR
+	size int // 2^d
+}
+
+// NewInpRR constructs the InpRR protocol. d is limited to
+// MaxInputAttributes because the protocol materializes 2^d cells.
+func NewInpRR(cfg Config) (Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.D > MaxInputAttributes {
+		return nil, fmt.Errorf("core: InpRR with d=%d would materialize 2^%d cells per user (limit d=%d)",
+			cfg.D, cfg.D, MaxInputAttributes)
+	}
+	prr, err := mech.NewPRR(cfg.Epsilon, cfg.OptimizedPRR)
+	if err != nil {
+		return nil, err
+	}
+	return &inpRR{cfg: cfg, prr: prr, size: 1 << uint(cfg.D)}, nil
+}
+
+func (p *inpRR) Name() string           { return "InpRR" }
+func (p *inpRR) Config() Config         { return p.cfg }
+func (p *inpRR) CommunicationBits() int { return p.size }
+
+func (p *inpRR) NewClient() Client { return &inpRRClient{p: p} }
+
+func (p *inpRR) NewAggregator() Aggregator {
+	return &inpRRAgg{p: p, ones: make([]uint64, p.size)}
+}
+
+type inpRRClient struct{ p *inpRR }
+
+// Perturb applies PRR to the user's one-hot vector (Fact 3.2).
+func (c *inpRRClient) Perturb(record uint64, r *rng.RNG) (Report, error) {
+	if record >= uint64(c.p.size) {
+		return Report{}, fmt.Errorf("core: record %d outside 2^%d domain", record, c.p.cfg.D)
+	}
+	bits, err := c.p.prr.PerturbOneHot(record, c.p.size, r)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Bits: bits}, nil
+}
+
+type inpRRAgg struct {
+	p    *inpRR
+	ones []uint64 // per-cell count of 1-reports
+	n    int
+}
+
+func (a *inpRRAgg) N() int { return a.n }
+
+func (a *inpRRAgg) Consume(rep Report) error {
+	words := (a.p.size + 63) / 64
+	if len(rep.Bits) != words {
+		return fmt.Errorf("core: InpRR report has %d words, want %d", len(rep.Bits), words)
+	}
+	for i := 0; i < a.p.size; i++ {
+		if rep.Bits[i/64]&(1<<uint(i%64)) != 0 {
+			a.ones[i]++
+		}
+	}
+	a.n++
+	return nil
+}
+
+func (a *inpRRAgg) Merge(other Aggregator) error {
+	o, ok := other.(*inpRRAgg)
+	if !ok {
+		return fmt.Errorf("core: merging %T into InpRR aggregator", other)
+	}
+	for i, c := range o.ones {
+		a.ones[i] += c
+	}
+	a.n += o.n
+	return nil
+}
+
+// SimulateBatch is the statistically exact fast path used by the runner:
+// instead of generating a 2^d-bit report per user, it samples the
+// aggregate per-cell 1-counts directly as binomials over the true per-cell
+// populations. The aggregator's view has exactly the same distribution.
+func (a *inpRRAgg) SimulateBatch(records []uint64, r *rng.RNG) error {
+	hist := make([]int, a.p.size)
+	for _, rec := range records {
+		if rec >= uint64(a.p.size) {
+			return fmt.Errorf("core: record %d outside 2^%d domain", rec, a.p.cfg.D)
+		}
+		hist[rec]++
+	}
+	n := len(records)
+	for j := 0; j < a.p.size; j++ {
+		trueOnes := hist[j]
+		a.ones[j] += uint64(r.Binomial(trueOnes, a.p.prr.P1))
+		a.ones[j] += uint64(r.Binomial(n-trueOnes, a.p.prr.P0))
+	}
+	a.n += n
+	return nil
+}
+
+// Estimate unbiases every cell of the reconstructed full distribution and
+// aggregates it through the marginal operator (Theorem 4.3's estimator).
+func (a *inpRRAgg) Estimate(beta uint64) (*marginal.Table, error) {
+	if err := a.checkBeta(beta); err != nil {
+		return nil, err
+	}
+	if a.n == 0 {
+		return nil, fmt.Errorf("core: InpRR aggregator has no reports")
+	}
+	out, err := marginal.New(beta)
+	if err != nil {
+		return nil, err
+	}
+	inv := 1 / float64(a.n)
+	for j := 0; j < a.p.size; j++ {
+		est := a.p.prr.UnbiasFrequency(float64(a.ones[j]) * inv)
+		out.Cells[bitops.Compress(uint64(j), beta)] += est
+	}
+	return out, nil
+}
+
+func (a *inpRRAgg) checkBeta(beta uint64) error {
+	return checkBetaWithin(beta, a.p.cfg)
+}
+
+// checkBetaWithin validates a queried marginal against the deployment
+// configuration: within the attribute set and no larger than K.
+func checkBetaWithin(beta uint64, cfg Config) error {
+	if beta == 0 {
+		return fmt.Errorf("core: empty marginal query")
+	}
+	if beta >= 1<<uint(cfg.D) {
+		return fmt.Errorf("core: marginal %b outside %d attributes", beta, cfg.D)
+	}
+	if k := bitops.OnesCount(beta); k > cfg.K {
+		return fmt.Errorf("core: marginal has %d attributes but the deployment supports k<=%d", k, cfg.K)
+	}
+	return nil
+}

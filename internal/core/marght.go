@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/hadamard"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/mech"
+	"ldpmarginals/internal/rng"
+)
+
+// margHT is the MargHT protocol (Section 4.3): each user samples one of
+// the C(d,k) k-way marginals, takes the Hadamard transform of their
+// (one-hot) marginal, and releases one randomly chosen coefficient via
+// randomized response. Unlike InpHT, information is not shared between
+// marginals, so each of the C(d,k) tables is reconstructed from its own
+// users only.
+//
+// The user samples among the 2^k - 1 non-constant coefficients of the
+// sampled marginal; the alpha = 0 coefficient is always exactly 1 and
+// carrying it would waste budget (an ablation bench quantifies this
+// choice).
+type margHT struct {
+	cfg   Config
+	rr    *mech.RR
+	idx   *margIndex
+	cells int // 2^k
+}
+
+// NewMargHT constructs the MargHT protocol.
+func NewMargHT(cfg Config) (Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K > 20 {
+		return nil, fmt.Errorf("core: MargHT with k=%d would track 2^%d coefficients per marginal", cfg.K, cfg.K)
+	}
+	rr, err := mech.NewRR(cfg.Epsilon)
+	if err != nil {
+		return nil, err
+	}
+	return &margHT{cfg: cfg, rr: rr, idx: newMargIndex(cfg.D, cfg.K), cells: 1 << uint(cfg.K)}, nil
+}
+
+func (p *margHT) Name() string   { return "MargHT" }
+func (p *margHT) Config() Config { return p.cfg }
+
+// CommunicationBits is d bits for the marginal, k bits for the
+// coefficient index, and 1 bit for the perturbed value (Table 2).
+func (p *margHT) CommunicationBits() int { return p.cfg.D + p.cfg.K + 1 }
+
+func (p *margHT) NewClient() Client { return &margHTClient{p: p} }
+
+func (p *margHT) NewAggregator() Aggregator {
+	sums := make([][]int64, len(p.idx.masks))
+	counts := make([][]int64, len(p.idx.masks))
+	for i := range sums {
+		sums[i] = make([]int64, p.cells)
+		counts[i] = make([]int64, p.cells)
+	}
+	return &margHTAgg{p: p, sums: sums, counts: counts, users: make([]int, len(p.idx.masks))}
+}
+
+type margHTClient struct{ p *margHT }
+
+// Perturb samples a marginal and a non-constant coefficient of its
+// subcube, evaluates the coefficient's sign on the user's compact cell,
+// and flips it through eps-RR. The compact-index identity
+// <Expand(alpha,beta), record> = <alpha, Compress(record,beta)> makes the
+// k-bit computation equivalent to the full-domain one.
+func (c *margHTClient) Perturb(record uint64, r *rng.RNG) (Report, error) {
+	if record >= 1<<uint(c.p.cfg.D) {
+		return Report{}, fmt.Errorf("core: record %d outside 2^%d domain", record, c.p.cfg.D)
+	}
+	beta := c.p.idx.masks[r.Intn(len(c.p.idx.masks))]
+	cell := marginal.CellOfRecord(record, beta)
+	alpha := uint64(1 + r.Intn(c.p.cells-1)) // compact, non-zero
+	sign := c.p.rr.PerturbSign(hadamard.Sign(cell, alpha), r)
+	return Report{Beta: beta, Index: alpha, Sign: int8(sign)}, nil
+}
+
+type margHTAgg struct {
+	p      *margHT
+	sums   [][]int64 // per marginal, per compact coefficient: sum of signs
+	counts [][]int64 // per marginal, per compact coefficient: report count
+	users  []int
+	n      int
+}
+
+func (a *margHTAgg) N() int { return a.n }
+
+func (a *margHTAgg) Consume(rep Report) error {
+	pos, ok := a.p.idx.pos[rep.Beta]
+	if !ok {
+		return fmt.Errorf("core: MargHT report for unknown marginal %b", rep.Beta)
+	}
+	if rep.Index == 0 || rep.Index >= uint64(a.p.cells) {
+		return fmt.Errorf("core: MargHT report coefficient %d out of range", rep.Index)
+	}
+	if rep.Sign != 1 && rep.Sign != -1 {
+		return fmt.Errorf("core: MargHT report sign %d is not +-1", rep.Sign)
+	}
+	a.sums[pos][rep.Index] += int64(rep.Sign)
+	a.counts[pos][rep.Index]++
+	a.users[pos]++
+	a.n++
+	return nil
+}
+
+func (a *margHTAgg) Merge(other Aggregator) error {
+	o, ok := other.(*margHTAgg)
+	if !ok {
+		return fmt.Errorf("core: merging %T into MargHT aggregator", other)
+	}
+	for i := range a.sums {
+		for c := range a.sums[i] {
+			a.sums[i][c] += o.sums[i][c]
+			a.counts[i][c] += o.counts[i][c]
+		}
+		a.users[i] += o.users[i]
+	}
+	a.n += o.n
+	return nil
+}
+
+// kWay reconstructs the marginal at position pos from its estimated
+// coefficient vector by one inverse transform over the 2^k subcube.
+func (a *margHTAgg) kWay(pos int) (*marginal.Table, int, error) {
+	beta := a.p.idx.masks[pos]
+	if a.users[pos] == 0 {
+		t, err := marginal.Uniform(beta)
+		return t, 0, err
+	}
+	cells := make([]float64, a.p.cells)
+	cells[0] = 1
+	for c := 1; c < a.p.cells; c++ {
+		if a.counts[pos][c] == 0 {
+			continue
+		}
+		mean := float64(a.sums[pos][c]) / float64(a.counts[pos][c])
+		cells[c] = a.rrUnbias(mean)
+	}
+	if err := hadamard.InverseWHT(cells); err != nil {
+		return nil, 0, err
+	}
+	t, err := marginal.FromCells(beta, cells)
+	if err != nil {
+		return nil, 0, err
+	}
+	return t, a.users[pos], nil
+}
+
+func (a *margHTAgg) rrUnbias(mean float64) float64 { return a.p.rr.UnbiasSign(mean) }
+
+// Estimate answers |beta| = k directly and |beta| < k by weighted
+// averaging over the collected super-marginals.
+func (a *margHTAgg) Estimate(beta uint64) (*marginal.Table, error) {
+	if err := checkBetaWithin(beta, a.p.cfg); err != nil {
+		return nil, err
+	}
+	if a.n == 0 {
+		return nil, fmt.Errorf("core: MargHT aggregator has no reports")
+	}
+	return a.p.idx.estimateFromKWay(beta, a.kWay)
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/mech"
+	"ldpmarginals/internal/rng"
+)
+
+// margRR is the MargRR protocol (Section 4.3): each user samples one of
+// the C(d,k) k-way marginals uniformly, materializes their (one-hot)
+// 2^k-cell marginal, perturbs every cell with parallel randomized
+// response, and sends the noisy table together with the marginal's
+// identity.
+type margRR struct {
+	cfg   Config
+	prr   *mech.PRR
+	idx   *margIndex
+	cells int // 2^k
+}
+
+// NewMargRR constructs the MargRR protocol. K is limited so that the
+// 2^K-cell per-user marginal stays practical (the paper itself notes the
+// method is hard to justify for large k).
+func NewMargRR(cfg Config) (Protocol, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.K > 16 {
+		return nil, fmt.Errorf("core: MargRR with k=%d would perturb 2^%d cells per user", cfg.K, cfg.K)
+	}
+	prr, err := mech.NewPRR(cfg.Epsilon, cfg.OptimizedPRR)
+	if err != nil {
+		return nil, err
+	}
+	return &margRR{cfg: cfg, prr: prr, idx: newMargIndex(cfg.D, cfg.K), cells: 1 << uint(cfg.K)}, nil
+}
+
+func (p *margRR) Name() string   { return "MargRR" }
+func (p *margRR) Config() Config { return p.cfg }
+
+// CommunicationBits is d bits identifying the sampled marginal plus 2^k
+// bits of perturbed cells (Table 2).
+func (p *margRR) CommunicationBits() int { return p.cfg.D + p.cells }
+
+func (p *margRR) NewClient() Client { return &margRRClient{p: p} }
+
+func (p *margRR) NewAggregator() Aggregator {
+	ones := make([][]uint64, len(p.idx.masks))
+	for i := range ones {
+		ones[i] = make([]uint64, p.cells)
+	}
+	return &margRRAgg{p: p, ones: ones, users: make([]int, len(p.idx.masks))}
+}
+
+type margRRClient struct{ p *margRR }
+
+// Perturb samples a marginal and applies PRR to its one-hot cell vector.
+func (c *margRRClient) Perturb(record uint64, r *rng.RNG) (Report, error) {
+	if record >= 1<<uint(c.p.cfg.D) {
+		return Report{}, fmt.Errorf("core: record %d outside 2^%d domain", record, c.p.cfg.D)
+	}
+	beta := c.p.idx.masks[r.Intn(len(c.p.idx.masks))]
+	signal := marginal.CellOfRecord(record, beta)
+	bits, err := c.p.prr.PerturbOneHot(signal, c.p.cells, r)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{Beta: beta, Bits: bits}, nil
+}
+
+type margRRAgg struct {
+	p     *margRR
+	ones  [][]uint64 // per marginal, per cell: count of 1-reports
+	users []int      // per marginal: number of users that sampled it
+	n     int
+}
+
+func (a *margRRAgg) N() int { return a.n }
+
+func (a *margRRAgg) Consume(rep Report) error {
+	pos, ok := a.p.idx.pos[rep.Beta]
+	if !ok {
+		return fmt.Errorf("core: MargRR report for unknown marginal %b", rep.Beta)
+	}
+	words := (a.p.cells + 63) / 64
+	if len(rep.Bits) != words {
+		return fmt.Errorf("core: MargRR report has %d words, want %d", len(rep.Bits), words)
+	}
+	for c := 0; c < a.p.cells; c++ {
+		if rep.Bits[c/64]&(1<<uint(c%64)) != 0 {
+			a.ones[pos][c]++
+		}
+	}
+	a.users[pos]++
+	a.n++
+	return nil
+}
+
+func (a *margRRAgg) Merge(other Aggregator) error {
+	o, ok := other.(*margRRAgg)
+	if !ok {
+		return fmt.Errorf("core: merging %T into MargRR aggregator", other)
+	}
+	for i := range a.ones {
+		for c := range a.ones[i] {
+			a.ones[i][c] += o.ones[i][c]
+		}
+		a.users[i] += o.users[i]
+	}
+	a.n += o.n
+	return nil
+}
+
+// kWay unbiases the PRR counts of the marginal at position pos using its
+// realized user count.
+func (a *margRRAgg) kWay(pos int) (*marginal.Table, int, error) {
+	beta := a.p.idx.masks[pos]
+	if a.users[pos] == 0 {
+		t, err := marginal.Uniform(beta)
+		return t, 0, err
+	}
+	t, err := marginal.New(beta)
+	if err != nil {
+		return nil, 0, err
+	}
+	inv := 1 / float64(a.users[pos])
+	for c := 0; c < a.p.cells; c++ {
+		t.Cells[c] = a.p.prr.UnbiasFrequency(float64(a.ones[pos][c]) * inv)
+	}
+	return t, a.users[pos], nil
+}
+
+// Estimate answers |beta| = k directly and |beta| < k by weighted
+// averaging over the collected super-marginals.
+func (a *margRRAgg) Estimate(beta uint64) (*marginal.Table, error) {
+	if err := checkBetaWithin(beta, a.p.cfg); err != nil {
+		return nil, err
+	}
+	if a.n == 0 {
+		return nil, fmt.Errorf("core: MargRR aggregator has no reports")
+	}
+	return a.p.idx.estimateFromKWay(beta, a.kWay)
+}

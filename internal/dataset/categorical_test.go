@@ -1,0 +1,182 @@
+package dataset
+
+import (
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct{ r, want int }{
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {256, 8},
+	}
+	for _, c := range cases {
+		if got := bitsFor(c.r); got != c.want {
+			t.Errorf("bitsFor(%d) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestBinaryDimension(t *testing.T) {
+	c := &Categorical{Cardinalities: []int{4, 3, 2}, Names: []string{"a", "b", "c"}}
+	// 2 + 2 + 1 = 5 (Corollary 6.1's d2).
+	if got := c.BinaryDimension(); got != 5 {
+		t.Errorf("BinaryDimension = %d, want 5", got)
+	}
+}
+
+func TestBitGroupAndMaskFor(t *testing.T) {
+	c := &Categorical{Cardinalities: []int{4, 3, 2}, Names: []string{"a", "b", "c"}}
+	g0, err := c.BitGroup(0)
+	if err != nil || g0 != 0b00011 {
+		t.Errorf("BitGroup(0) = %b, %v", g0, err)
+	}
+	g1, _ := c.BitGroup(1)
+	if g1 != 0b01100 {
+		t.Errorf("BitGroup(1) = %b", g1)
+	}
+	g2, _ := c.BitGroup(2)
+	if g2 != 0b10000 {
+		t.Errorf("BitGroup(2) = %b", g2)
+	}
+	m, err := c.MaskFor(0, 2)
+	if err != nil || m != 0b10011 {
+		t.Errorf("MaskFor(0,2) = %b, %v", m, err)
+	}
+	if _, err := c.BitGroup(3); err == nil {
+		t.Error("out-of-range attribute should error")
+	}
+}
+
+func TestEncodeBinaryRoundTrip(t *testing.T) {
+	c := &Categorical{
+		Cardinalities: []int{4, 3},
+		Names:         []string{"color", "size"},
+		Records:       [][]uint8{{3, 2}, {0, 0}, {1, 1}},
+	}
+	ds, err := c.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.D != 4 {
+		t.Fatalf("binary d = %d, want 4", ds.D)
+	}
+	// Record {3, 2}: color=3 -> bits 11, size=2 -> bits 10 => 0b1011.
+	if ds.Records[0] != 0b1011 {
+		t.Errorf("encoded record = %04b, want 1011", ds.Records[0])
+	}
+	if ds.Records[1] != 0 {
+		t.Errorf("zero record should encode to 0, got %b", ds.Records[1])
+	}
+	// Record {1, 1}: color=1 -> 01, size=1 -> 01 => 0b0101.
+	if ds.Records[2] != 0b0101 {
+		t.Errorf("encoded record = %04b, want 0101", ds.Records[2])
+	}
+}
+
+func TestEncodeBinaryValidates(t *testing.T) {
+	bad := &Categorical{
+		Cardinalities: []int{2},
+		Names:         []string{"x"},
+		Records:       [][]uint8{{5}},
+	}
+	if _, err := bad.EncodeBinary(); err == nil {
+		t.Error("out-of-range value should fail encoding")
+	}
+	huge := &Categorical{
+		Cardinalities: []int{256, 256, 256, 256, 256, 256},
+		Names:         []string{"a", "b", "c", "d", "e", "f"},
+	}
+	if _, err := huge.EncodeBinary(); err == nil {
+		t.Error("binary dimension over limit should error")
+	}
+}
+
+func TestDecodeCell(t *testing.T) {
+	c := &Categorical{Cardinalities: []int{3, 2}, Names: []string{"a", "b"}}
+	// Querying both attributes: cell layout is a's 2 bits then b's 1 bit.
+	vals, ok := c.DecodeCell(0b101, 0, 1)
+	if !ok || vals[0] != 1 || vals[1] != 1 {
+		t.Errorf("DecodeCell = %v, %v", vals, ok)
+	}
+	// Cell with a-value 3 is invalid for cardinality 3.
+	if _, ok := c.DecodeCell(0b011, 0, 1); ok {
+		t.Error("invalid encoding should report !ok")
+	}
+}
+
+func TestNewCategoricalCorrelated(t *testing.T) {
+	c, err := NewCategoricalCorrelated(20000, []int{4, 4, 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Correlation through the shared latent level: large values of
+	// attribute 0 should co-occur with large values of attribute 1.
+	var bothHigh, aHigh, bHigh int
+	n := len(c.Records)
+	for _, rec := range c.Records {
+		ha := rec[0] >= 2
+		hb := rec[1] >= 2
+		if ha {
+			aHigh++
+		}
+		if hb {
+			bHigh++
+		}
+		if ha && hb {
+			bothHigh++
+		}
+	}
+	joint := float64(bothHigh) / float64(n)
+	indep := float64(aHigh) / float64(n) * float64(bHigh) / float64(n)
+	if joint < indep+0.05 {
+		t.Errorf("attributes not positively correlated: joint=%v indep=%v", joint, indep)
+	}
+	if _, err := NewCategoricalCorrelated(5, []int{1}, 1); err == nil {
+		t.Error("cardinality 1 should error")
+	}
+	if _, err := NewCategoricalCorrelated(5, nil, 1); err == nil {
+		t.Error("no cardinalities should error")
+	}
+}
+
+func TestCategoricalEncodedMarginalConsistency(t *testing.T) {
+	// End-to-end: exact marginal over the encoded bits of attributes
+	// (0,1) must match direct counting of categorical values.
+	c, err := NewCategoricalCorrelated(5000, []int{3, 4}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := c.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mask, _ := c.MaskFor(0, 1)
+	tab, err := ds.Marginal(mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count (v0=2, v1=3) directly.
+	direct := 0
+	for _, rec := range c.Records {
+		if rec[0] == 2 && rec[1] == 3 {
+			direct++
+		}
+	}
+	// Find the matching compact cell.
+	var got float64
+	for cell := range tab.Cells {
+		vals, ok := c.DecodeCell(uint64(cell), 0, 1)
+		if ok && vals[0] == 2 && vals[1] == 3 {
+			got = tab.Cells[cell]
+		}
+	}
+	want := float64(direct) / float64(len(c.Records))
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("encoded marginal cell = %v, direct count = %v", got, want)
+	}
+	_ = bitops.OnesCount(mask) // document that mask covers 4 bits
+}

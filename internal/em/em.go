@@ -1,0 +1,272 @@
+// Package em implements the InpEM baseline of Section 4.4 (Fanti et
+// al.): every user perturbs each of their d attribute bits independently
+// with (eps/d)-randomized response (budget splitting), and the aggregator
+// decodes a target marginal with expectation maximization over the
+// observed reported-bit combinations.
+//
+// The method has no worst-case accuracy guarantee. For small eps or large
+// d the per-bit flip probability approaches 1/2, the EM update becomes a
+// fixed point at the uniform prior, and the procedure "fails" by
+// terminating immediately — the behaviour quantified in the paper's
+// Table 3. The aggregator exposes the iteration count and failure flag so
+// experiments can reproduce that table.
+package em
+
+import (
+	"fmt"
+	"math"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/mech"
+	"ldpmarginals/internal/rng"
+	"ldpmarginals/internal/vec"
+)
+
+// DefaultOmega is the paper's EM convergence threshold (Section 5.4).
+const DefaultOmega = 1e-5
+
+// DefaultMaxIterations bounds the EM loop; the paper reports convergence
+// within thousands to tens of thousands of iterations.
+const DefaultMaxIterations = 100000
+
+// Config parameterizes the InpEM protocol.
+type Config struct {
+	// D, K, Epsilon as in core.Config: attributes, largest marginal
+	// queried, and the total privacy budget (split as eps/d per bit).
+	D       int
+	K       int
+	Epsilon float64
+	// Omega is the convergence threshold (L-infinity change between EM
+	// iterations); DefaultOmega if zero.
+	Omega float64
+	// MaxIterations bounds the EM loop; DefaultMaxIterations if zero.
+	MaxIterations int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Omega == 0 {
+		c.Omega = DefaultOmega
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = DefaultMaxIterations
+	}
+	return c
+}
+
+// Result is a decoded marginal along with EM diagnostics.
+type Result struct {
+	// Table is the decoded marginal distribution.
+	Table *marginal.Table
+	// Iterations is the number of EM update steps performed.
+	Iterations int
+	// Failed records the paper's failure mode: the procedure converged
+	// after at most one step, returning (essentially) the uniform prior.
+	Failed bool
+}
+
+// Protocol is the InpEM baseline. It satisfies core.Protocol so the
+// shared runner and experiment harness can drive it alongside the paper's
+// six protocols.
+type Protocol struct {
+	cfg Config
+	rr  *mech.RR // per-bit (eps/d)-randomized response
+}
+
+var _ core.Protocol = (*Protocol)(nil)
+
+// New constructs the InpEM protocol.
+func New(cfg Config) (*Protocol, error) {
+	cfg = cfg.withDefaults()
+	cc := core.Config{D: cfg.D, K: cfg.K, Epsilon: cfg.Epsilon}
+	if err := cc.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Omega <= 0 || cfg.MaxIterations <= 0 {
+		return nil, fmt.Errorf("em: omega and max iterations must be positive")
+	}
+	perBit, err := mech.SplitEpsilon(cfg.Epsilon, cfg.D)
+	if err != nil {
+		return nil, err
+	}
+	rr, err := mech.NewRR(perBit)
+	if err != nil {
+		return nil, err
+	}
+	return &Protocol{cfg: cfg, rr: rr}, nil
+}
+
+// Name returns "InpEM".
+func (p *Protocol) Name() string { return "InpEM" }
+
+// Config adapts the EM configuration to the shared core form.
+func (p *Protocol) Config() core.Config {
+	return core.Config{D: p.cfg.D, K: p.cfg.K, Epsilon: p.cfg.Epsilon}
+}
+
+// CommunicationBits is d: one randomized bit per attribute.
+func (p *Protocol) CommunicationBits() int { return p.cfg.D }
+
+// FlipProbability returns the probability that a single reported bit is
+// flipped, 1 - e^{eps/d}/(1+e^{eps/d}).
+func (p *Protocol) FlipProbability() float64 { return 1 - p.rr.P }
+
+// NewClient returns the budget-splitting client.
+func (p *Protocol) NewClient() core.Client { return &client{p: p} }
+
+// NewAggregator returns an empty EM aggregator.
+func (p *Protocol) NewAggregator() core.Aggregator { return &Aggregator{p: p} }
+
+type client struct{ p *Protocol }
+
+// Perturb flips every attribute bit independently with the per-bit
+// randomized response and reports the resulting mask in Report.Index.
+func (c *client) Perturb(record uint64, r *rng.RNG) (core.Report, error) {
+	if record >= 1<<uint(c.p.cfg.D) {
+		return core.Report{}, fmt.Errorf("em: record %d outside 2^%d domain", record, c.p.cfg.D)
+	}
+	var out uint64
+	for j := 0; j < c.p.cfg.D; j++ {
+		bit := record&(1<<uint(j)) != 0
+		if c.p.rr.PerturbBit(bit, r) {
+			out |= 1 << uint(j)
+		}
+	}
+	return core.Report{Index: out}, nil
+}
+
+// Aggregator stores the reported masks and decodes marginals on demand
+// with EM. It satisfies core.Aggregator.
+type Aggregator struct {
+	p       *Protocol
+	reports []uint64
+}
+
+// N returns the number of reports consumed.
+func (a *Aggregator) N() int { return len(a.reports) }
+
+// Consume stores one reported mask.
+func (a *Aggregator) Consume(rep core.Report) error {
+	if rep.Index >= 1<<uint(a.p.cfg.D) {
+		return fmt.Errorf("em: report %d outside 2^%d domain", rep.Index, a.p.cfg.D)
+	}
+	a.reports = append(a.reports, rep.Index)
+	return nil
+}
+
+// Merge folds another EM aggregator's reports into this one.
+func (a *Aggregator) Merge(other core.Aggregator) error {
+	o, ok := other.(*Aggregator)
+	if !ok {
+		return fmt.Errorf("em: merging %T into EM aggregator", other)
+	}
+	a.reports = append(a.reports, o.reports...)
+	return nil
+}
+
+// Estimate decodes the marginal over beta, discarding diagnostics.
+func (a *Aggregator) Estimate(beta uint64) (*marginal.Table, error) {
+	res, err := a.EstimateDetailed(beta)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// EstimateDetailed decodes the marginal over beta with EM and reports the
+// iteration count and the immediate-convergence failure flag.
+func (a *Aggregator) EstimateDetailed(beta uint64) (*Result, error) {
+	if beta == 0 || beta >= 1<<uint(a.p.cfg.D) {
+		return nil, fmt.Errorf("em: marginal %b outside %d attributes", beta, a.p.cfg.D)
+	}
+	k := bitops.OnesCount(beta)
+	if k > a.p.cfg.K {
+		return nil, fmt.Errorf("em: marginal has %d attributes but k<=%d supported", k, a.p.cfg.K)
+	}
+	if len(a.reports) == 0 {
+		return nil, fmt.Errorf("em: no reports")
+	}
+	size := 1 << uint(k)
+	// Observed distribution of reported combos over beta's bits.
+	observed := make([]float64, size)
+	for _, rep := range a.reports {
+		observed[bitops.Compress(rep, beta)]++
+	}
+	vec.Scale(observed, 1/float64(len(a.reports)))
+
+	theta, iters, err := Decode(observed, Channel(k, p2flip(a.p.rr.P)), a.p.cfg.Omega, a.p.cfg.MaxIterations)
+	if err != nil {
+		return nil, err
+	}
+	tab, err := marginal.FromCells(beta, theta)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: tab, Iterations: iters, Failed: iters <= 1}, nil
+}
+
+func p2flip(keep float64) float64 { return 1 - keep }
+
+// Channel builds the 2^k x 2^k observation matrix A[y][x] = P(report y |
+// truth x) of k independent bits each flipped with probability flip.
+func Channel(k int, flip float64) [][]float64 {
+	size := 1 << uint(k)
+	a := make([][]float64, size)
+	keep := 1 - flip
+	for y := 0; y < size; y++ {
+		a[y] = make([]float64, size)
+		for x := 0; x < size; x++ {
+			diff := bitops.OnesCount(uint64(y ^ x))
+			a[y][x] = math.Pow(flip, float64(diff)) * math.Pow(keep, float64(k-diff))
+		}
+	}
+	return a
+}
+
+// Decode runs expectation maximization: starting from the uniform prior
+// over the 2^k true combos, it alternates the posterior (expectation)
+// and re-marginalization (maximization) steps until the L-infinity
+// change drops below omega or maxIters is reached. It returns the final
+// estimate and the number of iterations performed.
+func Decode(observed []float64, channel [][]float64, omega float64, maxIters int) ([]float64, int, error) {
+	size := len(observed)
+	if size == 0 || len(channel) != size {
+		return nil, 0, fmt.Errorf("em: observed (%d) and channel (%d) sizes disagree", size, len(channel))
+	}
+	theta := vec.Uniform(size)
+	next := make([]float64, size)
+	var iters int
+	for iters = 1; iters <= maxIters; iters++ {
+		for x := range next {
+			next[x] = 0
+		}
+		for y := 0; y < size; y++ {
+			if observed[y] == 0 {
+				continue
+			}
+			// Posterior P(x|y) proportional to theta[x] * A[y][x].
+			var norm float64
+			for x := 0; x < size; x++ {
+				norm += theta[x] * channel[y][x]
+			}
+			if norm <= 0 {
+				continue
+			}
+			w := observed[y] / norm
+			for x := 0; x < size; x++ {
+				next[x] += w * theta[x] * channel[y][x]
+			}
+		}
+		vec.Normalize(next)
+		delta := vec.MaxAbsDiff(theta, next)
+		copy(theta, next)
+		if delta < omega {
+			break
+		}
+	}
+	if iters > maxIters {
+		iters = maxIters
+	}
+	return theta, iters, nil
+}

@@ -1,0 +1,225 @@
+// Package encoding provides the compact binary wire format for protocol
+// reports, so the communication costs accounted analytically in Table 2
+// correspond to real bytes on the wire. The format is
+// protocol-parameterized: each protocol serializes only the fields it
+// uses, with variable-length integers for indices whose ranges the
+// deployment configuration bounds.
+//
+// Frame layout (little endian):
+//
+//	byte 0:    protocol tag
+//	remainder: protocol-specific payload (see Marshal)
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldpmarginals/internal/core"
+)
+
+// Tag identifies the protocol of an encoded report on the wire.
+type Tag byte
+
+// Wire tags. These are part of the persisted format: do not renumber.
+const (
+	TagInpRR  Tag = 1
+	TagInpPS  Tag = 2
+	TagInpHT  Tag = 3
+	TagMargRR Tag = 4
+	TagMargPS Tag = 5
+	TagMargHT Tag = 6
+	TagInpEM  Tag = 7
+	TagOLH    Tag = 8
+	TagHCMS   Tag = 9
+)
+
+// TagForProtocol maps a protocol name to its wire tag.
+func TagForProtocol(name string) (Tag, error) {
+	switch name {
+	case "InpRR":
+		return TagInpRR, nil
+	case "InpPS":
+		return TagInpPS, nil
+	case "InpHT":
+		return TagInpHT, nil
+	case "MargRR":
+		return TagMargRR, nil
+	case "MargPS":
+		return TagMargPS, nil
+	case "MargHT":
+		return TagMargHT, nil
+	case "InpEM":
+		return TagInpEM, nil
+	case "InpOLH":
+		return TagOLH, nil
+	case "InpHTCMS":
+		return TagHCMS, nil
+	default:
+		return 0, fmt.Errorf("encoding: unknown protocol %q", name)
+	}
+}
+
+// signByte encodes a +-1 sign into one byte.
+func signByte(s int8) (byte, error) {
+	switch s {
+	case 1:
+		return 1, nil
+	case -1:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("encoding: sign %d is not +-1", s)
+	}
+}
+
+func byteSign(b byte) (int8, error) {
+	switch b {
+	case 1:
+		return 1, nil
+	case 0:
+		return -1, nil
+	default:
+		return 0, fmt.Errorf("encoding: malformed sign byte %d", b)
+	}
+}
+
+// Marshal serializes a report produced by the named protocol.
+func Marshal(name string, rep core.Report) ([]byte, error) {
+	tag, err := TagForProtocol(name)
+	if err != nil {
+		return nil, err
+	}
+	buf := []byte{byte(tag)}
+	putUvarint := func(v uint64) {
+		buf = binary.AppendUvarint(buf, v)
+	}
+	switch tag {
+	case TagInpRR:
+		// Bitmap payload: word count then words.
+		putUvarint(uint64(len(rep.Bits)))
+		for _, w := range rep.Bits {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	case TagInpPS, TagInpEM:
+		putUvarint(rep.Index)
+	case TagInpHT:
+		putUvarint(rep.Index)
+		sb, err := signByte(rep.Sign)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, sb)
+	case TagMargRR:
+		putUvarint(rep.Beta)
+		putUvarint(uint64(len(rep.Bits)))
+		for _, w := range rep.Bits {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	case TagMargPS:
+		putUvarint(rep.Beta)
+		putUvarint(rep.Index)
+	case TagMargHT, TagHCMS:
+		putUvarint(rep.Beta)
+		putUvarint(rep.Index)
+		sb, err := signByte(rep.Sign)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, sb)
+	case TagOLH:
+		// The hash seed needs all 64 bits; fixed width.
+		buf = binary.LittleEndian.AppendUint64(buf, rep.Beta)
+		putUvarint(rep.Index)
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a frame produced by Marshal, returning the protocol
+// tag and the decoded report.
+func Unmarshal(frame []byte) (Tag, core.Report, error) {
+	if len(frame) == 0 {
+		return 0, core.Report{}, fmt.Errorf("encoding: empty frame")
+	}
+	tag := Tag(frame[0])
+	rest := frame[1:]
+	var rep core.Report
+	readUvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return 0, fmt.Errorf("encoding: truncated varint")
+		}
+		rest = rest[n:]
+		return v, nil
+	}
+	readWords := func() ([]uint64, error) {
+		count, err := readUvarint()
+		if err != nil {
+			return nil, err
+		}
+		const maxWords = 1 << 16 // matches the 2^20-bit report cap
+		if count > maxWords {
+			return nil, fmt.Errorf("encoding: bitmap of %d words exceeds limit", count)
+		}
+		if uint64(len(rest)) < count*8 {
+			return nil, fmt.Errorf("encoding: truncated bitmap")
+		}
+		words := make([]uint64, count)
+		for i := range words {
+			words[i] = binary.LittleEndian.Uint64(rest[i*8:])
+		}
+		rest = rest[count*8:]
+		return words, nil
+	}
+	var err error
+	switch tag {
+	case TagInpRR:
+		rep.Bits, err = readWords()
+	case TagInpPS, TagInpEM:
+		rep.Index, err = readUvarint()
+	case TagInpHT:
+		if rep.Index, err = readUvarint(); err == nil {
+			if len(rest) < 1 {
+				err = fmt.Errorf("encoding: missing sign byte")
+			} else {
+				rep.Sign, err = byteSign(rest[0])
+				rest = rest[1:]
+			}
+		}
+	case TagMargRR:
+		if rep.Beta, err = readUvarint(); err == nil {
+			rep.Bits, err = readWords()
+		}
+	case TagMargPS:
+		if rep.Beta, err = readUvarint(); err == nil {
+			rep.Index, err = readUvarint()
+		}
+	case TagMargHT, TagHCMS:
+		if rep.Beta, err = readUvarint(); err == nil {
+			if rep.Index, err = readUvarint(); err == nil {
+				if len(rest) < 1 {
+					err = fmt.Errorf("encoding: missing sign byte")
+				} else {
+					rep.Sign, err = byteSign(rest[0])
+					rest = rest[1:]
+				}
+			}
+		}
+	case TagOLH:
+		if len(rest) < 8 {
+			err = fmt.Errorf("encoding: truncated OLH seed")
+		} else {
+			rep.Beta = binary.LittleEndian.Uint64(rest)
+			rest = rest[8:]
+			rep.Index, err = readUvarint()
+		}
+	default:
+		return 0, core.Report{}, fmt.Errorf("encoding: unknown tag %d", tag)
+	}
+	if err != nil {
+		return 0, core.Report{}, err
+	}
+	if len(rest) != 0 {
+		return 0, core.Report{}, fmt.Errorf("encoding: %d trailing bytes", len(rest))
+	}
+	return tag, rep, nil
+}

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// quick returns options that shrink the experiments enough for CI while
+// preserving their qualitative shape.
+func quick(scale float64) Options {
+	return Options{Scale: scale, Seed: 424242, Workers: 4, MaxMarginals: 12}
+}
+
+func findSeries(t *testing.T, res *Result, name string) Series {
+	t.Helper()
+	for _, s := range res.Series {
+		if s.Name == name {
+			return s
+		}
+	}
+	t.Fatalf("series %q not found in %s (have %d series)", name, res.ID, len(res.Series))
+	return Series{}
+}
+
+func TestRegistryAndIDs(t *testing.T) {
+	reg := Registry()
+	if len(reg) != 13 {
+		t.Errorf("registry has %d experiments, want 13", len(reg))
+	}
+	ids := IDs()
+	if len(ids) != len(reg) {
+		t.Error("IDs() disagrees with Registry()")
+	}
+	for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"} {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 {
+		t.Errorf("default scale = %v, want 1", o.Scale)
+	}
+	if n := (Options{Scale: 0.001}).scaledN(1 << 18); n < 500 {
+		t.Errorf("scaledN floor violated: %d", n)
+	}
+}
+
+func TestEvalBetasSubsampling(t *testing.T) {
+	all := evalBetas(16, 2, 0, 1)
+	if len(all) != 120 {
+		t.Fatalf("expected all 120 marginals, got %d", len(all))
+	}
+	sub := evalBetas(16, 2, 10, 1)
+	if len(sub) != 10 {
+		t.Fatalf("expected 10 subsampled marginals, got %d", len(sub))
+	}
+	again := evalBetas(16, 2, 10, 1)
+	for i := range sub {
+		if sub[i] != again[i] {
+			t.Fatal("subsampling is not deterministic")
+		}
+	}
+	other := evalBetas(16, 2, 10, 2)
+	diff := false
+	for i := range sub {
+		if sub[i] != other[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("different seeds should select different subsets")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	res, err := Table2(quick(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := res.Render()
+	for _, name := range []string{"InpRR", "InpPS", "InpHT", "MargRR", "MargPS", "MargHT"} {
+		if !strings.Contains(text, name) {
+			t.Errorf("table2 output missing %s:\n%s", name, text)
+		}
+	}
+	// The communication column must show InpRR's 2^8 = 256 bits.
+	if !strings.Contains(text, "256") {
+		t.Errorf("table2 should report InpRR's 256-bit cost:\n%s", text)
+	}
+}
+
+func TestTable3FailureGradient(t *testing.T) {
+	res, err := Table3(quick(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "Failed") && !strings.Contains(res.Text, "/") {
+		t.Errorf("table3 output malformed:\n%s", res.Text)
+	}
+}
+
+func TestFig3HeatmapShape(t *testing.T) {
+	res, err := Fig3(quick(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"CC", "Toll", "Far", "Night_pick", "M_drop", "Tip"} {
+		if !strings.Contains(res.Text, name) {
+			t.Errorf("fig3 heatmap missing attribute %s", name)
+		}
+	}
+	if !strings.Contains(res.Text, "1.000") {
+		t.Error("fig3 diagonal should contain 1.000")
+	}
+}
+
+func TestFig4ErrorDecreasesWithN(t *testing.T) {
+	opts := quick(0.08)
+	res, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 d-values x 3 k-values x 6 protocols.
+	if len(res.Series) != 54 {
+		t.Fatalf("fig4 has %d series, want 54", len(res.Series))
+	}
+	// InpHT at d=8,k=2: the error at the largest N must be below the
+	// error at the smallest N (1/sqrt(N) decay).
+	s := findSeries(t, res, "InpHT/d=8,k=2")
+	if len(s.Y) < 2 {
+		t.Fatal("series too short")
+	}
+	if s.Y[len(s.Y)-1] >= s.Y[0] {
+		t.Errorf("InpHT error should fall with N: %v", s.Y)
+	}
+	// InpHT should beat InpPS at d=16, k=2 on the largest N.
+	ht := findSeries(t, res, "InpHT/d=16,k=2")
+	ps := findSeries(t, res, "InpPS/d=16,k=2")
+	last := len(ht.Y) - 1
+	if ht.Y[last] >= ps.Y[last] {
+		t.Errorf("InpHT (%v) should beat InpPS (%v) at d=16", ht.Y[last], ps.Y[last])
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	res, err := Fig5(quick(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 6 {
+		t.Fatalf("fig5 has %d series, want 6", len(res.Series))
+	}
+	s := findSeries(t, res, "InpHT")
+	if len(s.X) != 7 {
+		t.Fatalf("fig5 should sweep k=1..7, got %d points", len(s.X))
+	}
+	// Error grows with k for InpHT.
+	if s.Y[6] <= s.Y[0] {
+		t.Errorf("InpHT error should grow with k: %v", s.Y)
+	}
+}
+
+func TestFig6EMWorseThanHT(t *testing.T) {
+	res, err := Fig6(quick(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := findSeries(t, res, "InpHT/d=16")
+	emS := findSeries(t, res, "InpEM/d=16")
+	// At the largest epsilon InpEM should still be clearly worse.
+	last := len(ht.Y) - 1
+	if emS.Y[last] <= ht.Y[last] {
+		t.Errorf("InpEM (%v) should be worse than InpHT (%v)", emS.Y[last], ht.Y[last])
+	}
+}
+
+func TestFig7AgreementPattern(t *testing.T) {
+	res, err := Fig7(quick(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := findSeries(t, res, "NonPrivate")
+	ht := findSeries(t, res, "InpHT")
+	// Critical value for df=1 at 95%.
+	const crit = 3.841
+	// Pairs 0..2 are dependent, 3..5 independent: the non-private stat
+	// must respect that, and InpHT must agree on the dependent ones.
+	for i := 0; i < 3; i++ {
+		if exact.Y[i] < crit {
+			t.Errorf("dependent pair %d non-private stat %v below critical", i, exact.Y[i])
+		}
+		if ht.Y[i] < crit {
+			t.Errorf("dependent pair %d InpHT stat %v below critical", i, ht.Y[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if exact.Y[i] > crit {
+			t.Errorf("independent pair %d non-private stat %v above critical", i, exact.Y[i])
+		}
+	}
+}
+
+func TestFig8TreeQualityOrdering(t *testing.T) {
+	opts := quick(0.15)
+	opts.Repeats = 1
+	res, err := Fig8(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonPriv := findSeries(t, res, "NonPrivate")
+	ht := findSeries(t, res, "InpHT")
+	// The non-private tree is optimal: its total MI upper-bounds the
+	// private trees' scores at every epsilon.
+	for i := range ht.Y {
+		if ht.Y[i] > nonPriv.Y[i]+1e-9 {
+			t.Errorf("InpHT tree score %v exceeds optimal %v", ht.Y[i], nonPriv.Y[i])
+		}
+	}
+	// At the largest epsilon InpHT should recover most of the MI.
+	last := len(ht.Y) - 1
+	if ht.Y[last] < 0.5*nonPriv.Y[last] {
+		t.Errorf("InpHT at eps=1.4 recovers only %v of %v", ht.Y[last], nonPriv.Y[last])
+	}
+}
+
+func TestFig9ErrorDecreasesWithEps(t *testing.T) {
+	res, err := Fig9(quick(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := findSeries(t, res, "InpHT/d=8,k=2")
+	first, last := s.Y[0], s.Y[len(s.Y)-1]
+	if last >= first {
+		t.Errorf("InpHT error should fall with eps: %v", s.Y)
+	}
+}
+
+func TestFig10OLHGapsAndOrdering(t *testing.T) {
+	res, err := Fig10(quick(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := findSeries(t, res, "InpHT")
+	olh := findSeries(t, res, "InpOLH")
+	hcms := findSeries(t, res, "InpHTCMS")
+	if len(ht.X) != len(fig10DValues) {
+		t.Errorf("InpHT should cover all d values")
+	}
+	// OLH stops at d=8, like the paper's timeout.
+	for _, x := range olh.X {
+		if x > fig10OLHMaxD {
+			t.Errorf("InpOLH ran at d=%v despite the decode limit", x)
+		}
+	}
+	// HCMS is not competitive with InpHT at the largest d.
+	lastHT := ht.Y[len(ht.Y)-1]
+	lastCMS := hcms.Y[len(hcms.Y)-1]
+	if lastCMS <= lastHT {
+		t.Errorf("InpHTCMS (%v) should trail InpHT (%v) at d=16", lastCMS, lastHT)
+	}
+}
+
+func TestAblationPRRSmallGap(t *testing.T) {
+	res, err := AblationPRR(quick(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "InpRR") || !strings.Contains(res.Text, "MargRR") {
+		t.Errorf("ablation output malformed:\n%s", res.Text)
+	}
+}
+
+func TestAblationHTNormalization(t *testing.T) {
+	res, err := AblationHTNormalization(quick(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "realized") || !strings.Contains(res.Text, "expected") {
+		t.Errorf("ablation output malformed:\n%s", res.Text)
+	}
+}
+
+func TestRenderSeriesTable(t *testing.T) {
+	res := &Result{
+		ID:     "x",
+		Title:  "demo",
+		XLabel: "n",
+		YLabel: "tv",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2}, Y: []float64{0.5, 0.25}},
+			{Name: "B", X: []float64{1}, Y: []float64{0.9}},
+		},
+	}
+	text := res.Render()
+	if !strings.Contains(text, "A") || !strings.Contains(text, "B") {
+		t.Errorf("render missing series names:\n%s", text)
+	}
+	// B has no point at x=2: rendered as "-".
+	if !strings.Contains(text, "-") {
+		t.Errorf("render should mark missing points:\n%s", text)
+	}
+}
+
+func TestExtensionEfronStein(t *testing.T) {
+	res, err := ExtensionEfronStein(quick(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "InpES") || !strings.Contains(res.Text, "mean") {
+		t.Errorf("ext-es output malformed:\n%s", res.Text)
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/dataset"
+)
+
+// fig4NBases are the population sizes of Figure 4 (50K to 0.5M as powers
+// of two).
+var fig4NBases = []int{1 << 16, 1 << 17, 1 << 18, 1 << 19}
+
+// Fig4 reproduces Figure 4: mean total variation distance of k-way
+// marginal reconstruction on the movielens data as N varies, for every
+// combination of d in {4, 8, 16} and k in {1, 2, 3}, across all six
+// protocols. Series are named "Proto/d=D,k=K".
+func Fig4(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{
+		ID:     "fig4",
+		Title:  "Mean TV of 1,2,3-way marginals on movielens as N varies (eps=ln3)",
+		XLabel: "N",
+		YLabel: "mean TV",
+	}
+	for _, d := range []int{4, 8, 16} {
+		maxN := opts.scaledN(fig4NBases[len(fig4NBases)-1])
+		ds, err := dataset.NewMovieLens(maxN, d, opts.Seed+11)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{1, 2, 3} {
+			if k > d {
+				continue
+			}
+			cfg := core.Config{D: d, K: k, Epsilon: ln3, OptimizedPRR: true}
+			betas := evalBetas(d, k, defaultMaxMarginals(opts, 60), opts.Seed)
+			for _, kind := range core.AllKinds() {
+				p, err := core.New(kind, cfg)
+				if err != nil {
+					return nil, err
+				}
+				s := Series{Name: fmt.Sprintf("%s/d=%d,k=%d", p.Name(), d, k)}
+				for _, nBase := range fig4NBases {
+					n := opts.scaledN(nBase)
+					if n > len(ds.Records) {
+						n = len(ds.Records)
+					}
+					tv, sd, err := meanTVOverRepeats(p, ds.Records[:n], betas, opts, 1)
+					if err != nil {
+						return nil, err
+					}
+					s.X = append(s.X, float64(n))
+					s.Y = append(s.Y, tv)
+					s.Err = append(s.Err, sd)
+				}
+				res.Series = append(res.Series, s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig5 reproduces Figure 5: the effect of the marginal size k (1..7) at
+// d=8, N=2^18, e^eps=3 on the taxi data. Each protocol is deployed with
+// K=k and evaluated on all k-way marginals.
+func Fig5(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	const d = 8
+	n := opts.scaledN(1 << 18)
+	ds := dataset.NewTaxi(n, opts.Seed+12)
+	res := &Result{
+		ID:     "fig5",
+		Title:  "Effect of varying k on taxi data (d=8, N=2^18, eps=ln3)",
+		XLabel: "k",
+		YLabel: "mean TV",
+	}
+	series := map[core.Kind]*Series{}
+	for _, kind := range core.AllKinds() {
+		series[kind] = &Series{Name: kind.String()}
+	}
+	for k := 1; k <= 7; k++ {
+		cfg := core.Config{D: d, K: k, Epsilon: ln3, OptimizedPRR: true}
+		betas := evalBetas(d, k, defaultMaxMarginals(opts, 40), opts.Seed+uint64(k))
+		for _, kind := range core.AllKinds() {
+			p, err := core.New(kind, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tv, sd, err := meanTVOverRepeats(p, ds.Records, betas, opts, 1)
+			if err != nil {
+				return nil, err
+			}
+			s := series[kind]
+			s.X = append(s.X, float64(k))
+			s.Y = append(s.Y, tv)
+			s.Err = append(s.Err, sd)
+		}
+	}
+	for _, kind := range core.AllKinds() {
+		res.Series = append(res.Series, *series[kind])
+	}
+	return res, nil
+}
+
+// fig9Eps is the epsilon grid of Figure 9 (and Figures 6 and 8).
+var fig9Eps = []float64{0.4, 0.6, 0.8, 1.0, 1.2, 1.4}
+
+// Fig9 reproduces Figure 9 (Appendix B.1): mean TV on movielens for
+// N=2^18 as epsilon varies, across d in {4, 8, 16} and k in {1, 2, 3}.
+func Fig9(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := opts.scaledN(1 << 18)
+	res := &Result{
+		ID:     "fig9",
+		Title:  "Mean TV of 1,2,3-way marginals on movielens as eps varies (N=2^18)",
+		XLabel: "eps",
+		YLabel: "mean TV",
+	}
+	for _, d := range []int{4, 8, 16} {
+		ds, err := dataset.NewMovieLens(n, d, opts.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{1, 2, 3} {
+			if k > d {
+				continue
+			}
+			betas := evalBetas(d, k, defaultMaxMarginals(opts, 60), opts.Seed)
+			for _, kind := range core.AllKinds() {
+				s := Series{Name: fmt.Sprintf("%s/d=%d,k=%d", kind, d, k)}
+				for _, eps := range fig9Eps {
+					cfg := core.Config{D: d, K: k, Epsilon: eps, OptimizedPRR: true}
+					p, err := core.New(kind, cfg)
+					if err != nil {
+						return nil, err
+					}
+					tv, sd, err := meanTVOverRepeats(p, ds.Records, betas, opts, 1)
+					if err != nil {
+						return nil, err
+					}
+					s.X = append(s.X, eps)
+					s.Y = append(s.Y, tv)
+					s.Err = append(s.Err, sd)
+				}
+				res.Series = append(res.Series, s)
+			}
+		}
+	}
+	return res, nil
+}
+
+// defaultMaxMarginals resolves the per-measurement marginal cap.
+func defaultMaxMarginals(opts Options, def int) int {
+	if opts.MaxMarginals > 0 {
+		return opts.MaxMarginals
+	}
+	return def
+}

@@ -1,0 +1,68 @@
+package freqoracle
+
+import (
+	"fmt"
+	"sort"
+)
+
+// HeavyHitter is an item with its estimated frequency.
+type HeavyHitter struct {
+	Item      uint64
+	Frequency float64
+}
+
+// FrequencyEstimator is anything that can decode full-domain frequency
+// estimates; both oracle aggregators satisfy it.
+type FrequencyEstimator interface {
+	EstimateAll() ([]float64, error)
+}
+
+// TopK returns the k items with the largest estimated frequencies in
+// descending order — the heavy-hitter identification task the
+// frequency-oracle line of work (Bassily-Smith, RAPPOR, Apple) targets,
+// and the regime where InpHTCMS is competitive.
+func TopK(est FrequencyEstimator, k int) ([]HeavyHitter, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("freqoracle: top-k needs k >= 1, got %d", k)
+	}
+	freqs, err := est.EstimateAll()
+	if err != nil {
+		return nil, err
+	}
+	if k > len(freqs) {
+		k = len(freqs)
+	}
+	items := make([]HeavyHitter, len(freqs))
+	for i, f := range freqs {
+		items[i] = HeavyHitter{Item: uint64(i), Frequency: f}
+	}
+	sort.Slice(items, func(a, b int) bool {
+		if items[a].Frequency != items[b].Frequency {
+			return items[a].Frequency > items[b].Frequency
+		}
+		return items[a].Item < items[b].Item
+	})
+	return items[:k], nil
+}
+
+// AboveThreshold returns every item whose estimated frequency is at
+// least the threshold, in descending frequency order.
+func AboveThreshold(est FrequencyEstimator, threshold float64) ([]HeavyHitter, error) {
+	freqs, err := est.EstimateAll()
+	if err != nil {
+		return nil, err
+	}
+	var out []HeavyHitter
+	for i, f := range freqs {
+		if f >= threshold {
+			out = append(out, HeavyHitter{Item: uint64(i), Frequency: f})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Frequency != out[b].Frequency {
+			return out[a].Frequency > out[b].Frequency
+		}
+		return out[a].Item < out[b].Item
+	})
+	return out, nil
+}

@@ -1,0 +1,262 @@
+// Package mech implements the basic local-differential-privacy mechanisms
+// of Section 3.1 of the paper, together with their unbiased estimators
+// (Section 4.1) and exact privacy accounting:
+//
+//   - RR: binary randomized response (Warner).
+//   - PRR: parallel randomized response over a bit vector (BasicRAPPOR /
+//     unary encoding), in both the vanilla e^{eps/2} form and the Wang et
+//     al. optimized (OUE) form used by the paper's experiments.
+//   - GRR: preferential sampling / generalized randomized response /
+//     direct encoding over m categories.
+//   - RRS: randomized response with sampling — sample one of m positions
+//     uniformly and release its bit through RR.
+//
+// Each mechanism reports the epsilon it provides so tests can verify the
+// privacy claims of Facts 3.1 and 3.2 directly from the probabilities.
+package mech
+
+import (
+	"fmt"
+	"math"
+
+	"ldpmarginals/internal/rng"
+)
+
+// PFromEpsilon returns the keep probability p = e^eps / (1 + e^eps) that
+// makes binary randomized response eps-LDP.
+func PFromEpsilon(eps float64) float64 {
+	return math.Exp(eps) / (1 + math.Exp(eps))
+}
+
+// SplitEpsilon returns the per-piece budget eps/m of the budget-splitting
+// (BS) composition strategy for m pieces.
+func SplitEpsilon(eps float64, m int) (float64, error) {
+	if m <= 0 {
+		return 0, fmt.Errorf("mech: budget split over %d pieces", m)
+	}
+	if eps <= 0 {
+		return 0, fmt.Errorf("mech: epsilon must be positive, got %v", eps)
+	}
+	return eps / float64(m), nil
+}
+
+// RR is binary randomized response: report the true bit with probability
+// P > 1/2, the opposite otherwise.
+type RR struct {
+	// P is the probability of reporting the truth.
+	P float64
+}
+
+// NewRR returns the eps-LDP binary randomized response mechanism.
+func NewRR(eps float64) (*RR, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: epsilon must be positive, got %v", eps)
+	}
+	return &RR{P: PFromEpsilon(eps)}, nil
+}
+
+// Epsilon returns the privacy parameter ln(P / (1-P)) this instance
+// provides.
+func (m *RR) Epsilon() float64 { return math.Log(m.P / (1 - m.P)) }
+
+// PerturbBit reports b truthfully with probability P.
+func (m *RR) PerturbBit(b bool, r *rng.RNG) bool {
+	if r.Bernoulli(m.P) {
+		return b
+	}
+	return !b
+}
+
+// PerturbSign applies randomized response to a +-1 value: the sign is
+// kept with probability P and flipped otherwise.
+func (m *RR) PerturbSign(s float64, r *rng.RNG) float64 {
+	if r.Bernoulli(m.P) {
+		return s
+	}
+	return -s
+}
+
+// UnbiasSign converts a single +-1 report into an unbiased estimate of
+// the true sign: E[y/(2P-1)] = s.
+func (m *RR) UnbiasSign(y float64) float64 { return y / (2*m.P - 1) }
+
+// UnbiasMean converts the observed frequency of 1-reports into an
+// unbiased estimate of the true frequency of 1s:
+// E[F] = f*P + (1-f)*(1-P)  =>  f = (F - (1-P)) / (2P - 1).
+func (m *RR) UnbiasMean(observed float64) float64 {
+	return (observed - (1 - m.P)) / (2*m.P - 1)
+}
+
+// PRR is parallel randomized response over a bit vector: every position
+// is perturbed independently. P1 is the probability of reporting 1 when
+// the true bit is 1; P0 the probability of reporting 1 when it is 0.
+type PRR struct {
+	P1, P0 float64
+	// Optimized records whether the Wang et al. (OUE) probabilities are
+	// in use; retained for reporting.
+	Optimized bool
+}
+
+// NewPRR returns a parallel randomized response mechanism that is eps-LDP
+// on one-hot (sparse) input vectors. With optimized=false it uses the
+// symmetric probabilities of Fact 3.2 (each bit gets eps/2-RR); with
+// optimized=true it uses the Wang et al. asymmetric setting P1 = 1/2,
+// P0 = 1/(e^eps + 1), which slightly improves variance at the same eps.
+func NewPRR(eps float64, optimized bool) (*PRR, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: epsilon must be positive, got %v", eps)
+	}
+	if optimized {
+		return &PRR{P1: 0.5, P0: 1 / (math.Exp(eps) + 1), Optimized: true}, nil
+	}
+	p := PFromEpsilon(eps / 2)
+	return &PRR{P1: p, P0: 1 - p}, nil
+}
+
+// EpsilonSparse returns the privacy parameter this instance provides on
+// one-hot inputs. Adjacent inputs differ in exactly two positions; the
+// worst-case likelihood ratio is
+// max_y P(y|1)/P(y|0) * max_y P(y|0)/P(y|1).
+func (m *PRR) EpsilonSparse() float64 {
+	up := math.Max(m.P1/m.P0, (1-m.P1)/(1-m.P0))
+	down := math.Max(m.P0/m.P1, (1-m.P0)/(1-m.P1))
+	return math.Log(up * down)
+}
+
+// PerturbBit reports a (possibly flipped) version of b.
+func (m *PRR) PerturbBit(b bool, r *rng.RNG) bool {
+	if b {
+		return r.Bernoulli(m.P1)
+	}
+	return r.Bernoulli(m.P0)
+}
+
+// PerturbOneHot perturbs the one-hot vector of length size with signal
+// position signal, returning the set of positions reported as 1 as a
+// bitmap packed into uint64 words. size must be at most 1<<20 to bound
+// the per-user work (the paper advises against InpRR beyond small d for
+// exactly this reason).
+func (m *PRR) PerturbOneHot(signal uint64, size int, r *rng.RNG) ([]uint64, error) {
+	const maxSize = 1 << 20
+	if size <= 0 || size > maxSize {
+		return nil, fmt.Errorf("mech: one-hot size %d out of range (1..%d)", size, maxSize)
+	}
+	if signal >= uint64(size) {
+		return nil, fmt.Errorf("mech: signal %d outside vector of size %d", signal, size)
+	}
+	words := (size + 63) / 64
+	out := make([]uint64, words)
+	for i := 0; i < size; i++ {
+		if m.PerturbBit(uint64(i) == signal, r) {
+			out[i/64] |= 1 << uint(i%64)
+		}
+	}
+	return out, nil
+}
+
+// UnbiasFrequency converts the observed fraction of 1-reports at a
+// position into an unbiased estimate of the true frequency of 1s there:
+// E[F] = f*P1 + (1-f)*P0  =>  f = (F - P0) / (P1 - P0).
+func (m *PRR) UnbiasFrequency(observed float64) float64 {
+	return (observed - m.P0) / (m.P1 - m.P0)
+}
+
+// GRR is generalized randomized response over m categories (the paper's
+// preferential sampling, PS): report the true category with probability
+// Ps, otherwise one of the remaining m-1 uniformly.
+type GRR struct {
+	M  uint64  // number of categories
+	Ps float64 // probability of reporting the true category
+}
+
+// NewGRR returns the eps-LDP generalized randomized response over m >= 2
+// categories, with Ps = e^eps / (e^eps + m - 1) (Fact 3.1 rearranged).
+func NewGRR(eps float64, m uint64) (*GRR, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("mech: epsilon must be positive, got %v", eps)
+	}
+	if m < 2 {
+		return nil, fmt.Errorf("mech: GRR needs at least 2 categories, got %d", m)
+	}
+	e := math.Exp(eps)
+	return &GRR{M: m, Ps: e / (e + float64(m) - 1)}, nil
+}
+
+// Epsilon returns the privacy parameter ln(Ps/(1-Ps) * (m-1)) this
+// instance provides (Fact 3.1).
+func (g *GRR) Epsilon() float64 {
+	return math.Log(g.Ps / (1 - g.Ps) * float64(g.M-1))
+}
+
+// Perturb reports the true category with probability Ps and a uniformly
+// random different category otherwise.
+func (g *GRR) Perturb(truth uint64, r *rng.RNG) uint64 {
+	if r.Bernoulli(g.Ps) {
+		return truth
+	}
+	// Uniform over the other m-1 categories.
+	v := r.Uint64n(g.M - 1)
+	if v >= truth {
+		v++
+	}
+	return v
+}
+
+// UnbiasFrequency converts the observed report fraction F_j of category j
+// into an unbiased estimate of the true fraction f_j (Section 4.1):
+// f_j = (D*F_j + Ps - 1) / (D*Ps + Ps - 1), with D = m-1.
+func (g *GRR) UnbiasFrequency(observed float64) float64 {
+	d := float64(g.M - 1)
+	return (d*observed + g.Ps - 1) / (d*g.Ps + g.Ps - 1)
+}
+
+// UnbiasAll applies UnbiasFrequency to per-category report counts,
+// returning estimated true fractions. total must be positive.
+func (g *GRR) UnbiasAll(counts []uint64, total uint64) ([]float64, error) {
+	if uint64(len(counts)) != g.M {
+		return nil, fmt.Errorf("mech: got %d counts for %d categories", len(counts), g.M)
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mech: cannot unbias zero reports")
+	}
+	out := make([]float64, len(counts))
+	for i, c := range counts {
+		out[i] = g.UnbiasFrequency(float64(c) / float64(total))
+	}
+	return out, nil
+}
+
+// RRS is randomized response with sampling: the user samples one of M
+// positions of their (sparse) bit vector uniformly and releases that bit
+// through eps-RR. It is the generic primitive behind Theorem 4.2.
+type RRS struct {
+	M  uint64
+	RR *RR
+}
+
+// NewRRS returns the eps-LDP sampled randomized response over m
+// positions.
+func NewRRS(eps float64, m uint64) (*RRS, error) {
+	if m == 0 {
+		return nil, fmt.Errorf("mech: RRS needs at least 1 position")
+	}
+	rr, err := NewRR(eps)
+	if err != nil {
+		return nil, err
+	}
+	return &RRS{M: m, RR: rr}, nil
+}
+
+// Perturb samples a position uniformly and reports (position, perturbed
+// bit), where the true bit is 1 exactly at the signal position.
+func (s *RRS) Perturb(signal uint64, r *rng.RNG) (pos uint64, bit bool) {
+	pos = r.Uint64n(s.M)
+	return pos, s.RR.PerturbBit(pos == signal, r)
+}
+
+// UnbiasFrequency converts the observed fraction of 1-reports among the
+// users that sampled a given position into an unbiased frequency
+// estimate for that position.
+func (s *RRS) UnbiasFrequency(observed float64) float64 {
+	return s.RR.UnbiasMean(observed)
+}

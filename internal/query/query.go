@@ -1,0 +1,164 @@
+// Package query evaluates conjunction queries over privately estimated
+// marginals — the workload the paper's introduction motivates ("the
+// fraction of users that use product A, B but not C together"). A
+// conjunction fixes the values of up to k attributes; its answer is a
+// single cell-sum of the corresponding marginal, so any estimator that
+// answers marginal queries answers conjunctions.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+)
+
+// Term fixes one attribute to a boolean value.
+type Term struct {
+	// Attr is the attribute index.
+	Attr int
+	// Value is the required value.
+	Value bool
+}
+
+// Conjunction is a set of terms over distinct attributes, interpreted as
+// their logical AND.
+type Conjunction struct {
+	Terms []Term
+}
+
+// Validate checks the terms are non-empty, within d attributes, and
+// attribute-distinct.
+func (c Conjunction) Validate(d int) error {
+	if len(c.Terms) == 0 {
+		return fmt.Errorf("query: empty conjunction")
+	}
+	seen := map[int]bool{}
+	for _, t := range c.Terms {
+		if t.Attr < 0 || t.Attr >= d {
+			return fmt.Errorf("query: attribute %d outside %d attributes", t.Attr, d)
+		}
+		if seen[t.Attr] {
+			return fmt.Errorf("query: attribute %d repeated", t.Attr)
+		}
+		seen[t.Attr] = true
+	}
+	return nil
+}
+
+// Beta returns the attribute mask the conjunction touches.
+func (c Conjunction) Beta() uint64 {
+	var m uint64
+	for _, t := range c.Terms {
+		m |= 1 << uint(t.Attr)
+	}
+	return m
+}
+
+// gamma returns the full-domain index of the required values.
+func (c Conjunction) gamma() uint64 {
+	var g uint64
+	for _, t := range c.Terms {
+		if t.Value {
+			g |= 1 << uint(t.Attr)
+		}
+	}
+	return g
+}
+
+// String renders the conjunction in the parseable syntax.
+func (c Conjunction) String() string {
+	parts := make([]string, len(c.Terms))
+	for i, t := range c.Terms {
+		v := 0
+		if t.Value {
+			v = 1
+		}
+		parts[i] = fmt.Sprintf("a%d=%d", t.Attr, v)
+	}
+	return strings.Join(parts, " AND ")
+}
+
+// Evaluate answers the conjunction from a marginal estimator: it fetches
+// the marginal over the touched attributes and reads the single matching
+// cell. d bounds the attribute space.
+func Evaluate(est marginal.Estimator, c Conjunction, d int) (float64, error) {
+	if err := c.Validate(d); err != nil {
+		return 0, err
+	}
+	tab, err := est.Estimate(c.Beta())
+	if err != nil {
+		return 0, err
+	}
+	return tab.Cell(c.gamma()), nil
+}
+
+// EvaluateCount scales Evaluate by the population size, answering "how
+// many users" instead of "what fraction".
+func EvaluateCount(est marginal.Estimator, c Conjunction, d int, n int) (float64, error) {
+	f, err := Evaluate(est, c, d)
+	if err != nil {
+		return 0, err
+	}
+	return f * float64(n), nil
+}
+
+// Parse reads a conjunction from text such as
+//
+//	"CC=1 AND Tip=0"  or  "a0=1 AND a3=0"
+//
+// resolving attribute names through the resolver (which returns -1 for
+// unknown names). Bare "aN" names are always accepted.
+func Parse(s string, resolve func(name string) int) (Conjunction, error) {
+	var c Conjunction
+	if strings.TrimSpace(s) == "" {
+		return c, fmt.Errorf("query: empty query string")
+	}
+	for _, clause := range strings.Split(s, " AND ") {
+		clause = strings.TrimSpace(clause)
+		eq := strings.SplitN(clause, "=", 2)
+		if len(eq) != 2 {
+			return c, fmt.Errorf("query: clause %q is not name=value", clause)
+		}
+		name := strings.TrimSpace(eq[0])
+		valStr := strings.TrimSpace(eq[1])
+		val, err := strconv.Atoi(valStr)
+		if err != nil || (val != 0 && val != 1) {
+			return c, fmt.Errorf("query: value %q must be 0 or 1", valStr)
+		}
+		attr := -1
+		if resolve != nil {
+			attr = resolve(name)
+		}
+		if attr < 0 && strings.HasPrefix(name, "a") {
+			if idx, err := strconv.Atoi(name[1:]); err == nil {
+				attr = idx
+			}
+		}
+		if attr < 0 {
+			return c, fmt.Errorf("query: unknown attribute %q", name)
+		}
+		c.Terms = append(c.Terms, Term{Attr: attr, Value: val == 1})
+	}
+	return c, nil
+}
+
+// Cube materializes the full set of j-way marginals for all j <= k — the
+// OLAP-datacube slice the paper's related work discusses. Results are
+// keyed by attribute mask.
+func Cube(est marginal.Estimator, d, k int) (map[uint64]*marginal.Table, error) {
+	if k < 1 || k > d {
+		return nil, fmt.Errorf("query: k=%d out of range (1..%d)", k, d)
+	}
+	out := map[uint64]*marginal.Table{}
+	for _, beta := range bitops.MasksWithAtMostK(d, 1, k) {
+		tab, err := est.Estimate(beta)
+		if err != nil {
+			return nil, fmt.Errorf("query: materializing %b: %w", beta, err)
+		}
+		out[beta] = tab
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+// Package server provides a minimal HTTP deployment of the marginal
+// collection pipeline: clients POST wire-encoded reports to /report, and
+// analysts GET reconstructed marginals from /marginal. The paper argues
+// its protocols are "eminently suitable for implementation in existing
+// LDP deployments" (Section 7); this package is the reference shape of
+// such a deployment.
+//
+// The server owns one aggregator per deployment and serializes access
+// with a mutex — aggregation is cheap (O(report) per Consume), so a
+// single aggregator suffices well beyond the populations studied here.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+)
+
+// maxReportBytes bounds a single report upload (InpRR at d=20 is 2^20
+// bits = 128 KiB, plus framing).
+const maxReportBytes = 1 << 18
+
+// Server exposes one protocol deployment over HTTP.
+type Server struct {
+	protocol core.Protocol
+	tag      encoding.Tag
+
+	mu  sync.Mutex
+	agg core.Aggregator
+}
+
+// New builds a server around a protocol. The protocol's name must have a
+// wire tag registered in the encoding package.
+func New(p core.Protocol) (*Server, error) {
+	tag, err := encoding.TagForProtocol(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	return &Server{protocol: p, tag: tag, agg: p.NewAggregator()}, nil
+}
+
+// N returns the number of reports consumed so far.
+func (s *Server) N() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.agg.N()
+}
+
+// Handler returns the HTTP routes of the deployment:
+//
+//	POST /report    binary frame (encoding.Marshal) -> 204
+//	GET  /marginal  ?beta=<decimal mask>            -> JSON table
+//	GET  /status    deployment metadata             -> JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/marginal", s.handleMarginal)
+	mux.HandleFunc("/status", s.handleStatus)
+	return mux
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	frame, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(frame) > maxReportBytes {
+		http.Error(w, "report too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	tag, rep, err := encoding.Unmarshal(frame)
+	if err != nil {
+		http.Error(w, "malformed report: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tag != s.tag {
+		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	err = s.agg.Consume(rep)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, "rejected: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// MarginalResponse is the JSON shape of a /marginal reply.
+type MarginalResponse struct {
+	// Beta is the queried attribute mask.
+	Beta uint64 `json:"beta"`
+	// Cells holds the 2^|beta| estimated cell values in compact order.
+	Cells []float64 `json:"cells"`
+	// N is the number of reports behind the estimate.
+	N int `json:"n"`
+}
+
+func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	betaStr := r.URL.Query().Get("beta")
+	beta, err := strconv.ParseUint(betaStr, 10, 64)
+	if err != nil {
+		http.Error(w, "beta must be a decimal attribute mask", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	tab, err := s.agg.Estimate(beta)
+	n := s.agg.N()
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: n})
+}
+
+// StatusResponse is the JSON shape of a /status reply.
+type StatusResponse struct {
+	Protocol   string  `json:"protocol"`
+	D          int     `json:"d"`
+	K          int     `json:"k"`
+	Epsilon    float64 `json:"epsilon"`
+	N          int     `json:"n"`
+	ReportBits int     `json:"report_bits"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	cfg := s.protocol.Config()
+	s.mu.Lock()
+	n := s.agg.N()
+	s.mu.Unlock()
+	writeJSON(w, StatusResponse{
+		Protocol:   s.protocol.Name(),
+		D:          cfg.D,
+		K:          cfg.K,
+		Epsilon:    cfg.Epsilon,
+		N:          n,
+		ReportBits: s.protocol.CommunicationBits(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing recoverable remains.
+		return
+	}
+}

@@ -1,0 +1,254 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/dataset"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/rng"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server, core.Protocol) {
+	t.Helper()
+	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, p
+}
+
+func postReport(t *testing.T, url string, p core.Protocol, rep core.Report) *http.Response {
+	t.Helper()
+	frame, err := encoding.Marshal(p.Name(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/report", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+func TestEndToEndDeployment(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	ds := dataset.NewTaxi(3000, 1)
+	client := p.NewClient()
+	r := rng.New(2)
+	for _, rec := range ds.Records {
+		rep, err := client.Perturb(rec, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp := postReport(t, ts.URL, p, rep)
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("report rejected with %d", resp.StatusCode)
+		}
+	}
+	if s.N() != ds.N() {
+		t.Fatalf("server consumed %d reports, want %d", s.N(), ds.N())
+	}
+
+	beta := uint64(0b11)
+	resp, err := http.Get(fmt.Sprintf("%s/marginal?beta=%d", ts.URL, beta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("marginal query status %d", resp.StatusCode)
+	}
+	var got MarginalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != ds.N() || got.Beta != beta || len(got.Cells) != 4 {
+		t.Fatalf("bad response: %+v", got)
+	}
+	exact, err := marginal.FromRecords(ds.Records, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := marginal.FromCells(beta, got.Cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv, err := est.TVDistance(exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv > 0.15 {
+		t.Errorf("deployed estimate TV = %v", tv)
+	}
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Protocol != "InpHT" || st.D != 8 || st.K != 2 || st.ReportBits != 9 {
+		t.Errorf("status = %+v", st)
+	}
+}
+
+func TestRejectsWrongProtocolReport(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	frame, err := encoding.Marshal("MargPS", core.Report{Beta: 0b11, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("wrong-protocol report got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRejectsMalformedFrame(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/report", "application/octet-stream", bytes.NewReader([]byte{0xff, 0x01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed frame got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestRejectsInvalidReportContent(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	// Coefficient outside T (|alpha| > k).
+	resp := postReport(t, ts.URL, p, core.Report{Index: 0b1111, Sign: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid report got %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestMethodEnforcement(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /report got %d, want 405", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/marginal?beta=3", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /marginal got %d, want 405", resp2.StatusCode)
+	}
+}
+
+func TestMarginalQueryValidation(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	// Feed one report so Estimate has data.
+	client := p.NewClient()
+	rep, err := client.Perturb(5, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postReport(t, ts.URL, p, rep)
+	cases := []string{
+		"/marginal",           // missing beta
+		"/marginal?beta=abc",  // non-numeric
+		"/marginal?beta=0",    // empty marginal
+		"/marginal?beta=7",    // |beta| > k
+		"/marginal?beta=1024", // outside domain
+	}
+	for _, path := range cases {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s got %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestConcurrentReporters(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	const workers, perWorker = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			client := p.NewClient()
+			r := rng.New(uint64(w) + 10)
+			for i := 0; i < perWorker; i++ {
+				rep, err := client.Perturb(uint64(i%256), r)
+				if err != nil {
+					errs <- err
+					return
+				}
+				frame, err := encoding.Marshal(p.Name(), rep)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/report", "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					errs <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.N() != workers*perWorker {
+		t.Errorf("consumed %d reports, want %d", s.N(), workers*perWorker)
+	}
+}
+
+func TestNewRejectsUnknownProtocol(t *testing.T) {
+	if _, err := New(fakeProtocol{}); err == nil {
+		t.Error("protocol without a wire tag should be rejected")
+	}
+}
+
+type fakeProtocol struct{ core.Protocol }
+
+func (fakeProtocol) Name() string { return "Mystery" }
