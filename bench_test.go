@@ -7,6 +7,8 @@
 package ldpmarginals_test
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ldpmarginals"
@@ -210,6 +212,94 @@ func BenchmarkAggregatorEstimate(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Ingestion benchmarks: the seed server architecture (one aggregator
+// behind one mutex, one report per operation) against the sharded batch
+// pipeline (core.ShardedAggregator fed ConsumeBatch). Both report a
+// reports/s metric so the throughput ratio is directly readable; on a
+// machine with >= 4 cores the batch pipeline is expected to exceed 2x.
+
+// ingestBatchSize matches the server's per-lock chunk size.
+const ingestBatchSize = 1024
+
+func ingestSetup(b *testing.B) (ldpmarginals.Protocol, []ldpmarginals.Report) {
+	b.Helper()
+	cfg := ldpmarginals.Config{D: 8, K: 2, Epsilon: 1.0986, OptimizedPRR: true}
+	p, err := ldpmarginals.NewProtocol(ldpmarginals.InpHT, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(77)
+	reps := make([]ldpmarginals.Report, 1<<14)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return p, reps
+}
+
+// BenchmarkConsumeSingle is the pre-sharding baseline: every writer
+// contends on one mutex and consumes one report per acquisition.
+func BenchmarkConsumeSingle(b *testing.B) {
+	p, reps := ingestSetup(b)
+	agg := p.NewAggregator()
+	var mu sync.Mutex
+	var firstErr atomic.Pointer[error]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rep := reps[i%len(reps)]
+			i++
+			mu.Lock()
+			err := agg.Consume(rep)
+			mu.Unlock()
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if errp := firstErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+}
+
+// BenchmarkConsumeBatchParallel is the sharded pipeline: concurrent
+// writers feed ConsumeBatch chunks into round-robin shards, one lock
+// acquisition per chunk. One benchmark operation ingests a whole chunk,
+// so compare via the reports/s metric, not ns/op.
+func BenchmarkConsumeBatchParallel(b *testing.B) {
+	p, reps := ingestSetup(b)
+	sh := ldpmarginals.NewShardedAggregator(p, 0)
+	var firstErr atomic.Pointer[error]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		lo := 0
+		for pb.Next() {
+			if lo+ingestBatchSize > len(reps) {
+				lo = 0
+			}
+			batch := reps[lo : lo+ingestBatchSize]
+			lo += ingestBatchSize
+			if err := sh.ConsumeBatch(batch); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if errp := firstErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	b.ReportMetric(float64(b.N)*ingestBatchSize/b.Elapsed().Seconds(), "reports/s")
 }
 
 func BenchmarkSimulatePopulation(b *testing.B) {

@@ -4,13 +4,18 @@
 //
 // Usage:
 //
-//	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1
+//	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1 -shards 0
 //
 // Endpoints:
 //
 //	POST /report            binary report frame (internal/encoding)
+//	POST /report/batch      length-prefixed report frames (encoding.MarshalBatch)
 //	GET  /marginal?beta=N   reconstructed marginal over attribute mask N
 //	GET  /status            deployment metadata and report count
+//
+// Ingestion is sharded across -shards per-shard accumulators (0 selects
+// GOMAXPROCS) so multi-core hardware ingests reports in parallel; see
+// internal/server for how to pick the shard count.
 package main
 
 import (
@@ -35,6 +40,8 @@ func main() {
 		d        = flag.Int("d", 8, "number of binary attributes")
 		k        = flag.Int("k", 2, "largest marginal size supported")
 		eps      = flag.Float64("eps", math.Log(3), "privacy budget epsilon")
+		shards   = flag.Int("shards", 0, "aggregation shards (0 = GOMAXPROCS)")
+		workers  = flag.Int("ingest-workers", 0, "bounded batch-ingestion workers (0 = shard count)")
 	)
 	flag.Parse()
 
@@ -43,11 +50,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(p)
+	srv, err := server.NewWithOptions(p, server.Options{Shards: *shards, IngestWorkers: *workers})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s (d=%d k=%d eps=%.3g) on %s\n", p.Name(), *d, *k, *eps, *addr)
+	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards) on %s\n", p.Name(), *d, *k, *eps, srv.Shards(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 

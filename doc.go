@@ -27,4 +27,18 @@
 // The experiment harness that regenerates every table and figure of the
 // paper lives in cmd/experiments; see EXPERIMENTS.md for the recorded
 // paper-vs-measured comparison.
+//
+// # Deployment
+//
+// cmd/ldpserver serves a deployment over HTTP: clients POST wire-encoded
+// reports (internal/encoding) to /report one at a time or to
+// /report/batch as length-prefixed frames, and analysts GET
+// reconstructed marginals. Ingestion is sharded across per-core
+// accumulators (NewShardedAggregator) so throughput scales with the
+// hardware; batch ingestion amortizes HTTP and locking overhead per
+// report. Sharding never changes results: aggregation state is integer
+// counters, so a sharded deployment answers byte-identically to a
+// sequential one fed the same reports. The reconstruction hot paths
+// (the Walsh-Hadamard transform and the per-marginal estimator scans)
+// likewise parallelize across goroutines for large d, deterministically.
 package ldpmarginals

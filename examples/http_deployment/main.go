@@ -34,15 +34,24 @@ func main() {
 	defer ts.Close()
 	fmt.Printf("collection server for %s listening at %s\n", p.Name(), ts.URL)
 
-	// Client side: 50K users randomize locally and POST their reports.
+	// Client side: 50K users randomize locally. The first 1000 POST
+	// individually to /report (the one-frame-per-user mobile shape); the
+	// rest arrive as length-prefixed batches on /report/batch (the shape
+	// of an edge collector forwarding accumulated frames), which the
+	// server fans out across its aggregation shards.
 	ds := ldpmarginals.NewTaxiDataset(50_000, 3)
 	client := p.NewClient()
 	r := rng.New(1)
-	for _, rec := range ds.Records {
+	reports := make([]ldpmarginals.Report, ds.N())
+	for i, rec := range ds.Records {
 		rep, err := client.Perturb(rec, r)
 		if err != nil {
 			log.Fatal(err)
 		}
+		reports[i] = rep
+	}
+	const singles = 1000
+	for _, rep := range reports[:singles] {
 		frame, err := encoding.Marshal(p.Name(), rep)
 		if err != nil {
 			log.Fatal(err)
@@ -56,7 +65,24 @@ func main() {
 			log.Fatalf("report rejected: %d", resp.StatusCode)
 		}
 	}
-	fmt.Printf("posted %d reports (%d bits each on the wire budget)\n", ds.N(), p.CommunicationBits())
+	const batchSize = 4096
+	for lo := singles; lo < len(reports); lo += batchSize {
+		hi := min(lo+batchSize, len(reports))
+		body, err := encoding.MarshalBatch(p.Name(), reports[lo:hi])
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("batch rejected: %d", resp.StatusCode)
+		}
+	}
+	fmt.Printf("posted %d reports (%d singly, the rest in batches of %d; %d bits each on the wire budget)\n",
+		ds.N(), singles, batchSize, p.CommunicationBits())
 
 	// Analyst side: fetch the CC-Tip marginal.
 	beta, err := ds.Mask("CC", "Tip")

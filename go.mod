@@ -1,0 +1,3 @@
+module ldpmarginals
+
+go 1.24

@@ -126,12 +126,50 @@ type Client interface {
 type Aggregator interface {
 	// Consume incorporates one user report.
 	Consume(rep Report) error
+	// ConsumeBatch incorporates a batch of reports, amortizing the
+	// per-report dispatch (and, for callers holding a lock around the
+	// call, the per-report locking) overhead. It behaves exactly like
+	// consuming the reports one by one: reports preceding a rejected
+	// report remain consumed, and the returned error is a *BatchError
+	// identifying the first rejected report.
+	ConsumeBatch(reps []Report) error
 	// Estimate reconstructs the marginal over beta, |beta| <= K.
 	Estimate(beta uint64) (*marginal.Table, error)
 	// Merge folds another aggregator of the same protocol into this one.
 	Merge(other Aggregator) error
 	// N returns the number of reports consumed.
 	N() int
+}
+
+// BatchError reports the first rejected report of a ConsumeBatch call.
+// Reports at positions < Index were consumed.
+type BatchError struct {
+	// Index is the position of the rejected report within the batch.
+	Index int
+	// Err is the rejection returned by Consume.
+	Err error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("core: batch report %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ConsumeAll is the reference ConsumeBatch implementation: it feeds the
+// reports to Consume in order, wrapping the first rejection in a
+// *BatchError. Out-of-package aggregators delegate to it; the six core
+// protocol aggregators intentionally inline the same loop with their
+// concrete receivers instead, so Consume devirtualizes (and inlines) in
+// the batch ingestion hot path rather than dispatching through the
+// interface once per report.
+func ConsumeAll(a Aggregator, reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
 }
 
 // Protocol couples a client construction with its aggregator and cost
@@ -202,6 +240,14 @@ func (mi *margIndex) supersetsOf(beta uint64) []int {
 // function producing the estimated k-way table and user count for a
 // position in C. Estimates from every k-way superset of beta are
 // marginalized down to beta and averaged weighted by their user counts.
+//
+// Reconstructing and marginalizing each superset table is the expensive
+// step (an inverse transform or an unbiasing pass over 2^k cells), so
+// the supersets fan out across goroutines; the weighted average is then
+// reduced sequentially in superset order, making the result
+// bit-identical to the sequential loop for any GOMAXPROCS. kWay must be
+// safe for concurrent calls with distinct positions (the aggregators'
+// reconstructions only read accumulator state).
 func (mi *margIndex) estimateFromKWay(beta uint64, kWay func(pos int) (*marginal.Table, int, error)) (*marginal.Table, error) {
 	if p, ok := mi.pos[beta]; ok {
 		t, _, err := kWay(p)
@@ -215,24 +261,41 @@ func (mi *margIndex) estimateFromKWay(beta uint64, kWay func(pos int) (*marginal
 	if err != nil {
 		return nil, err
 	}
-	var weight float64
-	for _, p := range supers {
-		t, n, err := kWay(p)
+	type weighted struct {
+		sub *marginal.Table // scaled by its user count; nil when n == 0
+		n   int
+		err error
+	}
+	subs := make([]weighted, len(supers))
+	parallelFor(len(supers), func(i int) {
+		t, n, err := kWay(supers[i])
 		if err != nil {
-			return nil, err
+			subs[i].err = err
+			return
 		}
 		if n == 0 {
-			continue
+			return
 		}
 		sub, err := t.MarginalizeTo(beta)
 		if err != nil {
-			return nil, err
+			subs[i].err = err
+			return
 		}
 		sub.Scale(float64(n))
-		if err := out.Add(sub); err != nil {
+		subs[i] = weighted{sub: sub, n: n}
+	})
+	var weight float64
+	for i := range subs {
+		if subs[i].err != nil {
+			return nil, subs[i].err
+		}
+		if subs[i].sub == nil {
+			continue
+		}
+		if err := out.Add(subs[i].sub); err != nil {
 			return nil, err
 		}
-		weight += float64(n)
+		weight += float64(subs[i].n)
 	}
 	if weight == 0 {
 		return marginal.Uniform(beta)

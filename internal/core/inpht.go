@@ -106,6 +106,16 @@ func (a *inpHTAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *inpHTAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *inpHTAgg) Merge(other Aggregator) error {
 	o, ok := other.(*inpHTAgg)
 	if !ok {

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/mech"
 	"ldpmarginals/internal/rng"
@@ -76,6 +75,16 @@ func (a *inpPSAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *inpPSAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *inpPSAgg) Merge(other Aggregator) error {
 	o, ok := other.(*inpPSAgg)
 	if !ok {
@@ -90,7 +99,8 @@ func (a *inpPSAgg) Merge(other Aggregator) error {
 
 // Estimate unbiases the reported-index frequencies into the reconstructed
 // distribution and aggregates the target marginal (Theorem 4.4's
-// estimator, Section 4.1).
+// estimator, Section 4.1). The 2^d-cell scan parallelizes across
+// goroutines for large d (see scatterCells).
 func (a *inpPSAgg) Estimate(beta uint64) (*marginal.Table, error) {
 	if err := checkBetaWithin(beta, a.p.cfg); err != nil {
 		return nil, err
@@ -103,9 +113,8 @@ func (a *inpPSAgg) Estimate(beta uint64) (*marginal.Table, error) {
 		return nil, err
 	}
 	inv := 1 / float64(a.n)
-	for j := uint64(0); j < a.p.size; j++ {
-		est := a.p.grr.UnbiasFrequency(float64(a.counts[j]) * inv)
-		out.Cells[bitops.Compress(j, beta)] += est
-	}
+	scatterCells(out, beta, int(a.p.size), func(j int) float64 {
+		return a.p.grr.UnbiasFrequency(float64(a.counts[j]) * inv)
+	})
 	return out, nil
 }

@@ -83,6 +83,16 @@ func (a *inpRRAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *inpRRAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *inpRRAgg) Merge(other Aggregator) error {
 	o, ok := other.(*inpRRAgg)
 	if !ok {
@@ -119,6 +129,8 @@ func (a *inpRRAgg) SimulateBatch(records []uint64, r *rng.RNG) error {
 
 // Estimate unbiases every cell of the reconstructed full distribution and
 // aggregates it through the marginal operator (Theorem 4.3's estimator).
+// The 2^d-cell scan parallelizes across goroutines for large d (see
+// scatterCells).
 func (a *inpRRAgg) Estimate(beta uint64) (*marginal.Table, error) {
 	if err := a.checkBeta(beta); err != nil {
 		return nil, err
@@ -131,10 +143,9 @@ func (a *inpRRAgg) Estimate(beta uint64) (*marginal.Table, error) {
 		return nil, err
 	}
 	inv := 1 / float64(a.n)
-	for j := 0; j < a.p.size; j++ {
-		est := a.p.prr.UnbiasFrequency(float64(a.ones[j]) * inv)
-		out.Cells[bitops.Compress(uint64(j), beta)] += est
-	}
+	scatterCells(out, beta, a.p.size, func(j int) float64 {
+		return a.p.prr.UnbiasFrequency(float64(a.ones[j]) * inv)
+	})
 	return out, nil
 }
 

@@ -107,6 +107,16 @@ func (a *margHTAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *margHTAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *margHTAgg) Merge(other Aggregator) error {
 	o, ok := other.(*margHTAgg)
 	if !ok {

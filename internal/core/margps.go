@@ -86,6 +86,16 @@ func (a *margPSAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *margPSAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *margPSAgg) Merge(other Aggregator) error {
 	o, ok := other.(*margPSAgg)
 	if !ok {

@@ -98,6 +98,16 @@ func (a *margRRAgg) Consume(rep Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates reps in order; see Aggregator.
+func (a *margRRAgg) ConsumeBatch(reps []Report) error {
+	for i := range reps {
+		if err := a.Consume(reps[i]); err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+	}
+	return nil
+}
+
 func (a *margRRAgg) Merge(other Aggregator) error {
 	o, ok := other.(*margRRAgg)
 	if !ok {

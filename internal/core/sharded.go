@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ldpmarginals/internal/marginal"
+)
+
+// ShardedAggregator wraps P independent per-shard accumulators of a
+// protocol behind the Aggregator interface, so that concurrent writers
+// contend on P mutexes instead of one. Aggregation in every protocol is
+// associative and commutative (integer counters), so the merged view is
+// byte-identical to a single sequential aggregator fed the same reports
+// in any order; the equivalence tests in sharded_test.go pin this down.
+//
+// Writers are routed round-robin: each Consume locks exactly one shard,
+// and each ConsumeBatch locks one shard for the whole batch, amortizing
+// the lock acquisition across the batch. N is maintained in an atomic
+// counter so readers (e.g. a /status endpoint) never take a lock.
+//
+// Shard count: ingestion throughput scales with shards until they exceed
+// the number of writer threads; beyond that, extra shards only grow the
+// O(shards * state) memory and Snapshot cost. GOMAXPROCS (the default)
+// is the right choice unless the aggregator state is very large (InpRR
+// at d close to 20), where fewer shards bound memory.
+type ShardedAggregator struct {
+	newShard func() Aggregator
+	shards   []aggShard
+	next     atomic.Uint64
+	n        atomic.Int64
+}
+
+// aggShard pairs one accumulator with its lock. The pad separates shards
+// into distinct cache lines so uncontended locks don't false-share.
+type aggShard struct {
+	mu  sync.Mutex
+	agg Aggregator
+	_   [40]byte
+}
+
+// NewSharded builds a sharded aggregator over p with the given shard
+// count; shards <= 0 selects GOMAXPROCS.
+func NewSharded(p Protocol, shards int) *ShardedAggregator {
+	return NewShardedFrom(p.NewAggregator, shards)
+}
+
+// NewShardedFrom builds a sharded aggregator from an arbitrary empty-
+// accumulator factory; shards <= 0 selects GOMAXPROCS. The factory must
+// produce aggregators of the same protocol (mutually Merge-able).
+func NewShardedFrom(newShard func() Aggregator, shards int) *ShardedAggregator {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	s := &ShardedAggregator{newShard: newShard, shards: make([]aggShard, shards)}
+	for i := range s.shards {
+		s.shards[i].agg = newShard()
+	}
+	return s
+}
+
+// Shards returns the number of per-shard accumulators.
+func (s *ShardedAggregator) Shards() int { return len(s.shards) }
+
+// pick routes the next write to a shard round-robin.
+func (s *ShardedAggregator) pick() *aggShard {
+	return &s.shards[s.next.Add(1)%uint64(len(s.shards))]
+}
+
+// Consume incorporates one report into one shard. Safe for concurrent
+// use.
+func (s *ShardedAggregator) Consume(rep Report) error {
+	sh := s.pick()
+	sh.mu.Lock()
+	err := sh.agg.Consume(rep)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.n.Add(1)
+	return nil
+}
+
+// ConsumeBatch incorporates the whole batch into one shard under a
+// single lock acquisition. Safe for concurrent use; concurrent batches
+// land on distinct shards and proceed in parallel. Like the sequential
+// contract, reports preceding a rejected report remain consumed.
+func (s *ShardedAggregator) ConsumeBatch(reps []Report) error {
+	if len(reps) == 0 {
+		return nil
+	}
+	sh := s.pick()
+	sh.mu.Lock()
+	before := sh.agg.N()
+	err := sh.agg.ConsumeBatch(reps)
+	consumed := sh.agg.N() - before
+	sh.mu.Unlock()
+	s.n.Add(int64(consumed))
+	return err
+}
+
+// N returns the number of reports consumed so far. Lock-free: it reads
+// one atomic counter and never blocks writers.
+func (s *ShardedAggregator) N() int { return int(s.n.Load()) }
+
+// Snapshot merges every shard into a fresh sequential aggregator and
+// returns it. Shards are locked one at a time, so ingestion stalls for
+// at most one shard's merge; the returned aggregator is private to the
+// caller and safe to query without locks. Reports arriving while the
+// snapshot walks the shards may or may not be included.
+func (s *ShardedAggregator) Snapshot() (Aggregator, error) {
+	out := s.newShard()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := out.Merge(sh.agg)
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot of shard %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Estimate reconstructs the marginal over beta from a merged snapshot of
+// all shards. Safe for concurrent use with writers.
+func (s *ShardedAggregator) Estimate(beta uint64) (*marginal.Table, error) {
+	snap, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	return snap.Estimate(beta)
+}
+
+// Merge folds another aggregator of the same protocol into shard 0. The
+// other aggregator may itself be sharded (it is snapshotted first) or
+// sequential. The other aggregator must not be written concurrently.
+func (s *ShardedAggregator) Merge(other Aggregator) error {
+	src := other
+	if o, ok := other.(*ShardedAggregator); ok {
+		snap, err := o.Snapshot()
+		if err != nil {
+			return err
+		}
+		src = snap
+	}
+	added := src.N()
+	sh := &s.shards[0]
+	sh.mu.Lock()
+	err := sh.agg.Merge(src)
+	sh.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.n.Add(int64(added))
+	return nil
+}

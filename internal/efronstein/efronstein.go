@@ -303,6 +303,11 @@ func (a *Aggregator) Consume(rep core.Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates a batch of reports; see core.Aggregator.
+func (a *Aggregator) ConsumeBatch(reps []core.Report) error {
+	return core.ConsumeAll(a, reps)
+}
+
 // Merge folds another InpES aggregator into this one.
 func (a *Aggregator) Merge(other core.Aggregator) error {
 	o, ok := other.(*Aggregator)

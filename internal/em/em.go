@@ -155,6 +155,11 @@ func (a *Aggregator) Consume(rep core.Report) error {
 	return nil
 }
 
+// ConsumeBatch stores a batch of reported masks; see core.Aggregator.
+func (a *Aggregator) ConsumeBatch(reps []core.Report) error {
+	return core.ConsumeAll(a, reps)
+}
+
 // Merge folds another EM aggregator's reports into this one.
 func (a *Aggregator) Merge(other core.Aggregator) error {
 	o, ok := other.(*Aggregator)

@@ -1,0 +1,86 @@
+package encoding
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ldpmarginals/internal/core"
+)
+
+// Batch wire format. A batch is a concatenation of length-prefixed
+// report frames:
+//
+//	repeat: uvarint frame length, then that many bytes of a Marshal frame
+//
+// Every frame in a batch must carry the same protocol tag; a deployment
+// collects exactly one protocol, so a mixed batch is malformed. The
+// framing carries no count header — the batch ends at the end of the
+// buffer — so producers can stream frames into a request body without
+// knowing the final count up front.
+
+// MaxFrameBytes bounds a single frame within a batch (the largest legal
+// report is InpRR at d=20: 2^20 bits = 128 KiB, plus framing).
+const MaxFrameBytes = 1 << 18
+
+// AppendFrame appends one length-prefixed frame to dst and returns the
+// extended buffer.
+func AppendFrame(dst, frame []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(frame)))
+	return append(dst, frame...)
+}
+
+// MarshalBatch serializes a batch of reports of the named protocol into
+// the length-prefixed batch format.
+func MarshalBatch(name string, reps []core.Report) ([]byte, error) {
+	var buf []byte
+	for i := range reps {
+		frame, err := Marshal(name, reps[i])
+		if err != nil {
+			return nil, fmt.Errorf("encoding: batch report %d: %w", i, err)
+		}
+		buf = AppendFrame(buf, frame)
+	}
+	return buf, nil
+}
+
+// UnmarshalBatch parses a length-prefixed batch of report frames,
+// requiring every frame to carry the same protocol tag. maxReports
+// bounds the number of frames (0 means no bound) so a hostile body
+// cannot force unbounded decoding work beyond its own size.
+func UnmarshalBatch(buf []byte, maxReports int) (Tag, []core.Report, error) {
+	var (
+		tag  Tag
+		reps []core.Report
+	)
+	for len(buf) > 0 {
+		n, w := binary.Uvarint(buf)
+		if w <= 0 {
+			return 0, nil, fmt.Errorf("encoding: batch frame %d: truncated length prefix", len(reps))
+		}
+		buf = buf[w:]
+		if n > MaxFrameBytes {
+			return 0, nil, fmt.Errorf("encoding: batch frame %d: %d bytes exceeds limit %d", len(reps), n, MaxFrameBytes)
+		}
+		if uint64(len(buf)) < n {
+			return 0, nil, fmt.Errorf("encoding: batch frame %d: truncated frame (%d of %d bytes)", len(reps), len(buf), n)
+		}
+		if maxReports > 0 && len(reps) == maxReports {
+			return 0, nil, fmt.Errorf("encoding: batch exceeds %d reports", maxReports)
+		}
+		t, rep, err := Unmarshal(buf[:n])
+		if err != nil {
+			return 0, nil, fmt.Errorf("encoding: batch frame %d: %w", len(reps), err)
+		}
+		buf = buf[n:]
+		if len(reps) == 0 {
+			tag = t
+		} else if t != tag {
+			return 0, nil, fmt.Errorf("encoding: batch mixes tags %d and %d", tag, t)
+		}
+		reps = append(reps, rep)
+	}
+	if len(reps) == 0 {
+		return 0, nil, fmt.Errorf("encoding: empty batch")
+	}
+	return tag, reps, nil
+}

@@ -1,0 +1,53 @@
+package encoding
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ldpmarginals/internal/core"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	reps := []core.Report{
+		{Beta: 0b11, Index: 1, Sign: 1},
+		{Beta: 0b101, Index: 3, Sign: -1},
+		{Beta: 0b110, Index: 2, Sign: 1},
+	}
+	buf, err := MarshalBatch("MargHT", reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tag, got, err := UnmarshalBatch(buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tag != TagMargHT || !reflect.DeepEqual(reps, got) {
+		t.Fatalf("round trip: tag %d, reports %+v", tag, got)
+	}
+}
+
+func TestUnmarshalBatchEnforcesMaxReports(t *testing.T) {
+	reps := make([]core.Report, 5)
+	for i := range reps {
+		reps[i] = core.Report{Index: uint64(i)}
+	}
+	buf, err := MarshalBatch("InpPS", reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, got, err := UnmarshalBatch(buf, 5); err != nil || len(got) != 5 {
+		t.Fatalf("batch at the limit rejected: %v", err)
+	}
+	if _, _, err := UnmarshalBatch(buf, 4); err == nil || !strings.Contains(err.Error(), "exceeds 4 reports") {
+		t.Fatalf("over-limit batch error = %v", err)
+	}
+}
+
+func TestUnmarshalBatchRejectsOversizedFrame(t *testing.T) {
+	var buf []byte
+	buf = append(buf, 0xff, 0xff, 0x7f) // uvarint length ~2M > MaxFrameBytes
+	if _, _, err := UnmarshalBatch(buf, 0); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+}

@@ -34,30 +34,46 @@ const (
 	TagHCMS   Tag = 9
 )
 
+// protocolTags is the single source of the name <-> tag mapping; the
+// reverse direction is derived from it below, so a new protocol is
+// registered in exactly one place.
+var protocolTags = map[string]Tag{
+	"InpRR":    TagInpRR,
+	"InpPS":    TagInpPS,
+	"InpHT":    TagInpHT,
+	"MargRR":   TagMargRR,
+	"MargPS":   TagMargPS,
+	"MargHT":   TagMargHT,
+	"InpEM":    TagInpEM,
+	"InpOLH":   TagOLH,
+	"InpHTCMS": TagHCMS,
+}
+
+var tagProtocols = func() map[Tag]string {
+	m := make(map[Tag]string, len(protocolTags))
+	for name, tag := range protocolTags {
+		m[tag] = name
+	}
+	return m
+}()
+
 // TagForProtocol maps a protocol name to its wire tag.
 func TagForProtocol(name string) (Tag, error) {
-	switch name {
-	case "InpRR":
-		return TagInpRR, nil
-	case "InpPS":
-		return TagInpPS, nil
-	case "InpHT":
-		return TagInpHT, nil
-	case "MargRR":
-		return TagMargRR, nil
-	case "MargPS":
-		return TagMargPS, nil
-	case "MargHT":
-		return TagMargHT, nil
-	case "InpEM":
-		return TagInpEM, nil
-	case "InpOLH":
-		return TagOLH, nil
-	case "InpHTCMS":
-		return TagHCMS, nil
-	default:
+	tag, ok := protocolTags[name]
+	if !ok {
 		return 0, fmt.Errorf("encoding: unknown protocol %q", name)
 	}
+	return tag, nil
+}
+
+// ProtocolForTag maps a wire tag back to its protocol name — the
+// inverse of TagForProtocol.
+func ProtocolForTag(tag Tag) (string, error) {
+	name, ok := tagProtocols[tag]
+	if !ok {
+		return "", fmt.Errorf("encoding: unknown tag %d", tag)
+	}
+	return name, nil
 }
 
 // signByte encodes a +-1 sign into one byte.

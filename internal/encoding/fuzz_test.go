@@ -1,0 +1,105 @@
+package encoding
+
+import (
+	"reflect"
+	"testing"
+
+	"ldpmarginals/internal/core"
+)
+
+// corpusReports holds one representative report per wire tag, so the
+// fuzzers start from every branch of the format.
+func corpusReports(t testing.TB) map[string]core.Report {
+	t.Helper()
+	return map[string]core.Report{
+		"InpRR":    {Bits: []uint64{0xdeadbeef, 0x0102030405060708}},
+		"InpPS":    {Index: 173},
+		"InpHT":    {Index: 0b1001, Sign: -1},
+		"MargRR":   {Beta: 0b110, Bits: []uint64{0b1011}},
+		"MargPS":   {Beta: 0b101, Index: 2},
+		"MargHT":   {Beta: 0b11, Index: 3, Sign: 1},
+		"InpEM":    {Index: 255},
+		"InpOLH":   {Beta: 0xfeedface31337, Index: 11},
+		"InpHTCMS": {Beta: 7, Index: 129, Sign: 1},
+	}
+}
+
+// FuzzMarshalRoundTrip asserts that Unmarshal never panics on arbitrary
+// frames, and that any frame it accepts round-trips: re-marshaling the
+// decoded report yields a frame that decodes to the same report. This is
+// the property the batch ingestion endpoint relies on — a malformed
+// frame is an error, never a crash or a silently different report.
+func FuzzMarshalRoundTrip(f *testing.F) {
+	for name, rep := range corpusReports(f) {
+		frame, err := Marshal(name, rep)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	// Malformed seeds: unknown tag, truncated varint, trailing bytes.
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01})
+	f.Add([]byte{byte(TagInpHT), 0x80})
+	f.Add([]byte{byte(TagInpPS), 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		tag, rep, err := Unmarshal(frame)
+		if err != nil {
+			return
+		}
+		name, err := ProtocolForTag(tag)
+		if err != nil {
+			t.Fatalf("accepted frame has unmappable tag %d", tag)
+		}
+		out, err := Marshal(name, rep)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted report failed: %v", err)
+		}
+		tag2, rep2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if tag2 != tag || !reflect.DeepEqual(rep, rep2) {
+			t.Fatalf("round trip changed report: %+v -> %+v", rep, rep2)
+		}
+	})
+}
+
+// FuzzUnmarshalBatch asserts that batch parsing never panics and that
+// accepted batches round-trip through MarshalBatch.
+func FuzzUnmarshalBatch(f *testing.F) {
+	for name, rep := range corpusReports(f) {
+		batch, err := MarshalBatch(name, []core.Report{rep, rep})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(batch)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x05, 0x01})       // length prefix longer than body
+	f.Add([]byte{0xff, 0xff, 0xff}) // runaway length varint
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		tag, reps, err := UnmarshalBatch(buf, 1<<12)
+		if err != nil {
+			return
+		}
+		if len(reps) == 0 {
+			t.Fatal("accepted batch decoded to zero reports")
+		}
+		name, err := ProtocolForTag(tag)
+		if err != nil {
+			t.Fatalf("accepted batch has unmappable tag %d", tag)
+		}
+		out, err := MarshalBatch(name, reps)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted batch failed: %v", err)
+		}
+		tag2, reps2, err := UnmarshalBatch(out, 0)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if tag2 != tag || !reflect.DeepEqual(reps, reps2) {
+			t.Fatal("batch round trip changed reports")
+		}
+	})
+}

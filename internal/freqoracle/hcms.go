@@ -151,6 +151,11 @@ func (a *hcmsAgg) Consume(rep core.Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates a batch of reports; see core.Aggregator.
+func (a *hcmsAgg) ConsumeBatch(reps []core.Report) error {
+	return core.ConsumeAll(a, reps)
+}
+
 func (a *hcmsAgg) Merge(other core.Aggregator) error {
 	o, ok := other.(*hcmsAgg)
 	if !ok {

@@ -143,6 +143,11 @@ func (a *olhAgg) Consume(rep core.Report) error {
 	return nil
 }
 
+// ConsumeBatch incorporates a batch of reports; see core.Aggregator.
+func (a *olhAgg) ConsumeBatch(reps []core.Report) error {
+	return core.ConsumeAll(a, reps)
+}
+
 func (a *olhAgg) Merge(other core.Aggregator) error {
 	ot, ok := other.(*olhAgg)
 	if !ok {

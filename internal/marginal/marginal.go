@@ -12,6 +12,8 @@ package marginal
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/vec"
@@ -148,9 +150,16 @@ func FromDistribution(dist []float64, d int, beta uint64) (*Table, error) {
 	return out, nil
 }
 
+// parallelRecordThreshold is the record count from which FromRecords
+// counts in parallel. Cell counts are integers (exact in float64 up to
+// 2^53), so partial histograms merge bit-identically in any grouping —
+// parallelism never changes the result.
+const parallelRecordThreshold = 1 << 16
+
 // FromRecords computes the exact empirical marginal of a record stream
 // without materializing the 2^d distribution, enabling exact answers for
-// large d. Records are attribute bitmasks.
+// large d. Records are attribute bitmasks. Large streams are counted in
+// parallel across goroutines; the result is identical either way.
 func FromRecords(records []uint64, beta uint64) (*Table, error) {
 	if len(records) == 0 {
 		return nil, fmt.Errorf("marginal: no records")
@@ -159,8 +168,37 @@ func FromRecords(records []uint64, beta uint64) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, rec := range records {
-		out.Cells[bitops.Compress(rec, beta)]++
+	workers := runtime.GOMAXPROCS(0)
+	if len(records) < parallelRecordThreshold || workers == 1 {
+		for _, rec := range records {
+			out.Cells[bitops.Compress(rec, beta)]++
+		}
+	} else {
+		chunk := (len(records) + workers - 1) / workers
+		partials := make([][]float64, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, min((w+1)*chunk, len(records))
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				part := make([]float64, len(out.Cells))
+				for _, rec := range records[lo:hi] {
+					part[bitops.Compress(rec, beta)]++
+				}
+				partials[w] = part
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		for _, part := range partials {
+			if part == nil {
+				continue
+			}
+			vec.Add(out.Cells, part)
+		}
 	}
 	out.Scale(1 / float64(len(records)))
 	return out, nil

@@ -287,3 +287,34 @@ func BenchmarkMarginalizeTo(b *testing.B) {
 		}
 	}
 }
+
+// TestFromRecordsParallelBitIdentical checks that the parallel counting
+// path (len >= parallelRecordThreshold) produces the same table as the
+// sequential loop: counts are integers, so partial-histogram merging is
+// exact in any grouping.
+func TestFromRecordsParallelBitIdentical(t *testing.T) {
+	r := rng.New(11)
+	records := make([]uint64, parallelRecordThreshold+123)
+	for i := range records {
+		records[i] = r.Uint64() & 0xff
+	}
+	const beta = 0b1011
+	par, err := FromRecords(records, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reference below the threshold machinery.
+	seq, err := New(beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range records {
+		seq.Cells[bitops.Compress(rec, beta)]++
+	}
+	seq.Scale(1 / float64(len(records)))
+	for c := range seq.Cells {
+		if math.Float64bits(par.Cells[c]) != math.Float64bits(seq.Cells[c]) {
+			t.Fatalf("cell %d: parallel %v vs sequential %v", c, par.Cells[c], seq.Cells[c])
+		}
+	}
+}

@@ -1,65 +1,147 @@
-// Package server provides a minimal HTTP deployment of the marginal
-// collection pipeline: clients POST wire-encoded reports to /report, and
-// analysts GET reconstructed marginals from /marginal. The paper argues
-// its protocols are "eminently suitable for implementation in existing
-// LDP deployments" (Section 7); this package is the reference shape of
-// such a deployment.
+// Package server provides an HTTP deployment of the marginal collection
+// pipeline: clients POST wire-encoded reports to /report (one frame) or
+// /report/batch (length-prefixed frames), and analysts GET reconstructed
+// marginals from /marginal. The paper argues its protocols are "eminently
+// suitable for implementation in existing LDP deployments" (Section 7);
+// this package is the reference shape of such a deployment at scale.
 //
-// The server owns one aggregator per deployment and serializes access
-// with a mutex — aggregation is cheap (O(report) per Consume), so a
-// single aggregator suffices well beyond the populations studied here.
+// # Ingestion architecture
+//
+// The server owns one core.ShardedAggregator: P per-shard accumulators
+// behind P mutexes, merged on demand. A single /report locks exactly one
+// shard for one Consume; a /report/batch is decoded outside any lock,
+// split into chunks, and each chunk is ingested into a round-robin shard
+// under one lock acquisition through a bounded worker pool, so batches
+// amortize both HTTP and locking overhead and scale across cores.
+// /status reads the report count from an atomic counter and never takes
+// a lock; /marginal merges a snapshot of the shards (stalling ingestion
+// for at most one shard at a time) and reconstructs from the private
+// snapshot.
+//
+// Shard count defaults to GOMAXPROCS. More shards than concurrent
+// writers buys nothing and grows aggregator memory (O(shards * state));
+// fewer shards re-introduces contention. See Options.Shards.
+//
+// # Batch semantics
+//
+// A batch is not atomic: reports preceding a rejected report (and any
+// chunks already in flight when the rejection happens) remain consumed,
+// matching the Aggregator.ConsumeBatch contract; further chunks are not
+// dispatched. The 400 rejection reply is a BatchResponse carrying the
+// exact number of reports ingested plus the first rejection, identified
+// by its batch-global index. Under local differential privacy every
+// report is individually valid or individually rejected, so partial
+// ingestion never corrupts the estimate — it only under-counts the
+// failed batch.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
 )
 
-// maxReportBytes bounds a single report upload (InpRR at d=20 is 2^20
-// bits = 128 KiB, plus framing).
-const maxReportBytes = 1 << 18
+// maxReportBytes bounds a single report upload, matching the largest
+// frame the batch format accepts.
+const maxReportBytes = encoding.MaxFrameBytes
 
-// Server exposes one protocol deployment over HTTP.
+// defaultMaxBatchBytes bounds a /report/batch body: 16 MiB holds over a
+// million typical frames (InpHT at d=20 is a few bytes per report).
+const defaultMaxBatchBytes = 16 << 20
+
+// maxBatchReports bounds the decoded report count of one batch request,
+// capping the memory amplification of a body packed with minimal
+// frames (a decoded Report is an order of magnitude larger than a
+// 3-byte frame). Populations beyond it split across multiple posts.
+const maxBatchReports = 1 << 20
+
+// batchChunk is the number of decoded reports ingested per shard lock
+// acquisition. Large enough to amortize locking, small enough that a
+// large batch spreads across every shard.
+const batchChunk = 1024
+
+// Options tunes a deployment; the zero value selects the defaults.
+type Options struct {
+	// Shards is the number of per-shard accumulators; <= 0 selects
+	// GOMAXPROCS.
+	Shards int
+	// IngestWorkers bounds the number of goroutines concurrently writing
+	// batch chunks into shards, and likewise the number of /report/batch
+	// requests being buffered and decoded at once; <= 0 matches the
+	// shard count.
+	IngestWorkers int
+	// MaxBatchBytes bounds a /report/batch body; <= 0 selects 16 MiB.
+	MaxBatchBytes int64
+}
+
+// Server exposes one protocol deployment over HTTP. Safe for concurrent
+// use by any number of HTTP client goroutines.
 type Server struct {
 	protocol core.Protocol
 	tag      encoding.Tag
 
-	mu  sync.Mutex
-	agg core.Aggregator
+	agg      *core.ShardedAggregator
+	ingest   chan struct{} // bounded worker-pool slots for batch chunks
+	batches  chan struct{} // bounds whole /report/batch requests in flight
+	maxBatch int64
 }
 
-// New builds a server around a protocol. The protocol's name must have a
-// wire tag registered in the encoding package.
+// New builds a server around a protocol with default Options. The
+// protocol's name must have a wire tag registered in the encoding
+// package.
 func New(p core.Protocol) (*Server, error) {
+	return NewWithOptions(p, Options{})
+}
+
+// NewWithOptions builds a server around a protocol with explicit tuning.
+func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 	tag, err := encoding.TagForProtocol(p.Name())
 	if err != nil {
 		return nil, err
 	}
-	return &Server{protocol: p, tag: tag, agg: p.NewAggregator()}, nil
+	agg := core.NewSharded(p, opts.Shards)
+	workers := opts.IngestWorkers
+	if workers <= 0 {
+		workers = agg.Shards()
+	}
+	maxBatch := opts.MaxBatchBytes
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatchBytes
+	}
+	return &Server{
+		protocol: p,
+		tag:      tag,
+		agg:      agg,
+		ingest:   make(chan struct{}, workers),
+		batches:  make(chan struct{}, workers),
+		maxBatch: maxBatch,
+	}, nil
 }
 
-// N returns the number of reports consumed so far.
-func (s *Server) N() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.agg.N()
-}
+// N returns the number of reports consumed so far. Lock-free.
+func (s *Server) N() int { return s.agg.N() }
+
+// Shards returns the number of aggregation shards of the deployment.
+func (s *Server) Shards() int { return s.agg.Shards() }
 
 // Handler returns the HTTP routes of the deployment:
 //
-//	POST /report    binary frame (encoding.Marshal) -> 204
-//	GET  /marginal  ?beta=<decimal mask>            -> JSON table
-//	GET  /status    deployment metadata             -> JSON
+//	POST /report        binary frame (encoding.Marshal)        -> 204
+//	POST /report/batch  length-prefixed frames (MarshalBatch)  -> JSON count
+//	GET  /marginal      ?beta=<decimal mask>                   -> JSON table
+//	GET  /status        deployment metadata                    -> JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
+	mux.HandleFunc("/report/batch", s.handleBatch)
 	mux.HandleFunc("/marginal", s.handleMarginal)
 	mux.HandleFunc("/status", s.handleStatus)
 	return mux
@@ -88,14 +170,133 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	err = s.agg.Consume(rep)
-	s.mu.Unlock()
-	if err != nil {
+	if err := s.agg.Consume(rep); err != nil {
 		http.Error(w, "rejected: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// BatchResponse is the JSON shape of a /report/batch reply — both the
+// 200 success reply and the 400 rejection reply. On rejection, Accepted
+// is the exact number of reports ingested before ingestion stopped
+// (chunks already in flight when the rejection happened may have
+// completed), and Error describes the first rejected report by its
+// batch-global index. Clients should treat Accepted as authoritative
+// and not blindly re-post a failed batch.
+type BatchResponse struct {
+	// Accepted is the number of reports ingested from the batch.
+	Accepted int `json:"accepted"`
+	// Error is the rejection reason; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	// Bound whole batch requests in flight, not just the shard writes:
+	// buffering and decoding a body costs up to maxBatch bytes plus the
+	// decoded reports, so excess requests wait here (HTTP backpressure)
+	// instead of amplifying memory without bound.
+	s.batches <- struct{}{}
+	defer func() { <-s.batches }()
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBatch+1))
+	if err != nil {
+		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if int64(len(body)) > s.maxBatch {
+		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	tag, reps, err := encoding.UnmarshalBatch(body, maxBatchReports)
+	if err != nil {
+		http.Error(w, "malformed batch: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if tag != s.tag {
+		http.Error(w, fmt.Sprintf("batch for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
+		return
+	}
+
+	// Fan the decoded reports out in chunks through the bounded pool;
+	// each chunk takes one shard lock. The handler blocks until its
+	// whole batch is ingested, so a 200 means the reports are counted.
+	// The accepted count is summed per chunk (not read back from the
+	// shared aggregator counter, which concurrent requests also move).
+	var (
+		wg       sync.WaitGroup
+		accepted atomic.Int64
+		failed   atomic.Bool
+		errMu    sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	offset := 0
+	for len(reps) > 0 {
+		// A rejected chunk stops further dispatch; only chunks already
+		// in flight can still land after it.
+		if failed.Load() {
+			break
+		}
+		chunk := reps
+		if len(chunk) > batchChunk {
+			chunk = chunk[:batchChunk]
+		}
+		reps = reps[len(chunk):]
+		s.ingest <- struct{}{}
+		// Re-check after the (possibly long) wait for a pool slot: a
+		// rejection may have landed while this chunk was queued.
+		if failed.Load() {
+			<-s.ingest
+			break
+		}
+		wg.Add(1)
+		go func(chunk []core.Report, offset int) {
+			defer wg.Done()
+			defer func() { <-s.ingest }()
+			err := s.agg.ConsumeBatch(chunk)
+			if err == nil {
+				accepted.Add(int64(len(chunk)))
+				return
+			}
+			consumed := 0
+			idx := offset
+			var be *core.BatchError
+			if errors.As(err, &be) {
+				consumed = be.Index
+				// Re-anchor the chunk-relative index to the batch.
+				idx = offset + be.Index
+				err = fmt.Errorf("batch report %d: %w", idx, be.Err)
+			}
+			accepted.Add(int64(consumed))
+			failed.Store(true)
+			// Chunks fail in arbitrary wall-clock order; keep the
+			// rejection with the lowest batch index, matching the
+			// "first rejected report" contract.
+			errMu.Lock()
+			if firstErr == nil || idx < firstIdx {
+				firstErr, firstIdx = err, idx
+			}
+			errMu.Unlock()
+		}(chunk, offset)
+		offset += len(chunk)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// The rejection reply still carries the exact accepted count so
+		// the client knows how much of the batch is in the estimate.
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(BatchResponse{
+			Accepted: int(accepted.Load()),
+			Error:    "rejected: " + firstErr.Error(),
+		})
+		return
+	}
+	writeJSON(w, BatchResponse{Accepted: int(accepted.Load())})
 }
 
 // MarginalResponse is the JSON shape of a /marginal reply.
@@ -119,15 +320,19 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "beta must be a decimal attribute mask", http.StatusBadRequest)
 		return
 	}
-	s.mu.Lock()
-	tab, err := s.agg.Estimate(beta)
-	n := s.agg.N()
-	s.mu.Unlock()
+	// Snapshot once so the table and its N are mutually consistent, then
+	// estimate from the private snapshot without blocking ingestion.
+	snap, err := s.agg.Snapshot()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	tab, err := snap.Estimate(beta)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: n})
+	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: snap.N()})
 }
 
 // StatusResponse is the JSON shape of a /status reply.
@@ -138,6 +343,7 @@ type StatusResponse struct {
 	Epsilon    float64 `json:"epsilon"`
 	N          int     `json:"n"`
 	ReportBits int     `json:"report_bits"`
+	Shards     int     `json:"shards"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -146,16 +352,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := s.protocol.Config()
-	s.mu.Lock()
-	n := s.agg.N()
-	s.mu.Unlock()
 	writeJSON(w, StatusResponse{
 		Protocol:   s.protocol.Name(),
 		D:          cfg.D,
 		K:          cfg.K,
 		Epsilon:    cfg.Epsilon,
-		N:          n,
+		N:          s.agg.N(), // atomic read; no lock
 		ReportBits: s.protocol.CommunicationBits(),
+		Shards:     s.agg.Shards(),
 	})
 }
 

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -240,6 +243,329 @@ func TestConcurrentReporters(t *testing.T) {
 	}
 	if s.N() != workers*perWorker {
 		t.Errorf("consumed %d reports, want %d", s.N(), workers*perWorker)
+	}
+}
+
+// TestBatchEndpoint posts one batch and checks the accepted count and
+// that the resulting estimate is byte-identical to a sequential
+// aggregator fed the same reports.
+func TestBatchEndpoint(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	client := p.NewClient()
+	r := rng.New(7)
+	seq := p.NewAggregator()
+	var reps []core.Report
+	for i := 0; i < 500; i++ {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		if err := seq.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch post status %d", resp.StatusCode)
+	}
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if br.Accepted != len(reps) || s.N() != len(reps) {
+		t.Fatalf("accepted %d, server N %d, want %d", br.Accepted, s.N(), len(reps))
+	}
+	assertMarginalMatches(t, ts.URL, seq, 0b11)
+}
+
+// assertMarginalMatches fetches /marginal?beta and requires the cells to
+// be byte-identical to want.Estimate(beta) — integer-counter
+// aggregation makes shard partitioning invisible in the estimate.
+func assertMarginalMatches(t *testing.T, url string, want core.Aggregator, beta uint64) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/marginal?beta=%d", url, beta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("marginal query status %d", resp.StatusCode)
+	}
+	var got MarginalResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := want.Estimate(beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Cells) != len(ref.Cells) {
+		t.Fatalf("got %d cells, want %d", len(got.Cells), len(ref.Cells))
+	}
+	for c := range ref.Cells {
+		if math.Float64bits(got.Cells[c]) != math.Float64bits(ref.Cells[c]) {
+			t.Fatalf("cell %d: got %v, want %v", c, got.Cells[c], ref.Cells[c])
+		}
+	}
+}
+
+// TestBatchRejectsMalformedAndMixed covers the batch-specific error
+// paths: truncated framing, mixed protocol tags, and wrong-protocol
+// batches.
+func TestBatchRejectsMalformedAndMixed(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	good, err := encoding.Marshal(p.Name(), core.Report{Index: 0b1, Sign: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := encoding.Marshal("MargPS", core.Report{Beta: 0b11, Index: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":          {},
+		"truncated":      {0x09, 0x01},
+		"mixed tags":     append(encoding.AppendFrame(nil, good), encoding.AppendFrame(nil, other)...),
+		"wrong protocol": encoding.AppendFrame(nil, other),
+	}
+	for name, body := range cases {
+		resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch got %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+// TestBatchRejectionReportsBatchIndex posts a batch whose only invalid
+// report sits at a known position and checks the error names that
+// batch-global position, not a chunk-relative one.
+func TestBatchRejectionReportsBatchIndex(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	client := p.NewClient()
+	r := rng.New(31)
+	var reps []core.Report
+	for i := 0; i < 5; i++ {
+		rep, err := client.Perturb(uint64(i), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+	}
+	reps[3] = core.Report{Index: 0b11111111, Sign: 1} // |alpha| > k: invalid
+	body, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(msg, &br); err != nil {
+		t.Fatalf("rejection body %q is not a BatchResponse: %v", msg, err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(br.Error, "batch report 3") {
+		t.Fatalf("status %d, message %q; want 400 naming batch report 3", resp.StatusCode, msg)
+	}
+	if br.Accepted != 3 || s.N() != 3 {
+		t.Fatalf("accepted=%d N=%d after partial batch, want 3 (reports before the rejection)", br.Accepted, s.N())
+	}
+}
+
+// TestBatchRejectionReportsLowestIndex posts a batch with invalid
+// reports in two different 1024-report chunks; whichever chunk fails
+// first in wall-clock time, the reply must name the lowest-index
+// rejection.
+func TestBatchRejectionReportsLowestIndex(t *testing.T) {
+	_, ts, p := newTestServer(t)
+	client := p.NewClient()
+	r := rng.New(37)
+	reps := make([]core.Report, 3000)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	bad := core.Report{Index: 0b11111111, Sign: 1}
+	reps[10], reps[2000] = bad, bad // chunks 0 and 1
+	body, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var br BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&br); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(br.Error, "batch report 10") {
+		t.Fatalf("status %d, error %q; want 400 naming batch report 10", resp.StatusCode, br.Error)
+	}
+}
+
+// TestStressInterleavedReportAndBatch hammers the deployment with 32
+// goroutines mixing single /report posts and /report/batch posts, then
+// asserts the final count and that the marginal is byte-identical to a
+// sequential aggregator fed exactly the same reports. Run under
+// `go test -race` this is the race certification of the sharded
+// ingestion path.
+func TestStressInterleavedReportAndBatch(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	const (
+		workers      = 32
+		batchesPer   = 6
+		batchSize    = 40
+		singlesPer   = 25
+		perWorker    = batchesPer*batchSize + singlesPer
+		totalReports = workers * perWorker
+	)
+	// Pre-generate every worker's reports deterministically so a
+	// sequential reference aggregator can consume the identical multiset.
+	reports := make([][]core.Report, workers)
+	for w := range reports {
+		client := p.NewClient()
+		r := rng.New(uint64(w) + 1000)
+		for i := 0; i < perWorker; i++ {
+			rep, err := client.Perturb(uint64((w*perWorker+i)%256), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports[w] = append(reports[w], rep)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reps := reports[w]
+			// Interleave: one batch, then a few singles, repeatedly.
+			singles := reps[batchesPer*batchSize:]
+			for b := 0; b < batchesPer; b++ {
+				batch := reps[b*batchSize : (b+1)*batchSize]
+				body, err := encoding.MarshalBatch(p.Name(), batch)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var br BatchResponse
+				decErr := json.NewDecoder(resp.Body).Decode(&br)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("batch status %d", resp.StatusCode)
+					return
+				}
+				if decErr != nil {
+					errs <- decErr
+					return
+				}
+				// The per-request accepted count must reflect this
+				// batch only, even with 31 other writers in flight.
+				if br.Accepted != batchSize {
+					errs <- fmt.Errorf("batch accepted %d, want %d", br.Accepted, batchSize)
+					return
+				}
+				for i := 0; i < singlesPer/batchesPer && b*(singlesPer/batchesPer)+i < len(singles); i++ {
+					rep := singles[b*(singlesPer/batchesPer)+i]
+					frame, err := encoding.Marshal(p.Name(), rep)
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp, err := http.Post(ts.URL+"/report", "application/octet-stream", bytes.NewReader(frame))
+					if err != nil {
+						errs <- err
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusNoContent {
+						errs <- fmt.Errorf("report status %d", resp.StatusCode)
+						return
+					}
+				}
+			}
+			// Whatever singles the interleaving loop above didn't reach.
+			sent := batchesPer * (singlesPer / batchesPer)
+			for _, rep := range singles[sent:] {
+				frame, err := encoding.Marshal(p.Name(), rep)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp, err := http.Post(ts.URL+"/report", "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusNoContent {
+					errs <- fmt.Errorf("report status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if s.N() != totalReports {
+		t.Fatalf("server consumed %d reports, want %d", s.N(), totalReports)
+	}
+
+	// The sequential reference over the same multiset must agree exactly.
+	seq := p.NewAggregator()
+	for _, reps := range reports {
+		if err := seq.ConsumeBatch(reps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	assertMarginalMatches(t, ts.URL, seq, 0b11)
+	assertMarginalMatches(t, ts.URL, seq, 0b1100)
+
+	// /status must agree with the lock-free counter.
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.N != totalReports || st.Shards < 1 {
+		t.Errorf("status N=%d shards=%d, want N=%d", st.N, st.Shards, totalReports)
 	}
 }
 

@@ -69,6 +69,20 @@ func Simulate(p Protocol, records []uint64, seed uint64, workers int) (*RunResul
 	return core.Run(p, records, seed, workers)
 }
 
+// ShardedAggregator fans ingestion across per-shard accumulators behind
+// per-shard locks, with a lock-free report counter — the multi-core
+// ingestion path used by the HTTP deployment (internal/server). It
+// satisfies Aggregator and produces byte-identical estimates to a
+// sequential aggregator fed the same reports.
+type ShardedAggregator = core.ShardedAggregator
+
+// NewShardedAggregator wraps a protocol's aggregation in shards
+// per-shard accumulators; shards <= 0 selects GOMAXPROCS. See
+// internal/core.ShardedAggregator for how to pick the shard count.
+func NewShardedAggregator(p Protocol, shards int) *ShardedAggregator {
+	return core.NewSharded(p, shards)
+}
+
 // AllKWayMarginals enumerates the attribute masks of all C(d,k) k-way
 // marginals.
 func AllKWayMarginals(d, k int) []uint64 { return marginal.AllKWay(d, k) }
