@@ -302,6 +302,112 @@ func BenchmarkConsumeBatchParallel(b *testing.B) {
 	b.ReportMetric(float64(b.N)*ingestBatchSize/b.Elapsed().Seconds(), "reports/s")
 }
 
+// Query-serving benchmarks: the pre-view read path (every query cuts a
+// snapshot of the sharded aggregator and reconstructs the requested
+// marginal) against the materialized view (reconstruct once per epoch,
+// serve every query from the cached tables). Both report a queries/s
+// metric; the ratio is recorded in BENCH_query.json and is the point of
+// the epoch architecture — at d=8, k=2 the cached path is expected to
+// exceed 10x on any hardware, and the gap widens with d.
+
+// querySetup builds a d=16 InpHT deployment — the wide-schema regime
+// the read-side architecture exists for, where every per-request
+// snapshot merges hundreds of coefficient counters per shard.
+func querySetup(b *testing.B) (ldpmarginals.Protocol, *ldpmarginals.ShardedAggregator) {
+	b.Helper()
+	cfg := ldpmarginals.Config{D: 16, K: 2, Epsilon: 1.0986, OptimizedPRR: true}
+	p, err := ldpmarginals.NewProtocol(ldpmarginals.InpHT, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(77)
+	reps := make([]ldpmarginals.Report, 1<<14)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i%65536), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	sh := ldpmarginals.NewShardedAggregator(p, 0)
+	if err := sh.ConsumeBatch(reps); err != nil {
+		b.Fatal(err)
+	}
+	return p, sh
+}
+
+// BenchmarkQueryUncached is the per-request-reconstruction baseline:
+// each query merges all shards into a private snapshot and reconstructs
+// the marginal from it (the pre-epoch /marginal implementation).
+func BenchmarkQueryUncached(b *testing.B) {
+	_, sh := querySetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap, err := sh.Snapshot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := snap.Estimate(0b11); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryCached serves the same marginal from a materialized
+// view built once for the epoch.
+func BenchmarkQueryCached(b *testing.B) {
+	p, sh := querySetup(b)
+	snap, err := sh.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := ldpmarginals.BuildView(snap, p, ldpmarginals.ViewOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := v.Marginal(0b11); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
+// BenchmarkQueryCachedParallel hammers one immutable view from every
+// core at once — the lock-free read path has no shared mutable state,
+// so throughput should scale near-linearly with readers.
+func BenchmarkQueryCachedParallel(b *testing.B) {
+	p, sh := querySetup(b)
+	snap, err := sh.Snapshot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	v, err := ldpmarginals.BuildView(snap, p, ldpmarginals.ViewOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var firstErr atomic.Pointer[error]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := v.Marginal(0b11); err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if errp := firstErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "queries/s")
+}
+
 func BenchmarkSimulatePopulation(b *testing.B) {
 	ds := ldpmarginals.NewTaxiDataset(1<<15, 2)
 	for _, p := range benchProtocols(b) {

@@ -1,33 +1,47 @@
 // Command ldpserver runs the HTTP collection endpoint for one marginal
 // release deployment: clients POST wire-encoded reports to /report and
-// analysts query reconstructed marginals from /marginal.
+// analysts read cached marginal and conjunction estimates.
 //
 // Usage:
 //
-//	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1 -shards 0
+//	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1 \
+//	    -shards 0 -refresh-interval 5s -refresh-every-n 0
 //
 // Endpoints:
 //
 //	POST /report            binary report frame (internal/encoding)
 //	POST /report/batch      length-prefixed report frames (encoding.MarshalBatch)
-//	GET  /marginal?beta=N   reconstructed marginal over attribute mask N
+//	GET  /marginal?beta=N   cached marginal over attribute mask N
+//	POST /query             JSON conjunction batch against the cached epoch
+//	POST /refresh           build and publish the next epoch now
+//	GET  /view/status       serving epoch, staleness, build time
 //	GET  /status            deployment metadata and report count
+//	GET  /healthz           liveness probe
 //
 // Ingestion is sharded across -shards per-shard accumulators (0 selects
-// GOMAXPROCS) so multi-core hardware ingests reports in parallel; see
-// internal/server for how to pick the shard count.
+// GOMAXPROCS) so multi-core hardware ingests reports in parallel. Reads
+// are served from a materialized view rebuilt on the refresh policy:
+// every -refresh-interval of wall time, and/or whenever
+// -refresh-every-n new reports have arrived (0 disables either
+// trigger; with both at 0 the view only advances on POST /refresh).
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"ldpmarginals"
 	"ldpmarginals/internal/server"
+	"ldpmarginals/internal/view"
 )
 
 func main() {
@@ -42,6 +56,8 @@ func main() {
 		eps      = flag.Float64("eps", math.Log(3), "privacy budget epsilon")
 		shards   = flag.Int("shards", 0, "aggregation shards (0 = GOMAXPROCS)")
 		workers  = flag.Int("ingest-workers", 0, "bounded batch-ingestion workers (0 = shard count)")
+		interval = flag.Duration("refresh-interval", 5*time.Second, "rebuild the view this often (0 = no time-based refresh)")
+		everyN   = flag.Int("refresh-every-n", 0, "rebuild the view after this many new reports (0 = no count-based refresh)")
 	)
 	flag.Parse()
 
@@ -50,12 +66,48 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.NewWithOptions(p, server.Options{Shards: *shards, IngestWorkers: *workers})
+	srv, err := server.NewWithOptions(p, server.Options{
+		Shards:        *shards,
+		IngestWorkers: *workers,
+		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards) on %s\n", p.Name(), *d, *k, *eps, srv.Shards(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	defer srv.Close()
+
+	// Read timeouts bound how long a slow (or slow-loris) client can
+	// hold a connection — and with it one of the server's bounded batch
+	// slots — mid-request. Two minutes is ample for a 16 MiB batch on a
+	// slow uplink; everything else completes in milliseconds.
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards, refresh %v/%d reports) on %s\n",
+		p.Name(), *d, *k, *eps, srv.Shards(), *interval, *everyN, *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down: draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+		log.Printf("served %d reports across %d epochs", srv.N(), srv.View().Epoch())
+	}
 }
 
 func makeProtocol(name string, cfg ldpmarginals.Config) (ldpmarginals.Protocol, error) {

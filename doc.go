@@ -32,13 +32,30 @@
 //
 // cmd/ldpserver serves a deployment over HTTP: clients POST wire-encoded
 // reports (internal/encoding) to /report one at a time or to
-// /report/batch as length-prefixed frames, and analysts GET
-// reconstructed marginals. Ingestion is sharded across per-core
-// accumulators (NewShardedAggregator) so throughput scales with the
-// hardware; batch ingestion amortizes HTTP and locking overhead per
-// report. Sharding never changes results: aggregation state is integer
-// counters, so a sharded deployment answers byte-identically to a
-// sequential one fed the same reports. The reconstruction hot paths
-// (the Walsh-Hadamard transform and the per-marginal estimator scans)
-// likewise parallelize across goroutines for large d, deterministically.
+// /report/batch as length-prefixed frames. Ingestion is sharded across
+// per-core accumulators (NewShardedAggregator) so throughput scales
+// with the hardware; batch ingestion amortizes HTTP and locking
+// overhead per report. Sharding never changes results: aggregation
+// state is integer counters, so a sharded deployment answers
+// byte-identically to a sequential one fed the same reports. The
+// reconstruction hot paths (the Walsh-Hadamard transform and the
+// per-marginal estimator scans) likewise parallelize across goroutines
+// for large d, deterministically.
+//
+// # Epochs and the materialized view
+//
+// The paper's key property — one round of reports answers every k-way
+// marginal — means a deployment should reconstruct once and serve many
+// times. The read side (BuildView / NewViewEngine, internal/view) does
+// exactly that: per epoch it snapshots the aggregator, reconstructs all
+// C(d,k) k-way tables in parallel, enforces cross-marginal consistency
+// (EnforceConsistency, weighted by per-marginal evidence), projects
+// each table to the probability simplex, and publishes the result as an
+// immutable view behind an atomic pointer. /marginal answers any
+// |beta| <= k and /query evaluates conjunction batches from the cached
+// epoch in O(2^k) work, lock-free, never blocking ingestion; answers
+// are stale by at most one refresh period (wall-time interval,
+// report-count delta, or explicit POST /refresh). Builds are
+// deterministic, so a cached answer is bit-identical to a fresh
+// rebuild of the same snapshot.
 package ldpmarginals

@@ -1,7 +1,9 @@
 // HTTP deployment example: stand up the collection server in-process,
 // drive it with simulated clients posting wire-encoded reports over
-// HTTP, and query a reconstructed marginal back — the end-to-end shape
-// of the browser/mobile deployments the paper targets (Section 7).
+// HTTP, publish an epoch of the materialized view, and read a marginal
+// and a batch of conjunction queries back from the cache — the
+// end-to-end shape of the browser/mobile deployments the paper targets
+// (Section 7). See README.md for the epoch/staleness model.
 package main
 
 import (
@@ -84,7 +86,22 @@ func main() {
 	fmt.Printf("posted %d reports (%d singly, the rest in batches of %d; %d bits each on the wire budget)\n",
 		ds.N(), singles, batchSize, p.CommunicationBits())
 
-	// Analyst side: fetch the CC-Tip marginal.
+	// Publish an epoch: one POST /refresh reconstructs all C(8,2) = 28
+	// two-way marginals, makes them mutually consistent, and swaps the
+	// result in for lock-free serving. Every read below is a cache hit.
+	refreshResp, err := http.Post(ts.URL+"/refresh", "", nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer refreshResp.Body.Close()
+	var vs server.ViewStatusResponse
+	if err := json.NewDecoder(refreshResp.Body).Decode(&vs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("published epoch %d over %d reports (%d tables, built in %.1fms)\n",
+		vs.Epoch, vs.ViewN, vs.Tables, vs.BuildMillis)
+
+	// Analyst side: fetch the CC-Tip marginal from the cached epoch.
 	beta, err := ds.Mask("CC", "Tip")
 	if err != nil {
 		log.Fatal(err)
@@ -103,9 +120,40 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nP(CC, Tip) from the deployment:  private    exact")
+	fmt.Printf("\nP(CC, Tip) from epoch %d:        private    exact\n", got.Epoch)
 	labels := []string{"CC=0,Tip=0", "CC=1,Tip=0", "CC=0,Tip=1", "CC=1,Tip=1"}
 	for c, label := range labels {
 		fmt.Printf("  %-14s %22.4f %8.4f\n", label, got.Cells[c], exact.Cells[c])
+	}
+
+	// Conjunction workload, batched over one epoch: the introduction's
+	// "fraction of users with A and B but not C" queries. The server
+	// only knows positional names (a0..a7), so map the schema's names.
+	cc, tip := ds.AttributeIndex("CC"), ds.AttributeIndex("Tip")
+	queries := server.QueryRequest{Queries: []string{
+		fmt.Sprintf("a%d=1 AND a%d=1", cc, tip), // card payers who tip
+		fmt.Sprintf("a%d=1 AND a%d=0", cc, tip), // card payers who stiff
+		fmt.Sprintf("a%d=1", tip),               // tippers overall
+	}}
+	qBody, err := json.Marshal(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qResp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qResp.Body.Close()
+	var qr server.QueryResponse
+	if err := json.NewDecoder(qResp.Body).Decode(&qr); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nconjunctions against epoch %d (n=%d):\n", qr.Epoch, qr.N)
+	for _, res := range qr.Results {
+		if res.Error != "" {
+			fmt.Printf("  %-22s error: %s\n", res.Query, res.Error)
+			continue
+		}
+		fmt.Printf("  %-22s fraction %.4f (~%.0f users)\n", res.Query, res.Fraction, res.Count)
 	}
 }

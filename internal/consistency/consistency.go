@@ -17,6 +17,7 @@ package consistency
 
 import (
 	"fmt"
+	"sort"
 
 	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/marginal"
@@ -97,9 +98,19 @@ func Enforce(tables []*marginal.Table, weights []float64, opts Options) error {
 	if len(shared) == 0 {
 		return nil // nothing overlaps; vacuously consistent
 	}
+	// Sweep shared sub-marginals in increasing mask order. Within a round
+	// the corrections are order-dependent, so a fixed order makes Enforce
+	// deterministic: equal inputs produce bit-identical outputs, which the
+	// materialized-view layer relies on for reproducible epoch rebuilds.
+	order := make([]uint64, 0, len(shared))
+	for sub := range shared {
+		order = append(order, sub)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
 
 	for round := 0; round < opts.Rounds; round++ {
-		for sub, members := range shared {
+		for _, sub := range order {
+			members := shared[sub]
 			// Weighted consensus of the implied sub-marginal.
 			consensus, err := marginal.New(sub)
 			if err != nil {

@@ -75,6 +75,97 @@ func TestEnforceConsensusIsWeighted(t *testing.T) {
 	}
 }
 
+// TestEnforceWeightedOverlappingTables drives the weighted-averaging
+// path the way a marginal-view deployment does: several overlapping
+// tables with very different evidence (user counts), non-uniform
+// weights. Enforcement must drive MaxDisagreement to ~0 while
+// preserving each table's mass, and the consensus must sit closer to
+// the heavily-weighted tables' evidence than to the lightly-weighted
+// one's.
+func TestEnforceWeightedOverlappingTables(t *testing.T) {
+	// Three pairwise-overlapping 2-way tables over attributes {0,1},
+	// {0,2}, {1,2}. ab and bc carry most of the evidence and imply
+	// P(a1=1) = 0.30; ac is a tiny sample claiming P(a1=1) = 0.90.
+	ab, _ := marginal.FromCells(0b011, []float64{0.40, 0.30, 0.10, 0.20}) // P(a0=1)=0.5, P(a1=1)=0.3
+	ac, _ := marginal.FromCells(0b101, []float64{0.05, 0.05, 0.45, 0.45}) // P(a0=1)=0.5, P(a2=1)=0.9
+	bc, _ := marginal.FromCells(0b110, []float64{0.60, 0.10, 0.20, 0.10}) // P(a1=1)=0.3, P(a2=1)=0.3
+	tables := []*marginal.Table{ab, ac, bc}
+	weights := []float64{10000, 100, 10000}
+
+	before, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < 0.5 {
+		t.Fatalf("setup should disagree badly on a2, got %v", before)
+	}
+	if err := Enforce(tables, weights, Options{Rounds: 50}); err != nil {
+		t.Fatal(err)
+	}
+	after, err := MaxDisagreement(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after > 1e-6 {
+		t.Errorf("disagreement after weighted enforcement = %v, want ~0", after)
+	}
+	for i, tab := range tables {
+		if math.Abs(tab.Sum()-1) > 1e-9 {
+			t.Errorf("table %d mass changed to %v", i, tab.Sum())
+		}
+	}
+	// The a2 consensus must land near the heavy table's 0.3, not the
+	// light table's 0.9 (weighted mean is ~0.306).
+	sub, err := tables[2].MarginalizeTo(0b100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Cells[1] > 0.4 {
+		t.Errorf("P(a2=1) consensus %v ignores the 100:1 weight ratio", sub.Cells[1])
+	}
+}
+
+// TestEnforceIsDeterministic runs the sweep repeatedly over identical
+// inputs with enough overlap structure to exercise many shared
+// sub-marginals; every cell must come out bit-identical. The
+// materialized-view engine relies on this for reproducible epochs.
+func TestEnforceIsDeterministic(t *testing.T) {
+	build := func() []*marginal.Table {
+		var tables []*marginal.Table
+		for i, beta := range []uint64{0b0111, 0b1011, 0b1101, 0b1110} {
+			cells := make([]float64, 8)
+			for c := range cells {
+				cells[c] = float64((i*7+c*3)%11) / 44.0
+			}
+			tab, err := marginal.FromCells(beta, cells)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables = append(tables, tab)
+		}
+		return tables
+	}
+	weights := []float64{1, 2, 3, 4}
+	ref := build()
+	if err := Enforce(ref, weights, Options{Rounds: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		got := build()
+		if err := Enforce(got, weights, Options{Rounds: 4}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref {
+			for c := range ref[i].Cells {
+				if math.Float64bits(got[i].Cells[c]) != math.Float64bits(ref[i].Cells[c]) {
+					t.Fatalf("trial %d: table %d cell %d differs: %v vs %v",
+						trial, i, c, got[i].Cells[c], ref[i].Cells[c])
+				}
+			}
+		}
+	}
+}
+
 func TestEnforceLeavesExactTablesAlone(t *testing.T) {
 	// Tables computed from the same data are already consistent: the
 	// sweep must be (numerically) a no-op.

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+)
+
+// KWayTable is one reconstructed k-way collection table together with the
+// evidence behind it.
+type KWayTable struct {
+	// Beta is the attribute mask of the table.
+	Beta uint64
+	// Table is the reconstructed (unbiased, not yet post-processed)
+	// marginal estimate.
+	Table *marginal.Table
+	// Users is the number of reports behind this table: the per-marginal
+	// sample count for the marginal-view protocols (each user contributes
+	// to exactly one table), and the total report count for the
+	// input-view protocols (every user contributes to every table).
+	Users int
+}
+
+// kWayReconstructor is the fast path of AllKWayTables: the marginal-view
+// aggregators reconstruct the table at position pos of the collection C
+// directly from that marginal's own accumulator, exposing its realized
+// per-marginal user count.
+type kWayReconstructor interface {
+	kWay(pos int) (*marginal.Table, int, error)
+}
+
+// AllKWayTables reconstructs every C(d,k) k-way marginal of the
+// collection from one aggregator snapshot, fanning the per-table
+// reconstructions out across goroutines. Tables are returned in the
+// numeric mask order of bitops.MasksWithExactlyK, and each table is
+// deterministic for a given aggregator state, so two calls over equal
+// snapshots return bit-identical results regardless of GOMAXPROCS.
+//
+// The aggregator must not be written concurrently (use a private
+// snapshot); an empty aggregator yields uniform tables with Users = 0.
+func AllKWayTables(agg Aggregator, cfg Config) ([]KWayTable, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	masks := bitops.MasksWithExactlyK(cfg.D, cfg.K)
+	out := make([]KWayTable, len(masks))
+	if agg.N() == 0 {
+		for i, m := range masks {
+			t, err := marginal.Uniform(m)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = KWayTable{Beta: m, Table: t}
+		}
+		return out, nil
+	}
+	errs := make([]error, len(masks))
+	if rec, ok := agg.(kWayReconstructor); ok {
+		parallelFor(len(masks), func(i int) {
+			t, users, err := rec.kWay(i)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = KWayTable{Beta: masks[i], Table: t, Users: users}
+		})
+	} else {
+		n := agg.N()
+		parallelFor(len(masks), func(i int) {
+			t, err := agg.Estimate(masks[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = KWayTable{Beta: masks[i], Table: t, Users: n}
+		})
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: reconstructing %b: %w", masks[i], err)
+		}
+	}
+	return out, nil
+}

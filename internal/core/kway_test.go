@@ -1,0 +1,105 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/rng"
+)
+
+// feedReports generates and consumes n deterministic reports.
+func feedReports(t *testing.T, p Protocol, agg Aggregator, n int, seed uint64) {
+	t.Helper()
+	client := p.NewClient()
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		rep, err := client.Perturb(uint64(i)%(1<<uint(p.Config().D)), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAllKWayTablesMatchesEstimate checks both reconstruction paths —
+// the marginal-view fast path (per-marginal accumulators with realized
+// user counts) and the Estimate fallback (shared-pool protocols) —
+// against per-mask Estimate calls, bit for bit, and pins the Users
+// semantics of each.
+func TestAllKWayTablesMatchesEstimate(t *testing.T) {
+	cfg := Config{D: 5, K: 2, Epsilon: 1.2}
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := p.NewAggregator()
+			feedReports(t, p, agg, 2500, uint64(kind)+40)
+			kway, err := AllKWayTables(agg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			masks := bitops.MasksWithExactlyK(cfg.D, cfg.K)
+			if len(kway) != len(masks) {
+				t.Fatalf("got %d tables, want C(%d,%d) = %d", len(kway), cfg.D, cfg.K, len(masks))
+			}
+			var users int
+			for i, kt := range kway {
+				if kt.Beta != masks[i] {
+					t.Fatalf("table %d over %b, want mask order %b", i, kt.Beta, masks[i])
+				}
+				want, err := agg.Estimate(kt.Beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for c := range want.Cells {
+					if math.Float64bits(kt.Table.Cells[c]) != math.Float64bits(want.Cells[c]) {
+						t.Fatalf("mask %b cell %d: %v vs Estimate's %v", kt.Beta, c, kt.Table.Cells[c], want.Cells[c])
+					}
+				}
+				users += kt.Users
+			}
+			switch kind {
+			case MargRR, MargPS, MargHT:
+				// Each user lands in exactly one marginal's accumulator.
+				if users != agg.N() {
+					t.Errorf("per-marginal users sum to %d, want N=%d", users, agg.N())
+				}
+			default:
+				// Every user informs every table.
+				if users != agg.N()*len(kway) {
+					t.Errorf("users sum %d, want N*tables=%d", users, agg.N()*len(kway))
+				}
+			}
+		})
+	}
+}
+
+// TestAllKWayTablesEmptyAggregator checks the N=0 path serves uniform
+// tables instead of erroring, so a deployment can publish epoch 1
+// before any report arrives.
+func TestAllKWayTablesEmptyAggregator(t *testing.T) {
+	cfg := Config{D: 5, K: 2, Epsilon: 1.2}
+	p, err := New(MargHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kway, err := AllKWayTables(p.NewAggregator(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kt := range kway {
+		if kt.Users != 0 {
+			t.Fatalf("empty aggregator claims %d users for %b", kt.Users, kt.Beta)
+		}
+		for _, c := range kt.Table.Cells {
+			if c != 0.25 {
+				t.Fatalf("mask %b not uniform: %v", kt.Beta, kt.Table.Cells)
+			}
+		}
+	}
+}

@@ -145,6 +145,44 @@ func Parse(s string, resolve func(name string) int) (Conjunction, error) {
 	return c, nil
 }
 
+// Result is the outcome of evaluating one query string from a batch:
+// either a parsed conjunction with its estimated fraction, or the parse/
+// evaluation error for that query alone.
+type Result struct {
+	// Query is the original query string.
+	Query string
+	// Conj is the parsed conjunction (zero when Err is a parse error).
+	Conj Conjunction
+	// Fraction is the estimated population fraction matching the query.
+	Fraction float64
+	// Err is the per-query failure, nil on success.
+	Err error
+}
+
+// EvaluateStrings parses and evaluates a batch of query strings against
+// one estimator, isolating failures per query: a malformed or
+// out-of-domain query yields a Result with Err set and does not stop the
+// rest of the batch. The results align with the input order.
+func EvaluateStrings(est marginal.Estimator, d int, resolve func(name string) int, queries []string) []Result {
+	out := make([]Result, len(queries))
+	for i, q := range queries {
+		out[i].Query = q
+		c, err := Parse(q, resolve)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Conj = c
+		f, err := Evaluate(est, c, d)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Fraction = f
+	}
+	return out
+}
+
 // Cube materializes the full set of j-way marginals for all j <= k — the
 // OLAP-datacube slice the paper's related work discusses. Results are
 // keyed by attribute mask.

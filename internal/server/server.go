@@ -1,9 +1,24 @@
 // Package server provides an HTTP deployment of the marginal collection
 // pipeline: clients POST wire-encoded reports to /report (one frame) or
-// /report/batch (length-prefixed frames), and analysts GET reconstructed
-// marginals from /marginal. The paper argues its protocols are "eminently
-// suitable for implementation in existing LDP deployments" (Section 7);
-// this package is the reference shape of such a deployment at scale.
+// /report/batch (length-prefixed frames), and analysts read estimates
+// from /marginal and /query. The paper argues its protocols are
+// "eminently suitable for implementation in existing LDP deployments"
+// (Section 7); this package is the reference shape of such a deployment
+// at scale.
+//
+// # Epochs and staleness
+//
+// The read side serves from a materialized view (internal/view): all
+// C(d,k) k-way marginals are reconstructed once per epoch from a
+// snapshot of the aggregation shards, made mutually consistent, and
+// published as an immutable view behind an atomic pointer. /marginal
+// and /query answer from the cached epoch in O(2^k) work without taking
+// any lock — reads never block ingestion and never trigger
+// reconstruction. Answers are therefore stale by up to one refresh
+// period: the epoch advances on the configured policy (Options.Refresh:
+// wall-time interval and/or report-count delta) and on explicit
+// POST /refresh. /view/status reports the serving epoch, its report
+// count, and how many reports have arrived since it was built.
 //
 // # Ingestion architecture
 //
@@ -47,6 +62,8 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/query"
+	"ldpmarginals/internal/view"
 )
 
 // maxReportBytes bounds a single report upload, matching the largest
@@ -80,6 +97,12 @@ type Options struct {
 	IngestWorkers int
 	// MaxBatchBytes bounds a /report/batch body; <= 0 selects 16 MiB.
 	MaxBatchBytes int64
+	// Refresh is the automatic view-refresh policy; the zero value means
+	// the view only advances on POST /refresh.
+	Refresh view.Policy
+	// View tunes the per-epoch post-processing (consistency rounds,
+	// simplex projection).
+	View view.Options
 }
 
 // Server exposes one protocol deployment over HTTP. Safe for concurrent
@@ -89,6 +112,7 @@ type Server struct {
 	tag      encoding.Tag
 
 	agg      *core.ShardedAggregator
+	engine   *view.Engine
 	ingest   chan struct{} // bounded worker-pool slots for batch chunks
 	batches  chan struct{} // bounds whole /report/batch requests in flight
 	maxBatch int64
@@ -116,15 +140,27 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxBatchBytes
 	}
+	engine, err := view.NewEngine(agg, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View})
+	if err != nil {
+		return nil, err
+	}
 	return &Server{
 		protocol: p,
 		tag:      tag,
 		agg:      agg,
+		engine:   engine,
 		ingest:   make(chan struct{}, workers),
 		batches:  make(chan struct{}, workers),
 		maxBatch: maxBatch,
 	}, nil
 }
+
+// Close stops the view engine's refresh loop. The server's handlers
+// remain usable (serving the last published epoch); Close is idempotent.
+func (s *Server) Close() { s.engine.Close() }
+
+// View returns the engine publishing the server's materialized view.
+func (s *Server) View() *view.Engine { return s.engine }
 
 // N returns the number of reports consumed so far. Lock-free.
 func (s *Server) N() int { return s.agg.N() }
@@ -136,14 +172,22 @@ func (s *Server) Shards() int { return s.agg.Shards() }
 //
 //	POST /report        binary frame (encoding.Marshal)        -> 204
 //	POST /report/batch  length-prefixed frames (MarshalBatch)  -> JSON count
-//	GET  /marginal      ?beta=<decimal mask>                   -> JSON table
+//	GET  /marginal      ?beta=<decimal mask>                   -> JSON table (cached epoch)
+//	POST /query         JSON conjunction batch                 -> JSON per-query answers
+//	POST /refresh       build + publish the next epoch         -> JSON view status
+//	GET  /view/status   serving epoch, staleness, build time   -> JSON
 //	GET  /status        deployment metadata                    -> JSON
+//	GET  /healthz       liveness probe                         -> JSON ok
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
 	mux.HandleFunc("/report/batch", s.handleBatch)
 	mux.HandleFunc("/marginal", s.handleMarginal)
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/refresh", s.handleRefresh)
+	mux.HandleFunc("/view/status", s.handleViewStatus)
 	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
@@ -305,8 +349,10 @@ type MarginalResponse struct {
 	Beta uint64 `json:"beta"`
 	// Cells holds the 2^|beta| estimated cell values in compact order.
 	Cells []float64 `json:"cells"`
-	// N is the number of reports behind the estimate.
+	// N is the number of reports behind the serving epoch.
 	N int `json:"n"`
+	// Epoch is the materialized view the answer came from.
+	Epoch int64 `json:"epoch"`
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
@@ -320,19 +366,159 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "beta must be a decimal attribute mask", http.StatusBadRequest)
 		return
 	}
-	// Snapshot once so the table and its N are mutually consistent, then
-	// estimate from the private snapshot without blocking ingestion.
-	snap, err := s.agg.Snapshot()
+	// Serve from the cached epoch: no lock, no snapshot, no
+	// reconstruction — O(2^k) marginalization of cached tables at most.
+	v := s.engine.Current()
+	tab, err := v.Marginal(beta)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		status := http.StatusInternalServerError
+		if errors.Is(err, view.ErrBadQuery) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
 		return
 	}
-	tab, err := snap.Estimate(beta)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: v.N, Epoch: v.Epoch})
+}
+
+// QueryRequest is the JSON body of a /query request: one conjunction in
+// Q, or a batch in Queries (both may be set; Q is evaluated first).
+// Conjunctions use the internal/query syntax over positional attribute
+// names, e.g. "a0=1 AND a3=0".
+type QueryRequest struct {
+	Q       string   `json:"q,omitempty"`
+	Queries []string `json:"queries,omitempty"`
+}
+
+// QueryResult is one conjunction's answer within a QueryResponse. A
+// malformed or out-of-domain query carries its error here, without
+// failing the rest of the batch.
+type QueryResult struct {
+	// Query is the conjunction as submitted.
+	Query string `json:"query"`
+	// Beta is the attribute mask the conjunction touches (0 on parse
+	// errors).
+	Beta uint64 `json:"beta,omitempty"`
+	// Fraction is the estimated fraction of users matching the query.
+	Fraction float64 `json:"fraction"`
+	// Count is Fraction scaled by the epoch's report count.
+	Count float64 `json:"count"`
+	// Error is the per-query failure; empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryResponse is the JSON shape of a /query reply.
+type QueryResponse struct {
+	// Epoch is the materialized view the answers came from.
+	Epoch int64 `json:"epoch"`
+	// N is the number of reports behind the serving epoch.
+	N int `json:"n"`
+	// Results holds one entry per submitted query, in order.
+	Results []QueryResult `json:"results"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
-	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: snap.N()})
+	var req QueryRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "malformed query body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	queries := req.Queries
+	if req.Q != "" {
+		queries = append([]string{req.Q}, queries...)
+	}
+	if len(queries) == 0 {
+		http.Error(w, "no queries: set q or queries", http.StatusBadRequest)
+		return
+	}
+	// One epoch answers the whole batch, so the results are mutually
+	// consistent even while refreshes land concurrently.
+	v := s.engine.Current()
+	resp := QueryResponse{Epoch: v.Epoch, N: v.N, Results: make([]QueryResult, len(queries))}
+	for i, res := range query.EvaluateStrings(v, v.Config().D, nil, queries) {
+		out := QueryResult{Query: res.Query}
+		if res.Err != nil {
+			out.Error = res.Err.Error()
+		} else {
+			out.Beta = res.Conj.Beta()
+			out.Fraction = res.Fraction
+			out.Count = res.Fraction * float64(v.N)
+		}
+		resp.Results[i] = out
+	}
+	writeJSON(w, resp)
+}
+
+// ViewStatusResponse is the JSON shape of a /view/status or /refresh
+// reply: the serving epoch and how far behind the live pipeline it is.
+type ViewStatusResponse struct {
+	// Epoch is the serving view's build sequence number.
+	Epoch int64 `json:"epoch"`
+	// ViewN is the number of reports in the serving epoch.
+	ViewN int `json:"view_n"`
+	// CurrentN is the live aggregator's report count.
+	CurrentN int `json:"current_n"`
+	// StalenessReports is CurrentN - ViewN (0 floor): reports not yet
+	// visible to readers.
+	StalenessReports int `json:"staleness_reports"`
+	// AgeSeconds is how long the epoch has been serving.
+	AgeSeconds float64 `json:"age_seconds"`
+	// BuildMillis is how long the epoch took to build.
+	BuildMillis float64 `json:"build_ms"`
+	// Tables is the number of materialized k-way tables.
+	Tables int `json:"tables"`
+}
+
+func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
+	n := s.agg.N()
+	return ViewStatusResponse{
+		Epoch:            v.Epoch,
+		ViewN:            v.N,
+		CurrentN:         n,
+		StalenessReports: v.Staleness(n),
+		AgeSeconds:       v.Age().Seconds(),
+		BuildMillis:      float64(v.BuildDuration.Nanoseconds()) / 1e6,
+		Tables:           v.Tables(),
+	}
+}
+
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	v, err := s.engine.Refresh()
+	if err != nil {
+		http.Error(w, "refresh failed: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, s.viewStatus(v))
+}
+
+func (s *Server) handleViewStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, s.viewStatus(s.engine.Current()))
+}
+
+// HealthResponse is the JSON shape of a /healthz reply.
+type HealthResponse struct {
+	Status string `json:"status"`
+	Epoch  int64  `json:"epoch"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+		return
+	}
+	writeJSON(w, HealthResponse{Status: "ok", Epoch: s.engine.Epoch()})
 }
 
 // StatusResponse is the JSON shape of a /status reply.

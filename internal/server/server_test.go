@@ -11,27 +11,56 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/dataset"
 	"ldpmarginals/internal/encoding"
 	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/rng"
+	"ldpmarginals/internal/view"
 )
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server, core.Protocol) {
+	t.Helper()
+	return newTestServerWithOptions(t, Options{})
+}
+
+func newTestServerWithOptions(t *testing.T, opts Options) (*Server, *httptest.Server, core.Protocol) {
 	t.Helper()
 	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := New(p)
+	s, err := NewWithOptions(p, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(s.Close)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts, p
+}
+
+// postRefresh publishes a fresh epoch so reads observe everything
+// ingested so far — the explicit step the epoch model introduces between
+// writing and reading.
+func postRefresh(t *testing.T, url string) ViewStatusResponse {
+	t.Helper()
+	resp, err := http.Post(url+"/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("refresh status %d", resp.StatusCode)
+	}
+	var vs ViewStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		t.Fatal(err)
+	}
+	return vs
 }
 
 func postReport(t *testing.T, url string, p core.Protocol, rep core.Report) *http.Response {
@@ -66,6 +95,7 @@ func TestEndToEndDeployment(t *testing.T) {
 	if s.N() != ds.N() {
 		t.Fatalf("server consumed %d reports, want %d", s.N(), ds.N())
 	}
+	postRefresh(t, ts.URL)
 
 	beta := uint64(0b11)
 	resp, err := http.Get(fmt.Sprintf("%s/marginal?beta=%d", ts.URL, beta))
@@ -80,7 +110,7 @@ func TestEndToEndDeployment(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	if got.N != ds.N() || got.Beta != beta || len(got.Cells) != 4 {
+	if got.N != ds.N() || got.Beta != beta || len(got.Cells) != 4 || got.Epoch < 2 {
 		t.Fatalf("bad response: %+v", got)
 	}
 	exact, err := marginal.FromRecords(ds.Records, beta)
@@ -173,30 +203,49 @@ func TestMethodEnforcement(t *testing.T) {
 	}
 }
 
+// TestMarginalQueryValidation pins the HTTP status mapping of /marginal:
+// out-of-contract betas are 400s whose message names the violated limit
+// (so an analyst learns the deployment's k or d without reading docs),
+// and in-contract betas are 200s — even before any report arrives.
 func TestMarginalQueryValidation(t *testing.T) {
 	_, ts, p := newTestServer(t)
-	// Feed one report so Estimate has data.
+	// Feed one report so the refreshed view has data.
 	client := p.NewClient()
 	rep, err := client.Perturb(5, rng.New(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	postReport(t, ts.URL, p, rep)
-	cases := []string{
-		"/marginal",           // missing beta
-		"/marginal?beta=abc",  // non-numeric
-		"/marginal?beta=0",    // empty marginal
-		"/marginal?beta=7",    // |beta| > k
-		"/marginal?beta=1024", // outside domain
+	postRefresh(t, ts.URL)
+	cases := []struct {
+		path    string
+		status  int
+		wantMsg string
+	}{
+		{"/marginal", http.StatusBadRequest, "decimal attribute mask"},          // missing beta
+		{"/marginal?beta=abc", http.StatusBadRequest, "decimal attribute mask"}, // non-numeric
+		{"/marginal?beta=0", http.StatusBadRequest, "empty attribute mask"},
+		{"/marginal?beta=7", http.StatusBadRequest, "supports at most k=2"}, // |beta| > k
+		{"/marginal?beta=1024", http.StatusBadRequest, "outside the deployment's 8 attributes"},
+		{"/marginal?beta=3", http.StatusOK, ""},
+		{"/marginal?beta=129", http.StatusOK, ""}, // non-adjacent pair
+		{"/marginal?beta=4", http.StatusOK, ""},   // 1-way sub-marginal
 	}
-	for _, path := range cases {
-		resp, err := http.Get(ts.URL + path)
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + tc.path)
 		if err != nil {
 			t.Fatal(err)
 		}
+		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
-		if resp.StatusCode != http.StatusBadRequest {
-			t.Errorf("%s got %d, want 400", path, resp.StatusCode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s got %d (%q), want %d", tc.path, resp.StatusCode, body, tc.status)
+		}
+		if tc.wantMsg != "" && !strings.Contains(string(body), tc.wantMsg) {
+			t.Errorf("%s error %q does not name the limit %q", tc.path, body, tc.wantMsg)
 		}
 	}
 }
@@ -284,13 +333,16 @@ func TestBatchEndpoint(t *testing.T) {
 	if br.Accepted != len(reps) || s.N() != len(reps) {
 		t.Fatalf("accepted %d, server N %d, want %d", br.Accepted, s.N(), len(reps))
 	}
-	assertMarginalMatches(t, ts.URL, seq, 0b11)
+	postRefresh(t, ts.URL)
+	assertMarginalMatches(t, ts.URL, p, seq, 0b11)
 }
 
 // assertMarginalMatches fetches /marginal?beta and requires the cells to
-// be byte-identical to want.Estimate(beta) — integer-counter
-// aggregation makes shard partitioning invisible in the estimate.
-func assertMarginalMatches(t *testing.T, url string, want core.Aggregator, beta uint64) {
+// be bit-identical to a view built from want by the same pipeline the
+// server runs — integer-counter aggregation makes shard partitioning
+// invisible in the snapshot, and the view build is deterministic on top
+// of it.
+func assertMarginalMatches(t *testing.T, url string, p core.Protocol, want core.Aggregator, beta uint64) {
 	t.Helper()
 	resp, err := http.Get(fmt.Sprintf("%s/marginal?beta=%d", url, beta))
 	if err != nil {
@@ -304,7 +356,11 @@ func assertMarginalMatches(t *testing.T, url string, want core.Aggregator, beta 
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	ref, err := want.Estimate(beta)
+	refView, err := view.Build(want, p, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refView.Marginal(beta)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -551,8 +607,9 @@ func TestStressInterleavedReportAndBatch(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	assertMarginalMatches(t, ts.URL, seq, 0b11)
-	assertMarginalMatches(t, ts.URL, seq, 0b1100)
+	postRefresh(t, ts.URL)
+	assertMarginalMatches(t, ts.URL, p, seq, 0b11)
+	assertMarginalMatches(t, ts.URL, p, seq, 0b1100)
 
 	// /status must agree with the lock-free counter.
 	resp, err := http.Get(ts.URL + "/status")
@@ -567,6 +624,355 @@ func TestStressInterleavedReportAndBatch(t *testing.T) {
 	if st.N != totalReports || st.Shards < 1 {
 		t.Errorf("status N=%d shards=%d, want N=%d", st.N, st.Shards, totalReports)
 	}
+}
+
+// TestQueryEndpoint posts reports, refreshes, and evaluates a batch of
+// conjunctions — including malformed and out-of-domain ones, which must
+// fail per-query without failing the batch — and checks the answers
+// against the view built from an identical sequential aggregator.
+func TestQueryEndpoint(t *testing.T) {
+	s, ts, p := newTestServer(t)
+	client := p.NewClient()
+	r := rng.New(11)
+	seq := p.NewAggregator()
+	var reps []core.Report
+	for i := 0; i < 2000; i++ {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		if err := seq.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	body, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if s.N() != len(reps) {
+		t.Fatalf("ingested %d, want %d", s.N(), len(reps))
+	}
+	postRefresh(t, ts.URL)
+
+	queries := []string{
+		"a0=1 AND a7=0",          // valid conjunction
+		"a3=1",                   // single-term
+		"a0=1 AND a1=1 AND a2=0", // 3 terms > k=2: per-query error
+		"a0=banana",              // parse error
+		"a99=1",                  // attribute out of domain
+	}
+	qBody, err := json.Marshal(QueryRequest{Queries: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qResp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(qBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer qResp.Body.Close()
+	if qResp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", qResp.StatusCode)
+	}
+	var qr QueryResponse
+	if err := json.NewDecoder(qResp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.N != len(reps) || len(qr.Results) != len(queries) {
+		t.Fatalf("response n=%d results=%d, want n=%d results=%d", qr.N, len(qr.Results), len(reps), len(queries))
+	}
+	for i, res := range qr.Results[:2] {
+		if res.Error != "" {
+			t.Fatalf("valid query %d failed: %s", i, res.Error)
+		}
+		if math.Float64bits(res.Count) != math.Float64bits(res.Fraction*float64(len(reps))) {
+			t.Errorf("query %d count %v does not match fraction %v * n", i, res.Count, res.Fraction)
+		}
+	}
+	for i, res := range qr.Results[2:] {
+		if res.Error == "" {
+			t.Errorf("invalid query %d accepted: %+v", i+2, res)
+		}
+	}
+
+	// Answers must be bit-identical to the reference view of the same
+	// reports evaluated directly.
+	refView, err := view.Build(seq, p, view.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries[:2] {
+		c, err := query.Parse(q, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := refView.Answer(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(qr.Results[i].Fraction) != math.Float64bits(want) {
+			t.Errorf("query %q: got %v, want %v", q, qr.Results[i].Fraction, want)
+		}
+	}
+
+	// Single-query shorthand.
+	sResp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"q":"a0=1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sResp.Body.Close()
+	var sr QueryResponse
+	if err := json.NewDecoder(sResp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != 1 || sr.Results[0].Error != "" {
+		t.Fatalf("single query: %+v", sr)
+	}
+
+	// Empty and malformed bodies are request-level 400s.
+	for _, body := range []string{`{}`, `{"queries":[]}`, `not json`} {
+		resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q got %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+// TestViewStatusAndHealthz covers the observability endpoints: epoch
+// advancement, staleness accounting, and the liveness probe.
+func TestViewStatusAndHealthz(t *testing.T) {
+	_, ts, p := newTestServer(t)
+
+	getStatus := func() ViewStatusResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/view/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var vs ViewStatusResponse
+		if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+			t.Fatal(err)
+		}
+		return vs
+	}
+
+	vs := getStatus()
+	if vs.Epoch != 1 || vs.ViewN != 0 || vs.StalenessReports != 0 {
+		t.Fatalf("initial view status %+v, want epoch 1 over 0 reports", vs)
+	}
+
+	// Ingest without refreshing: staleness grows, epoch stands still.
+	client := p.NewClient()
+	r := rng.New(3)
+	for i := 0; i < 10; i++ {
+		rep, err := client.Perturb(uint64(i), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		postReport(t, ts.URL, p, rep)
+	}
+	vs = getStatus()
+	if vs.Epoch != 1 || vs.ViewN != 0 || vs.CurrentN != 10 || vs.StalenessReports != 10 {
+		t.Fatalf("pre-refresh view status %+v, want epoch 1, staleness 10", vs)
+	}
+
+	// Refresh: the new epoch absorbs the backlog.
+	rs := postRefresh(t, ts.URL)
+	if rs.Epoch != 2 || rs.ViewN != 10 || rs.StalenessReports != 0 {
+		t.Fatalf("post-refresh status %+v, want epoch 2 over 10 reports", rs)
+	}
+	if vs := getStatus(); vs.Epoch != 2 || vs.Tables != 36 { // C(8,2) + C(8,1)
+		t.Fatalf("view status %+v, want epoch 2 with 36 tables", vs)
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Epoch != 2 {
+		t.Fatalf("healthz %+v", h)
+	}
+}
+
+// TestStressViewRefreshConcurrentQuery is the race certification of the
+// materialized-view read path: concurrent batch ingestion, explicit and
+// policy-driven epoch refreshes, and 32 query readers hammering
+// /marginal, /query, and /view/status simultaneously. Afterwards one
+// final refresh must serve answers bit-identical to a sequential
+// reference fed the same multiset.
+func TestStressViewRefreshConcurrentQuery(t *testing.T) {
+	s, ts, p := newTestServerWithOptions(t, Options{
+		Refresh: view.Policy{EveryN: 500, Poll: 5 * time.Millisecond},
+	})
+	const (
+		ingesters  = 8
+		batchesPer = 8
+		batchSize  = 100
+		refreshers = 4
+		readers    = 32
+	)
+	reports := make([][]core.Report, ingesters)
+	for w := range reports {
+		client := p.NewClient()
+		r := rng.New(uint64(w) + 5000)
+		for i := 0; i < batchesPer*batchSize; i++ {
+			rep, err := client.Perturb(uint64(i%256), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reports[w] = append(reports[w], rep)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, ingesters+refreshers+readers)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	for w := 0; w < ingesters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batchesPer; b++ {
+				body, err := encoding.MarshalBatch(p.Name(), reports[w][b*batchSize:(b+1)*batchSize])
+				if err != nil {
+					fail(err)
+					return
+				}
+				resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					fail(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("batch status %d", resp.StatusCode))
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < refreshers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				resp, err := http.Post(ts.URL+"/refresh", "", nil)
+				if err != nil {
+					fail(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("refresh status %d", resp.StatusCode))
+					return
+				}
+			}
+		}()
+	}
+	readerDone := make(chan struct{})
+	for w := 0; w < readers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var resp *http.Response
+				var err error
+				switch w % 3 {
+				case 0:
+					resp, err = http.Get(ts.URL + "/marginal?beta=3")
+				case 1:
+					resp, err = http.Post(ts.URL+"/query", "application/json",
+						strings.NewReader(`{"queries":["a0=1 AND a1=0","a5=1"]}`))
+				default:
+					resp, err = http.Get(ts.URL + "/view/status")
+				}
+				if err != nil {
+					fail(err)
+					return
+				}
+				var got struct {
+					Epoch int64 `json:"epoch"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail(fmt.Errorf("reader %d status %d", w, resp.StatusCode))
+					return
+				}
+				if decErr != nil {
+					fail(decErr)
+					return
+				}
+				if got.Epoch < 1 {
+					fail(fmt.Errorf("reader %d observed unpublished epoch %d", w, got.Epoch))
+					return
+				}
+			}
+		}(w)
+	}
+	go func() { defer close(readerDone); wg.Wait() }()
+
+	// Let writers and refreshers finish, then release the readers.
+	deadline := time.After(60 * time.Second)
+	total := ingesters * batchesPer * batchSize
+	for s.N() < total {
+		select {
+		case <-deadline:
+			close(stop)
+			t.Fatalf("ingestion stalled at %d/%d", s.N(), total)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+	<-readerDone
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	seq := p.NewAggregator()
+	for _, reps := range reports {
+		if err := seq.ConsumeBatch(reps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := postRefresh(t, ts.URL)
+	if vs.ViewN != total {
+		t.Fatalf("final epoch over %d reports, want %d", vs.ViewN, total)
+	}
+	assertMarginalMatches(t, ts.URL, p, seq, 0b11)
+	assertMarginalMatches(t, ts.URL, p, seq, 0b10000001)
 }
 
 func TestNewRejectsUnknownProtocol(t *testing.T) {

@@ -1,0 +1,188 @@
+package view
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldpmarginals/internal/core"
+)
+
+// Source is what the engine refreshes from: a live aggregation pipeline
+// that can cut a private snapshot and report its current count without
+// blocking. core.ShardedAggregator satisfies it.
+type Source interface {
+	// Snapshot returns a private, queryable copy of the current state.
+	Snapshot() (core.Aggregator, error)
+	// N returns the current report count; must be cheap (lock-free).
+	N() int
+}
+
+// Policy selects when the engine rebuilds the view on its own. The zero
+// value disables automatic refresh: the view only advances on explicit
+// Refresh calls (e.g. a POST /refresh endpoint).
+type Policy struct {
+	// Interval rebuilds the view every Interval of wall time; <= 0
+	// disables time-based refresh.
+	Interval time.Duration
+	// EveryN rebuilds the view once at least EveryN new reports have
+	// arrived since the last build; <= 0 disables count-based refresh.
+	EveryN int
+	// Poll is how often the count-based trigger samples Source.N
+	// (default 100ms; only used when EveryN > 0 and Interval is not a
+	// tighter bound already).
+	Poll time.Duration
+}
+
+func (p Policy) automatic() bool { return p.Interval > 0 || p.EveryN > 0 }
+
+// tick returns the background loop's wake-up period: a fraction of
+// Interval (so a refresh lands within ~Interval/8 of its due time,
+// rather than slipping a whole period when a tick narrowly precedes the
+// deadline), bounded by Poll when the count-based trigger is on.
+func (p Policy) tick() time.Duration {
+	var t time.Duration
+	if p.Interval > 0 {
+		t = p.Interval / 8
+		if t < time.Millisecond {
+			t = time.Millisecond
+		}
+	}
+	if p.EveryN > 0 {
+		poll := p.Poll
+		if poll <= 0 {
+			poll = 100 * time.Millisecond
+		}
+		if t <= 0 || poll < t {
+			t = poll
+		}
+	}
+	return t
+}
+
+// EngineOptions configures NewEngine.
+type EngineOptions struct {
+	// Refresh is the automatic refresh policy (zero = manual only).
+	Refresh Policy
+	// Build tunes the per-epoch post-processing.
+	Build Options
+}
+
+// Engine owns the materialized view of one deployment: it snapshots the
+// source, builds a View, and publishes it through an atomic pointer.
+// Readers call Current and work with an immutable epoch; they never take
+// a lock and never observe a partially built view. Builds (manual or
+// policy-driven) are serialized, so at most one reconstruction runs at a
+// time and ingestion is never stalled by more than the snapshot's
+// one-shard-at-a-time merge.
+type Engine struct {
+	src  Source
+	p    core.Protocol
+	opts EngineOptions
+
+	cur atomic.Pointer[View]
+
+	mu    sync.Mutex // serializes builds and guards epoch
+	epoch int64      // last assigned build number; read the published View's Epoch instead
+
+	stop  chan struct{}
+	close sync.Once
+	done  sync.WaitGroup
+}
+
+// NewEngine builds epoch 1 synchronously (so Current never returns nil)
+// and, if the policy asks for automatic refresh, starts the background
+// refresh loop. Close the engine to stop that loop.
+func NewEngine(src Source, p core.Protocol, opts EngineOptions) (*Engine, error) {
+	e := &Engine{src: src, p: p, opts: opts, stop: make(chan struct{})}
+	if _, err := e.Refresh(); err != nil {
+		return nil, fmt.Errorf("view: building initial epoch: %w", err)
+	}
+	if opts.Refresh.automatic() {
+		e.done.Add(1)
+		go e.loop()
+	}
+	return e, nil
+}
+
+// Current returns the latest published view. Lock-free; never nil.
+func (e *Engine) Current() *View { return e.cur.Load() }
+
+// Epoch returns the latest published epoch number. Lock-free. It is
+// read from the published view itself — never from the internal build
+// counter, which runs ahead of publication for the instant between
+// assigning a new view's number and storing it — so Epoch never reports
+// an epoch a concurrent Current call could not obtain.
+func (e *Engine) Epoch() int64 {
+	if v := e.Current(); v != nil {
+		return v.Epoch
+	}
+	return 0
+}
+
+// Refresh snapshots the source, builds the next epoch, and publishes it,
+// returning the new view. Concurrent calls are serialized and coalesced
+// single-flight style: a caller that waited out another build returns
+// the epoch published during its wait when that epoch's snapshot was
+// taken after the caller asked — it already reflects everything the
+// caller could have ingested beforehand, so rebuilding would burn a full
+// reconstruction on an indistinguishable answer. On error the previous
+// view stays published and keeps serving.
+func (e *Engine) Refresh() (*View, error) {
+	entry := time.Now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur := e.cur.Load(); cur != nil && cur.snapshotAt.After(entry) {
+		return cur, nil
+	}
+	snapshotAt := time.Now()
+	snap, err := e.src.Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("view: snapshotting source: %w", err)
+	}
+	v, err := Build(snap, e.p, e.opts.Build)
+	if err != nil {
+		return nil, err
+	}
+	v.snapshotAt = snapshotAt
+	e.epoch++
+	v.Epoch = e.epoch
+	e.cur.Store(v)
+	return v, nil
+}
+
+// Close stops the automatic refresh loop (if any) and waits for it to
+// exit. The last published view keeps serving; Close is idempotent.
+func (e *Engine) Close() {
+	e.close.Do(func() { close(e.stop) })
+	e.done.Wait()
+}
+
+// loop drives the automatic refresh policy. Due-ness is measured from
+// the published view's build time, so a manual Refresh resets the
+// interval cadence instead of racing it into a redundant back-to-back
+// rebuild. Build errors are swallowed (the previous epoch keeps serving
+// and the next tick retries); deployments that need visibility poll
+// /view/status staleness instead.
+func (e *Engine) loop() {
+	defer e.done.Done()
+	pol := e.opts.Refresh
+	ticker := time.NewTicker(pol.tick())
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+		}
+		cur := e.Current()
+		due := pol.Interval > 0 && cur.Age() >= pol.Interval
+		if !due && pol.EveryN > 0 {
+			due = cur.Staleness(e.src.N()) >= pol.EveryN
+		}
+		if due {
+			_, _ = e.Refresh()
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package view materializes the read side of a marginal-release
+// deployment. The paper's central promise is that one round of LDP
+// reports answers *all* C(d,k) k-way marginals and every conjunction
+// workload built on them — so instead of re-running reconstruction on
+// every analyst query, a deployment reconstructs the whole collection
+// once per epoch and serves every query from the cached result.
+//
+// Build turns one aggregator snapshot into an immutable View: all C(d,k)
+// k-way tables reconstructed in parallel, cross-marginal consistency
+// enforced (overlapping tables are shifted to agree on shared
+// sub-marginals, weighted by their per-marginal evidence), and each
+// table projected to the probability simplex. A View answers any
+// marginal with |beta| <= k by marginalizing cached superset tables —
+// O(2^k) work per query instead of a full reconstruction — and any
+// conjunction by reading one cell of that answer.
+//
+// Builds are deterministic: two Builds over equal snapshots produce
+// bit-identical Views regardless of GOMAXPROCS, so a cached answer is
+// exactly the answer a fresh rebuild of the same epoch would give.
+//
+// Engine (engine.go) wraps Build with a refresh policy and publishes
+// Views through an atomic pointer, so readers never take a lock and
+// never block ingestion.
+package view
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/consistency"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/query"
+)
+
+// ErrBadQuery tags query-validation failures (empty beta, beta outside
+// the attribute domain, |beta| above the deployment's k). HTTP layers
+// map errors.Is(err, ErrBadQuery) to 400; anything else is a server
+// fault.
+var ErrBadQuery = errors.New("invalid marginal query")
+
+// Options tunes Build's post-processing (the Engine embeds these in its
+// refresh options). The zero value is the production default: 3
+// consistency rounds, simplex projection on.
+type Options struct {
+	// ConsistencyRounds is the number of consistency-enforcement sweeps
+	// across the reconstructed tables; 0 selects the default (3),
+	// negative disables enforcement entirely.
+	ConsistencyRounds int
+	// RawCells skips the final simplex projection, leaving the unbiased
+	// (possibly negative) cell estimates in the view.
+	RawCells bool
+}
+
+// View is one immutable materialized epoch: every k-way collection table
+// reconstructed from a single snapshot, post-processed, and frozen.
+// Views are safe for concurrent use by any number of readers; all
+// methods are read-only.
+type View struct {
+	// Epoch is the 1-based build sequence number assigned by the Engine
+	// (0 for standalone Build calls).
+	Epoch int64
+	// N is the number of reports in the snapshot behind the view.
+	N int
+	// BuiltAt is the wall-clock completion time of the build.
+	BuiltAt time.Time
+	// BuildDuration is how long the build took.
+	BuildDuration time.Duration
+	// Protocol is the deployment's protocol name.
+	Protocol string
+
+	cfg     core.Config
+	kWay    int               // count of collection (k-way) tables at the front of tables
+	tables  []*marginal.Table // C(d,k) k-way tables (mask-ascending), then the sub-k cube
+	weights []float64         // per-table evidence (per-marginal users, or N)
+	pos     map[uint64]int    // mask -> position in tables
+
+	// snapshotAt is when the Engine cut the snapshot behind this view
+	// (zero for standalone Build calls); Refresh uses it to coalesce
+	// concurrent rebuild requests.
+	snapshotAt time.Time
+}
+
+// Build materializes a view from one aggregator snapshot. The snapshot
+// must be private to the caller (e.g. core.ShardedAggregator.Snapshot);
+// it is only read. Equal snapshots build bit-identical views.
+func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
+	start := time.Now()
+	cfg := p.Config()
+	kway, err := core.AllKWayTables(snap, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("view: %w", err)
+	}
+	v := &View{
+		N:        snap.N(),
+		Protocol: p.Name(),
+		cfg:      cfg,
+		kWay:     len(kway),
+		tables:   make([]*marginal.Table, len(kway)),
+		weights:  make([]float64, len(kway)),
+		pos:      make(map[uint64]int, len(kway)),
+	}
+	for i, kt := range kway {
+		v.tables[i] = kt.Table
+		v.weights[i] = float64(kt.Users)
+		v.pos[kt.Beta] = i
+	}
+	if opts.ConsistencyRounds >= 0 && len(v.tables) > 1 && v.N > 0 {
+		if err := consistency.Enforce(v.tables, v.weights, consistency.Options{
+			Rounds: opts.ConsistencyRounds,
+		}); err != nil {
+			return nil, fmt.Errorf("view: enforcing consistency: %w", err)
+		}
+	}
+	if !opts.RawCells {
+		for _, t := range v.tables {
+			t.ProjectToSimplex()
+		}
+	}
+	// Materialize the sub-k cube: every |beta| < k marginal is
+	// deterministic for the life of the epoch, so averaging it out of
+	// the supersets once here keeps the read path at O(2^k) for every
+	// in-contract mask instead of an all-tables scan per request.
+	for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K-1) {
+		tab, err := v.averageFromSupersets(beta)
+		if err != nil {
+			return nil, fmt.Errorf("view: materializing %b: %w", beta, err)
+		}
+		v.pos[beta] = len(v.tables)
+		v.tables = append(v.tables, tab)
+	}
+	v.BuildDuration = time.Since(start)
+	v.BuiltAt = time.Now()
+	return v, nil
+}
+
+// averageFromSupersets computes the marginal over beta as the
+// evidence-weighted average of every k-way collection table containing
+// beta, reduced in mask order (deterministic). Zero total evidence
+// yields the uniform table.
+func (v *View) averageFromSupersets(beta uint64) (*marginal.Table, error) {
+	out, err := marginal.New(beta)
+	if err != nil {
+		return nil, err
+	}
+	var weight float64
+	for i := 0; i < v.kWay; i++ {
+		t := v.tables[i]
+		if !bitops.IsSubset(beta, t.Beta) || v.weights[i] == 0 {
+			continue
+		}
+		sub, err := t.MarginalizeTo(beta)
+		if err != nil {
+			return nil, err
+		}
+		sub.Scale(v.weights[i])
+		if err := out.Add(sub); err != nil {
+			return nil, err
+		}
+		weight += v.weights[i]
+	}
+	if weight == 0 {
+		return marginal.Uniform(beta)
+	}
+	out.Scale(1 / weight)
+	return out, nil
+}
+
+// Config returns the deployment parameters of the view.
+func (v *View) Config() core.Config { return v.cfg }
+
+// Tables returns the number of materialized tables: the C(d,k)
+// collection tables plus the precomputed sub-k cube.
+func (v *View) Tables() int { return len(v.tables) }
+
+// checkBeta validates a queried mask against the deployment, wrapping
+// every failure in ErrBadQuery with a message naming the violated limit.
+func (v *View) checkBeta(beta uint64) error {
+	if beta == 0 {
+		return fmt.Errorf("%w: empty attribute mask", ErrBadQuery)
+	}
+	if beta >= 1<<uint(v.cfg.D) {
+		return fmt.Errorf("%w: mask %d is outside the deployment's %d attributes (max %d)",
+			ErrBadQuery, beta, v.cfg.D, uint64(1)<<uint(v.cfg.D)-1)
+	}
+	if k := bitops.OnesCount(beta); k > v.cfg.K {
+		return fmt.Errorf("%w: mask has %d attributes but the deployment supports at most k=%d",
+			ErrBadQuery, k, v.cfg.K)
+	}
+	return nil
+}
+
+// Marginal answers the marginal over beta (|beta| <= k) from the cached
+// tables in O(2^k): every in-contract mask — the k-way collection
+// tables and the precomputed sub-k cube alike — is a position lookup
+// plus a copy. The returned table is the caller's to mutate. Sub-k
+// answers are the evidence-weighted average of the cached supersets,
+// reduced in mask order at build time, so they are deterministic per
+// epoch.
+func (v *View) Marginal(beta uint64) (*marginal.Table, error) {
+	if err := v.checkBeta(beta); err != nil {
+		return nil, err
+	}
+	if i, ok := v.pos[beta]; ok {
+		return v.tables[i].Clone(), nil
+	}
+	// Unreachable for in-contract masks (the cube covers them all);
+	// kept as a correct fallback.
+	return v.averageFromSupersets(beta)
+}
+
+// Estimate is Marginal under the marginal.Estimator interface, so a View
+// drops into every consumer an aggregator fits (query evaluation,
+// Chow-Liu fitting, chi-squared testing).
+func (v *View) Estimate(beta uint64) (*marginal.Table, error) { return v.Marginal(beta) }
+
+// Answer evaluates one conjunction against the view, returning the
+// estimated population fraction matching it.
+func (v *View) Answer(c query.Conjunction) (float64, error) {
+	return query.Evaluate(v, c, v.cfg.D)
+}
+
+// Age returns how long ago the view was built.
+func (v *View) Age() time.Duration { return time.Since(v.BuiltAt) }
+
+// Staleness returns how many reports have arrived since the view was
+// built, given the aggregator's current count.
+func (v *View) Staleness(currentN int) int {
+	if s := currentN - v.N; s > 0 {
+		return s
+	}
+	return 0
+}

@@ -1,0 +1,307 @@
+package view
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/query"
+	"ldpmarginals/internal/rng"
+)
+
+// perturb generates n deterministic reports for the protocol.
+func perturb(t *testing.T, p core.Protocol, n int, seed uint64) []core.Report {
+	t.Helper()
+	client := p.NewClient()
+	r := rng.New(seed)
+	d := p.Config().D
+	reps := make([]core.Report, n)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i)%(1<<uint(d)), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+func assertTablesIdentical(t *testing.T, label string, a, b *marginal.Table) {
+	t.Helper()
+	if a.Beta != b.Beta || len(a.Cells) != len(b.Cells) {
+		t.Fatalf("%s: shape mismatch %b/%d vs %b/%d", label, a.Beta, len(a.Cells), b.Beta, len(b.Cells))
+	}
+	for c := range a.Cells {
+		if math.Float64bits(a.Cells[c]) != math.Float64bits(b.Cells[c]) {
+			t.Fatalf("%s: cell %d differs: %v vs %v", label, c, a.Cells[c], b.Cells[c])
+		}
+	}
+}
+
+// TestCachedAnswersMatchFreshRebuild is the central equivalence claim of
+// the subsystem, across all six protocols: a view built through the
+// engine over a sharded pipeline answers every |beta| <= k marginal and
+// every conjunction bit-identically to a fresh Build over a sequential
+// aggregator fed the same reports — the cached epoch *is* the
+// snapshot-reconstruction of that epoch.
+func TestCachedAnswersMatchFreshRebuild(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1, OptimizedPRR: true}
+	for _, kind := range core.AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := core.New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps := perturb(t, p, 3000, uint64(kind)+1)
+
+			sharded := core.NewSharded(p, 4)
+			if err := sharded.ConsumeBatch(reps); err != nil {
+				t.Fatal(err)
+			}
+			seq := p.NewAggregator()
+			if err := seq.ConsumeBatch(reps); err != nil {
+				t.Fatal(err)
+			}
+
+			eng, err := NewEngine(sharded, p, EngineOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			cached, err := eng.Refresh()
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh, err := Build(seq, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cached.N != len(reps) || fresh.N != len(reps) {
+				t.Fatalf("view N %d/%d, want %d", cached.N, fresh.N, len(reps))
+			}
+
+			for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K) {
+				got, err := cached.Marginal(beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Marginal(beta)
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertTablesIdentical(t, kind.String(), got, want)
+			}
+
+			for _, qs := range []string{"a0=1 AND a1=0", "a2=1", "a4=0 AND a5=1"} {
+				c, err := query.Parse(qs, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cached.Answer(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.Answer(c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("%s: conjunction %q: %v vs %v", kind, qs, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestBuildIsDeterministic rebuilds from the same snapshot repeatedly —
+// the consistency sweep and the parallel reconstruction must not leak
+// map-iteration or scheduling order into the cells.
+func TestBuildIsDeterministic(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.MargPS, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	if err := agg.ConsumeBatch(perturb(t, p, 4000, 9)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Build(agg, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		v, err := Build(agg, p, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K) {
+			a, err := ref.Marginal(beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := v.Marginal(beta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertTablesIdentical(t, "rebuild", a, b)
+		}
+	}
+}
+
+// TestViewTablesAreConsistentDistributions checks the published
+// post-processing contract: every k-way table is a probability
+// distribution and overlapping tables agree on shared sub-marginals.
+func TestViewTablesAreConsistentDistributions(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.MargRR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	if err := agg.ConsumeBatch(perturb(t, p, 20000, 4)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Build(agg, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range bitops.MasksWithExactlyK(cfg.D, cfg.K) {
+		tab, err := v.Marginal(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, c := range tab.Cells {
+			if c < -1e-12 {
+				t.Fatalf("table %b has negative cell %v after projection", beta, c)
+			}
+			sum += c
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("table %b mass %v, want 1", beta, sum)
+		}
+	}
+	// A 1-way answer must not depend (much) on which superset served it:
+	// the view's weighted average sits within the tiny residual the
+	// simplex projection reintroduces after enforcement.
+	one, err := v.Marginal(0b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, super := range bitops.MasksWithExactlyK(cfg.D, cfg.K) {
+		if !bitops.IsSubset(0b1, super) {
+			continue
+		}
+		tab, err := v.Marginal(super)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := tab.MarginalizeTo(0b1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range one.Cells {
+			if math.Abs(one.Cells[c]-sub.Cells[c]) > 0.02 {
+				t.Fatalf("superset %b implies P=%v for cell %d, view serves %v", super, sub.Cells[c], c, one.Cells[c])
+			}
+		}
+	}
+}
+
+// TestRawCellsSkipsProjection checks the RawCells escape hatch keeps the
+// unbiased estimates (matching the aggregator's raw k-way tables when
+// consistency is off).
+func TestRawCellsSkipsProjection(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.InpHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	if err := agg.ConsumeBatch(perturb(t, p, 500, 2)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Build(agg, p, Options{ConsistencyRounds: -1, RawCells: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range bitops.MasksWithExactlyK(cfg.D, cfg.K) {
+		got, err := v.Marginal(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := agg.Estimate(beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertTablesIdentical(t, "raw", got, want)
+	}
+}
+
+// TestMarginalValidation checks every out-of-contract query is tagged
+// ErrBadQuery (the HTTP layer's 400 contract) with the limit named.
+func TestMarginalValidation(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.InpHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Build(p.NewAggregator(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, beta := range []uint64{0, 1 << 6, 0b111, ^uint64(0)} {
+		_, err := v.Marginal(beta)
+		if !errors.Is(err, ErrBadQuery) {
+			t.Errorf("beta %b: error %v is not ErrBadQuery", beta, err)
+		}
+	}
+	// Empty deployments still answer in-contract queries (uniformly).
+	tab, err := v.Marginal(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tab.Cells {
+		if c != 0.25 {
+			t.Fatalf("empty view should serve uniform, got %v", tab.Cells)
+		}
+	}
+}
+
+// TestViewIsImmutable checks a caller mutating a served table cannot
+// corrupt the cached epoch.
+func TestViewIsImmutable(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.InpHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	if err := agg.ConsumeBatch(perturb(t, p, 1000, 6)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Build(agg, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := v.Marginal(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range first.Cells {
+		first.Cells[c] = math.NaN()
+	}
+	second, err := v.Marginal(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range second.Cells {
+		if math.IsNaN(c) {
+			t.Fatal("mutating a served table corrupted the view")
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/stats"
+	"ldpmarginals/internal/view"
 )
 
 // Config carries the deployment parameters shared by all protocols: the
@@ -250,6 +251,44 @@ func EvaluateConjunction(est marginal.Estimator, c Conjunction, d int) (float64,
 // attribute mask — the OLAP datacube slice.
 func MaterializeCube(est marginal.Estimator, d, k int) (map[uint64]*Table, error) {
 	return query.Cube(est, d, k)
+}
+
+// MarginalView is one immutable materialized epoch: every k-way
+// collection table reconstructed from a single snapshot, made mutually
+// consistent, and frozen for lock-free serving. It satisfies the same
+// estimator interface as an aggregator, so it drops into conjunction
+// evaluation, Chow-Liu fitting, and chi-squared testing.
+type MarginalView = view.View
+
+// ViewOptions tunes the per-epoch post-processing of BuildView.
+type ViewOptions = view.Options
+
+// ViewEngine owns the materialized view of a deployment, rebuilding it
+// on a refresh policy and publishing epochs through an atomic pointer so
+// readers never take a lock.
+type ViewEngine = view.Engine
+
+// ViewEngineOptions configures NewViewEngine (refresh policy and build
+// post-processing).
+type ViewEngineOptions = view.EngineOptions
+
+// RefreshPolicy selects when a ViewEngine rebuilds on its own: a
+// wall-time interval, a report-count delta, or neither (manual Refresh
+// only).
+type RefreshPolicy = view.Policy
+
+// BuildView materializes a view from one aggregator snapshot: all
+// C(d,k) k-way marginals reconstructed in parallel, consistency
+// enforced, simplex projected. Equal snapshots build bit-identical
+// views.
+func BuildView(snap Aggregator, p Protocol, opts ViewOptions) (*MarginalView, error) {
+	return view.Build(snap, p, opts)
+}
+
+// NewViewEngine builds the first epoch over the sharded aggregator and
+// starts the refresh policy (if any). Close the engine to stop it.
+func NewViewEngine(src *ShardedAggregator, p Protocol, opts ViewEngineOptions) (*ViewEngine, error) {
+	return view.NewEngine(src, p, opts)
 }
 
 // ConsistencyOptions controls EnforceConsistency.
