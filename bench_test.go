@@ -13,6 +13,7 @@ import (
 
 	"ldpmarginals"
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
 	"ldpmarginals/internal/experiments"
 	"ldpmarginals/internal/rng"
 )
@@ -419,4 +420,98 @@ func BenchmarkSimulatePopulation(b *testing.B) {
 			}
 		})
 	}
+}
+
+// Durable-ingestion benchmarks: the sharded batch pipeline with the
+// write-ahead log at each fsync policy, against the WAL-off (memory
+// only) baseline. One benchmark operation ingests one chunk through
+// store.Ingest exactly as the server's /report/batch path does —
+// consume into a round-robin shard, then append the chunk's frames to
+// the log before acking. Compare via the reports/s metric; the ratios
+// are recorded in BENCH_persist.json.
+
+// durableSetup pre-marshals the report stream into per-chunk batch
+// bodies (the /report/batch wire layout) so the benchmark measures
+// ingestion, not client-side encoding — exactly the bytes a server
+// handler would hand the store.
+func durableSetup(b *testing.B) (ldpmarginals.Protocol, [][]ldpmarginals.Report, [][]byte) {
+	b.Helper()
+	p, reps := ingestSetup(b)
+	var chunks [][]ldpmarginals.Report
+	var batches [][]byte
+	for lo := 0; lo+ingestBatchSize <= len(reps); lo += ingestBatchSize {
+		chunk := reps[lo : lo+ingestBatchSize]
+		body, err := encoding.MarshalBatch(p.Name(), chunk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks = append(chunks, chunk)
+		batches = append(batches, body)
+	}
+	return p, chunks, batches
+}
+
+func benchDurableIngest(b *testing.B, open func(b *testing.B, p ldpmarginals.Protocol) *ldpmarginals.ReportStore) {
+	p, chunks, batches := durableSetup(b)
+	sh := ldpmarginals.NewShardedAggregator(p, 0)
+	var st *ldpmarginals.ReportStore
+	if open != nil {
+		st = open(b, p)
+		st.SetSource(sh.Snapshot)
+		defer func() {
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}()
+	}
+	var firstErr atomic.Pointer[error]
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		j := 0
+		for pb.Next() {
+			chunk, batch := chunks[j%len(chunks)], batches[j%len(batches)]
+			j++
+			var err error
+			if st == nil {
+				err = sh.ConsumeBatch(chunk)
+			} else {
+				err = st.Ingest(batch, func() (int, int, error) {
+					if err := sh.ConsumeBatch(chunk); err != nil {
+						return 0, 0, err
+					}
+					return len(chunk), len(batch), nil
+				})
+			}
+			if err != nil {
+				firstErr.CompareAndSwap(nil, &err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if errp := firstErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	b.ReportMetric(float64(b.N)*ingestBatchSize/b.Elapsed().Seconds(), "reports/s")
+}
+
+func openBenchStore(fsync ldpmarginals.FsyncPolicy) func(b *testing.B, p ldpmarginals.Protocol) *ldpmarginals.ReportStore {
+	return func(b *testing.B, p ldpmarginals.Protocol) *ldpmarginals.ReportStore {
+		b.Helper()
+		st, err := ldpmarginals.OpenStore(b.TempDir(), p, ldpmarginals.StoreOptions{Fsync: fsync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return st
+	}
+}
+
+// BenchmarkIngestDurable ingests the sharded batch pipeline with the
+// WAL disabled entirely (the PR 1 architecture) and enabled under each
+// fsync policy.
+func BenchmarkIngestDurable(b *testing.B) {
+	b.Run("nowal", func(b *testing.B) { benchDurableIngest(b, nil) })
+	b.Run("fsync=off", func(b *testing.B) { benchDurableIngest(b, openBenchStore(ldpmarginals.FsyncOff)) })
+	b.Run("fsync=interval", func(b *testing.B) { benchDurableIngest(b, openBenchStore(ldpmarginals.FsyncInterval)) })
+	b.Run("fsync=always", func(b *testing.B) { benchDurableIngest(b, openBenchStore(ldpmarginals.FsyncAlways)) })
 }

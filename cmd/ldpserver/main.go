@@ -5,7 +5,8 @@
 // Usage:
 //
 //	ldpserver -addr :8080 -protocol InpHT -d 8 -k 2 -eps 1.1 \
-//	    -shards 0 -refresh-interval 5s -refresh-every-n 0
+//	    -shards 0 -refresh-interval 5s -refresh-every-n 0 \
+//	    -data-dir /var/lib/ldpserver -fsync interval -snapshot-every-n 1000000
 //
 // Endpoints:
 //
@@ -25,6 +26,16 @@
 // -refresh-every-n new reports have arrived (0 disables either
 // trigger; with both at 0 the view only advances on POST /refresh).
 // SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// With -data-dir set the deployment is durable: accepted reports are
+// appended to a write-ahead log before the ack (fsynced per -fsync:
+// always, interval, or off), the counters are compacted into snapshots
+// every -snapshot-every-n reports and on shutdown, and a restart
+// recovers the full aggregation state from the directory — the startup
+// log reports how many reports were recovered, from which snapshot,
+// how many WAL segments were replayed, and whether a torn tail was
+// truncated. Without -data-dir the deployment lives in memory only, as
+// before.
 package main
 
 import (
@@ -41,6 +52,7 @@ import (
 
 	"ldpmarginals"
 	"ldpmarginals/internal/server"
+	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
 )
 
@@ -58,6 +70,11 @@ func main() {
 		workers  = flag.Int("ingest-workers", 0, "bounded batch-ingestion workers (0 = shard count)")
 		interval = flag.Duration("refresh-interval", 5*time.Second, "rebuild the view this often (0 = no time-based refresh)")
 		everyN   = flag.Int("refresh-every-n", 0, "rebuild the view after this many new reports (0 = no count-based refresh)")
+
+		dataDir    = flag.String("data-dir", "", "durable WAL+snapshot directory (empty = memory-only deployment)")
+		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
+		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer period for -fsync interval")
+		snapEveryN = flag.Int("snapshot-every-n", 1_000_000, "compact the WAL into a counter snapshot after this many reports (0 = only on shutdown)")
 	)
 	flag.Parse()
 
@@ -66,10 +83,35 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var st *store.Store
+	if *dataDir != "" {
+		policy, err := store.ParseFsync(*fsyncMode)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st, err = store.Open(*dataDir, p, store.Options{
+			Fsync:          policy,
+			FsyncInterval:  *fsyncEvery,
+			SnapshotEveryN: *snapEveryN,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, rec := st.Recovered()
+		log.Printf("recovered %d reports from %s (snapshot %d with %d reports, %d replayed from %d WAL segments)",
+			rec.Reports, *dataDir, rec.SnapshotSeq, rec.SnapshotReports, rec.ReportsReplayed, rec.SegmentsReplayed)
+		if rec.TornTailTruncations > 0 {
+			log.Printf("truncated %d torn WAL tail record(s) from the previous crash", rec.TornTailTruncations)
+		}
+		if rec.SnapshotsDiscarded > 0 {
+			log.Printf("discarded %d corrupt snapshot(s) during recovery", rec.SnapshotsDiscarded)
+		}
+	}
 	srv, err := server.NewWithOptions(p, server.Options{
 		Shards:        *shards,
 		IngestWorkers: *workers,
 		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
+		Store:         st,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,8 +134,12 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards, refresh %v/%d reports) on %s\n",
-		p.Name(), *d, *k, *eps, srv.Shards(), *interval, *everyN, *addr)
+	durable := "memory-only"
+	if st != nil {
+		durable = fmt.Sprintf("durable in %s (fsync %s)", *dataDir, st.Fsync())
+	}
+	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards, refresh %v/%d reports, %s) on %s\n",
+		p.Name(), *d, *k, *eps, srv.Shards(), *interval, *everyN, durable, *addr)
 
 	select {
 	case err := <-errc:
@@ -105,6 +151,11 @@ func main() {
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
 			log.Printf("shutdown: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			log.Printf("closing store: %v", err)
+		} else if st != nil {
+			log.Printf("flushed WAL and wrote final snapshot to %s", *dataDir)
 		}
 		log.Printf("served %d reports across %d epochs", srv.N(), srv.View().Epoch())
 	}

@@ -58,4 +58,22 @@
 // report-count delta, or explicit POST /refresh). Builds are
 // deterministic, so a cached answer is bit-identical to a fresh
 // rebuild of the same snapshot.
+//
+// # Durability
+//
+// Under the one-round collection model every report is irreplaceable —
+// a user reports once, ever — so a crash that loses aggregator state
+// loses privacy budget that can never be re-spent. OpenStore
+// (internal/store) gives a deployment a durable data directory: every
+// accepted report is appended to a CRC-checked write-ahead log before
+// the ack (fsynced per FsyncAlways / FsyncInterval / FsyncOff, with
+// group commit so durability doesn't serialize the sharded ingest
+// path), and the counters are periodically compacted into snapshots of
+// the aggregator's canonical MarshalState blob — every protocol's
+// state round-trips the codec byte-identically. Restarting recovers
+// the newest valid snapshot, replays the WAL tail, truncates a torn
+// final record, and seeds the sharded aggregator, so the view engine's
+// first epoch already answers over everything that survived.
+// cmd/ldpserver exposes this as -data-dir, -fsync, and
+// -snapshot-every-n.
 package ldpmarginals

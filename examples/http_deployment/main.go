@@ -1,9 +1,12 @@
-// HTTP deployment example: stand up the collection server in-process,
-// drive it with simulated clients posting wire-encoded reports over
-// HTTP, publish an epoch of the materialized view, and read a marginal
-// and a batch of conjunction queries back from the cache — the
-// end-to-end shape of the browser/mobile deployments the paper targets
-// (Section 7). See README.md for the epoch/staleness model.
+// HTTP deployment example: stand up the collection server in-process
+// on a durable data directory, drive it with simulated clients posting
+// wire-encoded reports over HTTP, restart the deployment to show the
+// collected state surviving (the paper's one-round reports are
+// irreplaceable), publish an epoch of the materialized view, and read
+// a marginal and a batch of conjunction queries back from the cache —
+// the end-to-end shape of the browser/mobile deployments the paper
+// targets (Section 7). See README.md for the epoch/staleness and
+// durability models.
 package main
 
 import (
@@ -13,6 +16,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 
 	"ldpmarginals"
 	"ldpmarginals/internal/encoding"
@@ -28,13 +32,27 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(p)
+	// Durable deployment: reports are WAL-logged before every ack, so
+	// the irreplaceable one-round collection survives a crash or
+	// redeploy (cmd/ldpserver exposes the same thing as -data-dir).
+	dataDir, err := os.MkdirTemp("", "ldpserver-example")
 	if err != nil {
 		log.Fatal(err)
 	}
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
-	fmt.Printf("collection server for %s listening at %s\n", p.Name(), ts.URL)
+	defer os.RemoveAll(dataDir)
+	openServer := func() (*server.Server, *httptest.Server) {
+		st, err := ldpmarginals.OpenStore(dataDir, p, ldpmarginals.StoreOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := server.NewWithOptions(p, server.Options{Store: st})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return srv, httptest.NewServer(srv.Handler())
+	}
+	srv, ts := openServer()
+	fmt.Printf("collection server for %s listening at %s (durable in %s)\n", p.Name(), ts.URL, dataDir)
 
 	// Client side: 50K users randomize locally. The first 1000 POST
 	// individually to /report (the one-frame-per-user mobile shape); the
@@ -85,6 +103,25 @@ func main() {
 	}
 	fmt.Printf("posted %d reports (%d singly, the rest in batches of %d; %d bits each on the wire budget)\n",
 		ds.N(), singles, batchSize, p.CommunicationBits())
+
+	// Kill-and-restart: shut the deployment down (flushing the WAL and
+	// writing a counter snapshot) and bring it back up from the same
+	// data directory. The report count — and with it every marginal the
+	// epochs below will serve — survives the restart byte-for-byte.
+	before := getStatus(ts.URL)
+	ts.Close()
+	if err := srv.Close(); err != nil {
+		log.Fatal(err)
+	}
+	srv, ts = openServer()
+	defer ts.Close()
+	defer srv.Close()
+	after := getStatus(ts.URL)
+	fmt.Printf("restarted from %s: %d reports before shutdown, %d recovered (fsync %s, %d in last snapshot)\n",
+		dataDir, before.N, after.N, after.Durability.Fsync, after.Durability.LastSnapshotReports)
+	if before.N != after.N {
+		log.Fatalf("recovery lost reports: %d != %d", after.N, before.N)
+	}
 
 	// Publish an epoch: one POST /refresh reconstructs all C(8,2) = 28
 	// two-way marginals, makes them mutually consistent, and swaps the
@@ -156,4 +193,17 @@ func main() {
 		}
 		fmt.Printf("  %-22s fraction %.4f (~%.0f users)\n", res.Query, res.Fraction, res.Count)
 	}
+}
+
+func getStatus(url string) server.StatusResponse {
+	resp, err := http.Get(url + "/status")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr server.StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		log.Fatal(err)
+	}
+	return sr
 }

@@ -139,6 +139,19 @@ type Aggregator interface {
 	Merge(other Aggregator) error
 	// N returns the number of reports consumed.
 	N() int
+	// MarshalState serializes the accumulated state (integer counters)
+	// into a self-describing blob. The encoding is canonical and
+	// deterministic: equal states marshal byte-identically, and
+	// UnmarshalState followed by MarshalState reproduces the input
+	// byte-for-byte. The durable store (internal/store) persists these
+	// blobs as counter snapshots.
+	MarshalState() ([]byte, error)
+	// UnmarshalState replaces the aggregator's state with a blob
+	// produced by MarshalState on an aggregator of the same protocol and
+	// configuration. A blob from a different protocol, configuration, or
+	// a corrupted byte stream fails with an error and leaves the
+	// receiver unchanged.
+	UnmarshalState(data []byte) error
 }
 
 // BatchError reports the first rejected report of a ConsumeBatch call.

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"ldpmarginals/internal/rng"
+)
+
+// TestStateRoundTripBitIdentical pins the state codec contract for all
+// six protocols: marshal a populated aggregator, restore the blob into
+// a fresh aggregator, and require (a) the re-marshaled blob to be
+// byte-identical (canonical encoding) and (b) every answerable
+// marginal to reconstruct bit-identically from the restored state.
+func TestStateRoundTripBitIdentical(t *testing.T) {
+	cfg := shardedTestConfig()
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := p.NewAggregator()
+			if err := agg.ConsumeBatch(perturbReports(t, p, 2000, 7)); err != nil {
+				t.Fatal(err)
+			}
+			blob, err := agg.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := p.NewAggregator()
+			if err := restored.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			if restored.N() != agg.N() {
+				t.Fatalf("restored N = %d, want %d", restored.N(), agg.N())
+			}
+			again, err := restored.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, again) {
+				t.Fatalf("re-marshaled state differs: %d vs %d bytes", len(again), len(blob))
+			}
+			assertTablesBitIdentical(t, restored, agg, cfg)
+		})
+	}
+}
+
+// TestStateEmptyRoundTrip pins that an empty aggregator's state
+// restores to an empty aggregator for every protocol.
+func TestStateEmptyRoundTrip(t *testing.T) {
+	cfg := shardedTestConfig()
+	for _, kind := range AllKinds() {
+		p, err := New(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := p.NewAggregator().MarshalState()
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		restored := p.NewAggregator()
+		if err := restored.UnmarshalState(blob); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if restored.N() != 0 {
+			t.Fatalf("%v: restored empty state has N = %d", kind, restored.N())
+		}
+	}
+}
+
+// TestShardedStateRoundTrip pins that a sharded aggregator's state is
+// the merged sequential state: restoring it into another sharded
+// aggregator (with a different shard count) reproduces the blob and
+// the estimates bit-identically.
+func TestShardedStateRoundTrip(t *testing.T) {
+	cfg := shardedTestConfig()
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := NewSharded(p, 4)
+			reps := perturbReports(t, p, 1500, 11)
+			for lo := 0; lo < len(reps); lo += 100 {
+				hi := min(lo+100, len(reps))
+				if err := sh.ConsumeBatch(reps[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			blob, err := sh.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := NewSharded(p, 3)
+			if err := restored.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			if restored.N() != sh.N() {
+				t.Fatalf("restored N = %d, want %d", restored.N(), sh.N())
+			}
+			again, err := restored.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(blob, again) {
+				t.Fatal("re-marshaled sharded state differs")
+			}
+			assertTablesBitIdentical(t, restored, sh, cfg)
+
+			// Restoring resets previous contents, not merges into them.
+			dirty := NewSharded(p, 2)
+			if err := dirty.ConsumeBatch(perturbReports(t, p, 50, 13)); err != nil {
+				t.Fatal(err)
+			}
+			if err := dirty.UnmarshalState(blob); err != nil {
+				t.Fatal(err)
+			}
+			if dirty.N() != sh.N() {
+				t.Fatalf("restore over dirty state: N = %d, want %d", dirty.N(), sh.N())
+			}
+		})
+	}
+}
+
+// TestUnmarshalStateRejectsWrongProtocol pins that a blob restores only
+// into its own protocol: every cross-protocol pairing must fail and
+// leave the receiver unchanged.
+func TestUnmarshalStateRejectsWrongProtocol(t *testing.T) {
+	cfg := shardedTestConfig()
+	blobs := make(map[Kind][]byte)
+	for _, kind := range AllKinds() {
+		p, err := New(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := p.NewAggregator()
+		if err := agg.ConsumeBatch(perturbReports(t, p, 200, 3)); err != nil {
+			t.Fatal(err)
+		}
+		if blobs[kind], err = agg.MarshalState(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dst := range AllKinds() {
+		p, err := New(dst, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range AllKinds() {
+			if src == dst {
+				continue
+			}
+			agg := p.NewAggregator()
+			if err := agg.UnmarshalState(blobs[src]); err == nil {
+				t.Fatalf("%v state restored into %v aggregator", src, dst)
+			}
+			if agg.N() != 0 {
+				t.Fatalf("failed restore left %v aggregator with N = %d", dst, agg.N())
+			}
+		}
+	}
+}
+
+// TestUnmarshalStateRejectsWrongGeometry pins that a blob from a
+// different deployment configuration (here a larger d) is rejected.
+func TestUnmarshalStateRejectsWrongGeometry(t *testing.T) {
+	small := shardedTestConfig()
+	big := small
+	big.D = small.D + 2
+	for _, kind := range AllKinds() {
+		ps, err := New(kind, small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := New(kind, big)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agg := pb.NewAggregator()
+		if err := agg.ConsumeBatch(perturbReports(t, pb, 100, 5)); err != nil {
+			t.Fatal(err)
+		}
+		blob, err := agg.MarshalState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ps.NewAggregator().UnmarshalState(blob); err == nil {
+			t.Fatalf("%v: d=%d state restored into d=%d aggregator", kind, big.D, small.D)
+		}
+	}
+}
+
+// FuzzUnmarshalState feeds arbitrary blobs to every protocol's decoder:
+// it must restore cleanly or reject with an error — never panic — and a
+// successful restore must re-marshal to the exact input (no two byte
+// strings decode to the same accepted state).
+func FuzzUnmarshalState(f *testing.F) {
+	cfg := Config{D: 6, K: 2, Epsilon: 1.1, OptimizedPRR: true}
+	protos := make([]Protocol, 0, len(AllKinds()))
+	for _, kind := range AllKinds() {
+		p, err := New(kind, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		protos = append(protos, p)
+		agg := p.NewAggregator()
+		client := p.NewClient()
+		// A small deterministic population seeds the corpus with valid
+		// blobs of every kind.
+		r := rng.New(uint64(len(protos)))
+		for i := 0; i < 64; i++ {
+			rep, err := client.Perturb(uint64(i%64), r)
+			if err != nil {
+				f.Fatal(err)
+			}
+			if err := agg.Consume(rep); err != nil {
+				f.Fatal(err)
+			}
+		}
+		blob, err := agg.MarshalState()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+		// Truncated, bit-flipped, and oversized-length variants.
+		f.Add(blob[:len(blob)/2])
+		flipped := append([]byte(nil), blob...)
+		flipped[len(flipped)/3] ^= 0x40
+		f.Add(flipped)
+		f.Add(append([]byte{blob[0], blob[1]}, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, p := range protos {
+			agg := p.NewAggregator()
+			if err := agg.UnmarshalState(data); err != nil {
+				continue
+			}
+			blob, err := agg.MarshalState()
+			if err != nil {
+				t.Fatalf("%s: accepted state does not re-marshal: %v", p.Name(), err)
+			}
+			if !bytes.Equal(blob, data) {
+				t.Fatalf("%s: accepted state re-marshals to %d bytes, input was %d", p.Name(), len(blob), len(data))
+			}
+		}
+	})
+}

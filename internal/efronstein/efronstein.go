@@ -31,6 +31,7 @@ import (
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/mech"
 	"ldpmarginals/internal/rng"
+	"ldpmarginals/internal/wire"
 )
 
 // Basis returns the Helmert-style orthonormal basis of functions on an
@@ -319,6 +320,50 @@ func (a *Aggregator) Merge(other core.Aggregator) error {
 		a.counts[i] += o.counts[i]
 	}
 	a.n += o.n
+	return nil
+}
+
+// stateKindES continues the state-kind numbering of internal/core and
+// internal/freqoracle; part of the persisted snapshot format.
+const (
+	stateKindES  byte = 10
+	stateVersion byte = 1
+)
+
+// MarshalState serializes the per-coefficient counters; see
+// core.Aggregator.
+func (a *Aggregator) MarshalState() ([]byte, error) {
+	e := wire.NewStateEncoder(stateKindES, stateVersion)
+	e.Uvarint(uint64(a.n))
+	e.Int64s(a.sums)
+	e.Int64s(a.counts)
+	return e.Bytes(), nil
+}
+
+// UnmarshalState replaces the per-coefficient counters; see
+// core.Aggregator.
+func (a *Aggregator) UnmarshalState(data []byte) error {
+	d, err := wire.NewStateDecoder(data, stateKindES, stateVersion)
+	if err != nil {
+		return fmt.Errorf("efronstein: state: %w", err)
+	}
+	n := d.Count()
+	sums := d.Int64s(len(a.p.coeffs))
+	counts := d.Int64s(len(a.p.coeffs))
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("efronstein: state: %w", err)
+	}
+	var total int64
+	for i, c := range counts {
+		if c < 0 || sums[i] > c || sums[i] < -c {
+			return fmt.Errorf("efronstein: state: coefficient %d has sum %d over %d reports", i, sums[i], c)
+		}
+		total += c
+	}
+	if total != int64(n) {
+		return fmt.Errorf("efronstein: state: coefficient counts sum to %d, want %d reports", total, n)
+	}
+	a.n, a.sums, a.counts = n, sums, counts
 	return nil
 }
 

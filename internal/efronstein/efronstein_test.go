@@ -1,6 +1,7 @@
 package efronstein
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -305,5 +306,58 @@ func TestMarginalMassNearOne(t *testing.T) {
 	// The constant coefficient guarantees the estimate integrates to 1.
 	if !almostEq(vec.Sum(dist), 1, 1e-9) {
 		t.Errorf("estimated mass = %v", vec.Sum(dist))
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	p, err := New(Config{Cardinalities: []int{3, 4, 2}, K: 2, Epsilon: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	client := p.NewClient()
+	r := rng.New(3)
+	for i := 0; i < 500; i++ {
+		record := uint64(i%3)<<uint(p.offsets[0]) |
+			uint64((i/3)%4)<<uint(p.offsets[1]) |
+			uint64((i/12)%2)<<uint(p.offsets[2])
+		rep, err := client.Perturb(record, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := agg.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := p.NewAggregator().(*Aggregator)
+	if err := restored.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != agg.N() {
+		t.Fatalf("restored N = %d, want %d", restored.N(), agg.N())
+	}
+	again, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("re-marshaled state differs")
+	}
+	want, err := agg.(*Aggregator).EstimateCategorical([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.EstimateCategorical([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want {
+		if math.Float64bits(got[c]) != math.Float64bits(want[c]) {
+			t.Fatalf("cell %d: %v vs %v", c, got[c], want[c])
+		}
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"ldpmarginals/internal/mech"
 	"ldpmarginals/internal/rng"
 	"ldpmarginals/internal/vec"
+	"ldpmarginals/internal/wire"
 )
 
 // DefaultOmega is the paper's EM convergence threshold (Section 5.4).
@@ -167,6 +168,41 @@ func (a *Aggregator) Merge(other core.Aggregator) error {
 		return fmt.Errorf("em: merging %T into EM aggregator", other)
 	}
 	a.reports = append(a.reports, o.reports...)
+	return nil
+}
+
+// stateKindEM continues the state-kind numbering of internal/core
+// (mirroring encoding.TagInpEM); part of the persisted snapshot format.
+const (
+	stateKindEM  byte = 7
+	stateVersion byte = 1
+)
+
+// MarshalState serializes the stored report masks; see core.Aggregator.
+// Unlike the counter protocols, EM keeps raw reports, so the state
+// preserves their arrival order.
+func (a *Aggregator) MarshalState() ([]byte, error) {
+	e := wire.NewStateEncoder(stateKindEM, stateVersion)
+	e.Uint64s(a.reports)
+	return e.Bytes(), nil
+}
+
+// UnmarshalState replaces the stored reports; see core.Aggregator.
+func (a *Aggregator) UnmarshalState(data []byte) error {
+	d, err := wire.NewStateDecoder(data, stateKindEM, stateVersion)
+	if err != nil {
+		return fmt.Errorf("em: state: %w", err)
+	}
+	reports := d.Uint64s(-1)
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("em: state: %w", err)
+	}
+	for i, rep := range reports {
+		if rep >= 1<<uint(a.p.cfg.D) {
+			return fmt.Errorf("em: state: report %d mask %d outside 2^%d domain", i, rep, a.p.cfg.D)
+		}
+	}
+	a.reports = reports
 	return nil
 }
 

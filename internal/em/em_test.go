@@ -1,6 +1,7 @@
 package em
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -234,5 +235,66 @@ func BenchmarkEMDecode2Way(b *testing.B) {
 		if _, _, err := Decode(observed, ch, 1e-6, 100000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	p, err := New(Config{D: 4, K: 2, Epsilon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	client := p.NewClient()
+	r := rng.New(5)
+	for i := 0; i < 300; i++ {
+		rep, err := client.Perturb(uint64(i%16), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := agg.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := p.NewAggregator()
+	if err := restored.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != agg.N() {
+		t.Fatalf("restored N = %d, want %d", restored.N(), agg.N())
+	}
+	again, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("re-marshaled state differs")
+	}
+	want, err := agg.Estimate(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Estimate(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want.Cells {
+		if math.Float64bits(got.Cells[c]) != math.Float64bits(want.Cells[c]) {
+			t.Fatalf("cell %d: %v vs %v", c, got.Cells[c], want.Cells[c])
+		}
+	}
+	// A mask outside the domain must be rejected and leave the receiver
+	// untouched.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-1] = 0x7F
+	dirty := p.NewAggregator()
+	if err := dirty.UnmarshalState(bad); err == nil {
+		t.Fatal("out-of-domain report mask accepted")
+	}
+	if dirty.N() != 0 {
+		t.Fatalf("failed restore left N = %d", dirty.N())
 	}
 }

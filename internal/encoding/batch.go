@@ -1,14 +1,15 @@
 package encoding
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/wire"
 )
 
 // Batch wire format. A batch is a concatenation of length-prefixed
-// report frames:
+// report frames (the shared wire framing, which the durable WAL's
+// segment format reuses record-for-record):
 //
 //	repeat: uvarint frame length, then that many bytes of a Marshal frame
 //
@@ -25,8 +26,7 @@ const MaxFrameBytes = 1 << 18
 // AppendFrame appends one length-prefixed frame to dst and returns the
 // extended buffer.
 func AppendFrame(dst, frame []byte) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(frame)))
-	return append(dst, frame...)
+	return wire.AppendFrame(dst, frame)
 }
 
 // MarshalBatch serializes a batch of reports of the named protocol into
@@ -48,39 +48,48 @@ func MarshalBatch(name string, reps []core.Report) ([]byte, error) {
 // bounds the number of frames (0 means no bound) so a hostile body
 // cannot force unbounded decoding work beyond its own size.
 func UnmarshalBatch(buf []byte, maxReports int) (Tag, []core.Report, error) {
+	tag, reps, _, err := UnmarshalBatchEnds(buf, maxReports)
+	return tag, reps, err
+}
+
+// UnmarshalBatchEnds is UnmarshalBatch returning, alongside the decoded
+// reports, the byte offset just past each report's frame: buf[:ends[i]]
+// is itself a valid batch of the first i+1 reports, and
+// buf[ends[i]:ends[j]] one of reports i+1..j. The durable ingestion
+// path uses these bounds to append the accepted prefix of a request
+// body to the write-ahead log verbatim — the record payload is the
+// already-validated wire bytes, with no re-marshal and no per-frame
+// re-framing.
+func UnmarshalBatchEnds(buf []byte, maxReports int) (Tag, []core.Report, []int, error) {
 	var (
 		tag  Tag
 		reps []core.Report
+		ends []int
 	)
+	total := len(buf)
 	for len(buf) > 0 {
-		n, w := binary.Uvarint(buf)
-		if w <= 0 {
-			return 0, nil, fmt.Errorf("encoding: batch frame %d: truncated length prefix", len(reps))
-		}
-		buf = buf[w:]
-		if n > MaxFrameBytes {
-			return 0, nil, fmt.Errorf("encoding: batch frame %d: %d bytes exceeds limit %d", len(reps), n, MaxFrameBytes)
-		}
-		if uint64(len(buf)) < n {
-			return 0, nil, fmt.Errorf("encoding: batch frame %d: truncated frame (%d of %d bytes)", len(reps), len(buf), n)
+		frame, rest, err := wire.NextFrame(buf, MaxFrameBytes)
+		if err != nil {
+			return 0, nil, nil, fmt.Errorf("encoding: batch frame %d: %w", len(reps), err)
 		}
 		if maxReports > 0 && len(reps) == maxReports {
-			return 0, nil, fmt.Errorf("encoding: batch exceeds %d reports", maxReports)
+			return 0, nil, nil, fmt.Errorf("encoding: batch exceeds %d reports", maxReports)
 		}
-		t, rep, err := Unmarshal(buf[:n])
+		t, rep, err := Unmarshal(frame)
 		if err != nil {
-			return 0, nil, fmt.Errorf("encoding: batch frame %d: %w", len(reps), err)
+			return 0, nil, nil, fmt.Errorf("encoding: batch frame %d: %w", len(reps), err)
 		}
-		buf = buf[n:]
+		buf = rest
 		if len(reps) == 0 {
 			tag = t
 		} else if t != tag {
-			return 0, nil, fmt.Errorf("encoding: batch mixes tags %d and %d", tag, t)
+			return 0, nil, nil, fmt.Errorf("encoding: batch mixes tags %d and %d", tag, t)
 		}
 		reps = append(reps, rep)
+		ends = append(ends, total-len(buf))
 	}
 	if len(reps) == 0 {
-		return 0, nil, fmt.Errorf("encoding: empty batch")
+		return 0, nil, nil, fmt.Errorf("encoding: empty batch")
 	}
-	return tag, reps, nil
+	return tag, reps, ends, nil
 }

@@ -1,6 +1,7 @@
 package freqoracle
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -303,4 +304,70 @@ func TestBitsFor(t *testing.T) {
 			t.Errorf("bitsFor(%d) = %d, want %d", c.m, got, c.want)
 		}
 	}
+}
+
+// stateRoundTrip drives one oracle's state codec: populate, marshal,
+// restore into a fresh aggregator, and require canonical bytes plus
+// bit-identical frequency estimates.
+func stateRoundTrip(t *testing.T, p core.Protocol) {
+	t.Helper()
+	agg := p.NewAggregator()
+	client := p.NewClient()
+	r := rng.New(9)
+	for i := 0; i < 400; i++ {
+		rep, err := client.Perturb(uint64(i%32), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := agg.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blob, err := agg.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := p.NewAggregator()
+	if err := restored.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.N() != agg.N() {
+		t.Fatalf("restored N = %d, want %d", restored.N(), agg.N())
+	}
+	again, err := restored.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatal("re-marshaled state differs")
+	}
+	want, err := agg.Estimate(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Estimate(0b11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range want.Cells {
+		if math.Float64bits(got.Cells[c]) != math.Float64bits(want.Cells[c]) {
+			t.Fatalf("cell %d: %v vs %v", c, got.Cells[c], want.Cells[c])
+		}
+	}
+}
+
+func TestOLHStateRoundTrip(t *testing.T) {
+	p, err := NewOLH(OLHConfig{D: 5, K: 2, Epsilon: ln3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateRoundTrip(t, p)
+}
+
+func TestHCMSStateRoundTrip(t *testing.T) {
+	p, err := NewHCMS(HCMSConfig{D: 5, K: 2, Epsilon: ln3, G: 3, W: 32, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stateRoundTrip(t, p)
 }

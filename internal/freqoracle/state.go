@@ -1,0 +1,100 @@
+package freqoracle
+
+import (
+	"fmt"
+
+	"ldpmarginals/internal/wire"
+)
+
+// State codecs for the frequency-oracle aggregators; see
+// core.Aggregator. The kind bytes continue the internal/core numbering
+// (mirroring the encoding wire tags) and are part of the persisted
+// snapshot format: do not renumber.
+const (
+	stateKindOLH  byte = 8
+	stateKindHCMS byte = 9
+	stateVersion  byte = 1
+)
+
+// MarshalState serializes the stored (hash seed, perturbed value)
+// pairs. Like EM, OLH keeps raw reports rather than counters, so the
+// state preserves their arrival order.
+func (a *olhAgg) MarshalState() ([]byte, error) {
+	e := wire.NewStateEncoder(stateKindOLH, stateVersion)
+	e.Uint64s(a.seeds)
+	e.Uint64s(a.values)
+	return e.Bytes(), nil
+}
+
+// UnmarshalState replaces the stored report pairs; see core.Aggregator.
+func (a *olhAgg) UnmarshalState(data []byte) error {
+	d, err := wire.NewStateDecoder(data, stateKindOLH, stateVersion)
+	if err != nil {
+		return fmt.Errorf("freqoracle: OLH state: %w", err)
+	}
+	seeds := d.Uint64s(-1)
+	values := d.Uint64s(len(seeds))
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("freqoracle: OLH state: %w", err)
+	}
+	for i, v := range values {
+		if v >= a.o.g {
+			return fmt.Errorf("freqoracle: OLH state: report %d value %d outside hash range %d", i, v, a.o.g)
+		}
+	}
+	a.seeds, a.values, a.decoded = seeds, values, nil
+	return nil
+}
+
+// MarshalState serializes the per-row sketch counters; see
+// core.Aggregator.
+func (a *hcmsAgg) MarshalState() ([]byte, error) {
+	e := wire.NewStateEncoder(stateKindHCMS, stateVersion)
+	e.Uvarint(uint64(a.n))
+	e.Counts(a.users)
+	for g := range a.sums {
+		e.Int64s(a.sums[g])
+		e.Int64s(a.counts[g])
+	}
+	return e.Bytes(), nil
+}
+
+// UnmarshalState replaces the sketch counters; see core.Aggregator.
+func (a *hcmsAgg) UnmarshalState(data []byte) error {
+	d, err := wire.NewStateDecoder(data, stateKindHCMS, stateVersion)
+	if err != nil {
+		return fmt.Errorf("freqoracle: HCMS state: %w", err)
+	}
+	n := d.Count()
+	users := d.Counts(a.h.cfg.G)
+	sums := make([][]int64, a.h.cfg.G)
+	counts := make([][]int64, a.h.cfg.G)
+	for g := range sums {
+		sums[g] = d.Int64s(a.h.cfg.W)
+		counts[g] = d.Int64s(a.h.cfg.W)
+	}
+	if err := d.Finish(); err != nil {
+		return fmt.Errorf("freqoracle: HCMS state: %w", err)
+	}
+	var total int
+	for _, u := range users {
+		total += u
+	}
+	if total != n {
+		return fmt.Errorf("freqoracle: HCMS state: per-row users sum to %d, want %d reports", total, n)
+	}
+	for g := range sums {
+		var rowTotal int64
+		for c, cnt := range counts[g] {
+			if cnt < 0 || sums[g][c] > cnt || sums[g][c] < -cnt {
+				return fmt.Errorf("freqoracle: HCMS state: row %d coefficient %d has sum %d over %d reports", g, c, sums[g][c], cnt)
+			}
+			rowTotal += cnt
+		}
+		if rowTotal != int64(users[g]) {
+			return fmt.Errorf("freqoracle: HCMS state: row %d coefficient counts sum to %d, want %d users", g, rowTotal, users[g])
+		}
+	}
+	a.n, a.users, a.sums, a.counts = n, users, sums, counts
+	return nil
+}

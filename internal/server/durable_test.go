@@ -1,0 +1,201 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/rng"
+	"ldpmarginals/internal/store"
+)
+
+// newDurableServer opens a store in dir and builds a server on it. The
+// caller closes the server (which closes the store).
+func newDurableServer(t *testing.T, dir string, p core.Protocol) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, p, store.Options{Fsync: store.FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(p, Options{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getStatus(t *testing.T, url string) StatusResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestDurableServerRestartRecovery drives the full durable lifecycle
+// over HTTP: ingest through both endpoints, restart the deployment
+// from its data directory, and require the report count, the marginal
+// answers, and the recovery markers to survive.
+func TestDurableServerRestartRecovery(t *testing.T) {
+	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	s, ts := newDurableServer(t, dir, p)
+
+	client := p.NewClient()
+	r := rng.New(21)
+	seq := p.NewAggregator()
+	var reps []core.Report
+	for i := 0; i < 600; i++ {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		if err := seq.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// First 100 one at a time, the rest batched.
+	for _, rep := range reps[:100] {
+		resp := postReport(t, ts.URL, p, rep)
+		if resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("report status %d", resp.StatusCode)
+		}
+	}
+	batch, err := encoding.MarshalBatch(p.Name(), reps[100:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+
+	before := getStatus(t, ts.URL)
+	if before.N != len(reps) {
+		t.Fatalf("pre-restart N = %d, want %d", before.N, len(reps))
+	}
+	if before.Durability == nil || before.Durability.Fsync != "always" || before.Durability.WALSegments == 0 {
+		t.Fatalf("durability status = %+v", before.Durability)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ts.Close()
+
+	// Restart from the same directory.
+	s2, ts2 := newDurableServer(t, dir, p)
+	defer func() {
+		if err := s2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	after := getStatus(t, ts2.URL)
+	if after.N != len(reps) {
+		t.Fatalf("post-restart N = %d, want %d", after.N, len(reps))
+	}
+	if after.Durability == nil || after.Durability.RecoveredReports != len(reps) {
+		t.Fatalf("post-restart durability = %+v", after.Durability)
+	}
+	if after.Durability.LastSnapshotReports != len(reps) {
+		t.Fatalf("clean shutdown did not snapshot: %+v", after.Durability)
+	}
+
+	// The first epoch is already built from the recovered state: no
+	// refresh needed for /marginal to serve everything.
+	vs := ViewStatusResponse{}
+	vsResp, err := http.Get(ts2.URL + "/view/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(vsResp.Body).Decode(&vs); err != nil {
+		t.Fatal(err)
+	}
+	vsResp.Body.Close()
+	if !vs.FromRecovery || vs.RecoveredReports != len(reps) || vs.ViewN != len(reps) {
+		t.Fatalf("view status = %+v", vs)
+	}
+	assertMarginalMatches(t, ts2.URL, p, seq, 0b11)
+}
+
+// TestDurableServerSeedsAcrossShardCounts pins that recovery is
+// shard-count independent: a deployment restarted with a different
+// shard count serves byte-identical answers.
+func TestDurableServerSeedsAcrossShardCounts(t *testing.T) {
+	p, err := core.New(core.MargPS, core.Config{D: 6, K: 2, Epsilon: 1.1, OptimizedPRR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	st, err := store.Open(dir, p, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewWithOptions(p, Options{Store: st, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	client := p.NewClient()
+	r := rng.New(33)
+	seq := p.NewAggregator()
+	var reps []core.Report
+	for i := 0; i < 400; i++ {
+		rep, err := client.Perturb(uint64(i%64), r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reps = append(reps, rep)
+		if err := seq.Consume(rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(batch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, p, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewWithOptions(p, Options{Store: st2, Shards: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(ts2.Close)
+	t.Cleanup(func() { _ = s2.Close() })
+	if s2.N() != len(reps) {
+		t.Fatalf("recovered N = %d, want %d", s2.N(), len(reps))
+	}
+	assertMarginalMatches(t, ts2.URL, p, seq, 0b11)
+}

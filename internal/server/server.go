@@ -37,6 +37,20 @@
 // writers buys nothing and grows aggregator memory (O(shards * state));
 // fewer shards re-introduces contention. See Options.Shards.
 //
+// # Durability
+//
+// With Options.Store set, the deployment survives crashes: every
+// accepted report is appended to a write-ahead log (internal/store)
+// before the request is acked, under the store's fsync policy, and the
+// aggregation state is periodically compacted into counter snapshots.
+// On construction the server seeds its sharded aggregator with the
+// state the store recovered — so the view engine's first epoch already
+// serves everything that survived — and registers the aggregator as
+// the store's snapshot source. Close flushes the log and writes a
+// final snapshot. GET /status reports the WAL footprint and GET
+// /view/status whether the serving epoch contains recovered reports.
+// Without a store the deployment is memory-only, exactly as before.
+//
 // # Batch semantics
 //
 // A batch is not atomic: reports preceding a rejected report (and any
@@ -63,6 +77,7 @@ import (
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
 	"ldpmarginals/internal/query"
+	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
 )
 
@@ -103,6 +118,12 @@ type Options struct {
 	// View tunes the per-epoch post-processing (consistency rounds,
 	// simplex projection).
 	View view.Options
+	// Store, when non-nil, makes ingestion durable: accepted reports are
+	// appended to its write-ahead log before the ack, the recovered
+	// state seeds the aggregator, and the aggregator becomes the
+	// store's snapshot source. The server owns the store from here on:
+	// Server.Close closes it.
+	Store *store.Store
 }
 
 // Server exposes one protocol deployment over HTTP. Safe for concurrent
@@ -111,11 +132,13 @@ type Server struct {
 	protocol core.Protocol
 	tag      encoding.Tag
 
-	agg      *core.ShardedAggregator
-	engine   *view.Engine
-	ingest   chan struct{} // bounded worker-pool slots for batch chunks
-	batches  chan struct{} // bounds whole /report/batch requests in flight
-	maxBatch int64
+	agg       *core.ShardedAggregator
+	engine    *view.Engine
+	st        *store.Store  // nil for a memory-only deployment
+	recovered int           // reports restored from the store at startup
+	ingest    chan struct{} // bounded worker-pool slots for batch chunks
+	batches   chan struct{} // bounds whole /report/batch requests in flight
+	maxBatch  int64
 }
 
 // New builds a server around a protocol with default Options. The
@@ -127,11 +150,37 @@ func New(p core.Protocol) (*Server, error) {
 
 // NewWithOptions builds a server around a protocol with explicit tuning.
 func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
-	tag, err := encoding.TagForProtocol(p.Name())
-	if err != nil {
+	// The server owns the store from the moment it is passed in: on any
+	// construction failure it must be closed, or its committer
+	// goroutines and open WAL segment leak (callers are told not to
+	// close it themselves).
+	fail := func(err error) (*Server, error) {
+		if opts.Store != nil {
+			_ = opts.Store.Close()
+		}
 		return nil, err
 	}
+	tag, err := encoding.TagForProtocol(p.Name())
+	if err != nil {
+		return fail(err)
+	}
 	agg := core.NewSharded(p, opts.Shards)
+	recovered := 0
+	if opts.Store != nil {
+		rec, _ := opts.Store.Recovered()
+		if rec != nil && rec.N() > 0 {
+			// Seed the live pipeline before the engine builds its first
+			// epoch, so recovered reports are served immediately.
+			if err := agg.Merge(rec); err != nil {
+				return fail(fmt.Errorf("server: seeding recovered state: %w", err))
+			}
+			recovered = rec.N()
+		}
+		// The recovered state now lives in the sharded aggregator; let
+		// the store drop its copy.
+		opts.Store.ReleaseRecovered()
+		opts.Store.SetSource(agg.Snapshot)
+	}
 	workers := opts.IngestWorkers
 	if workers <= 0 {
 		workers = agg.Shards()
@@ -142,22 +191,36 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 	}
 	engine, err := view.NewEngine(agg, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	return &Server{
-		protocol: p,
-		tag:      tag,
-		agg:      agg,
-		engine:   engine,
-		ingest:   make(chan struct{}, workers),
-		batches:  make(chan struct{}, workers),
-		maxBatch: maxBatch,
+		protocol:  p,
+		tag:       tag,
+		agg:       agg,
+		engine:    engine,
+		st:        opts.Store,
+		recovered: recovered,
+		ingest:    make(chan struct{}, workers),
+		batches:   make(chan struct{}, workers),
+		maxBatch:  maxBatch,
 	}, nil
 }
 
-// Close stops the view engine's refresh loop. The server's handlers
-// remain usable (serving the last published epoch); Close is idempotent.
-func (s *Server) Close() { s.engine.Close() }
+// Close stops the view engine's refresh loop and, for a durable
+// deployment, flushes the write-ahead log and writes a final counter
+// snapshot. The server's handlers remain usable (serving the last
+// published epoch, rejecting ingestion); Close is idempotent.
+func (s *Server) Close() error {
+	s.engine.Close()
+	if s.st != nil {
+		return s.st.Close()
+	}
+	return nil
+}
+
+// Store returns the durability layer, or nil for a memory-only
+// deployment.
+func (s *Server) Store() *store.Store { return s.st }
 
 // View returns the engine publishing the server's materialized view.
 func (s *Server) View() *view.Engine { return s.engine }
@@ -214,11 +277,86 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
-	if err := s.agg.Consume(rep); err != nil {
-		http.Error(w, "rejected: "+err.Error(), http.StatusBadRequest)
+	var rejected error
+	var err2 error
+	if s.st != nil {
+		// The frame is appended to the WAL (honoring the fsync policy)
+		// before the ack below; a single report logs as a one-frame batch.
+		batch := encoding.AppendFrame(nil, frame)
+		err2 = s.st.Ingest(batch, func() (int, int, error) {
+			if err := s.agg.Consume(rep); err != nil {
+				rejected = err
+				return 0, 0, err
+			}
+			return 1, len(batch), nil
+		})
+	} else if err := s.agg.Consume(rep); err != nil {
+		rejected = err
+	}
+	if rejected != nil {
+		http.Error(w, "rejected: "+rejected.Error(), http.StatusBadRequest)
+		return
+	}
+	if err2 != nil {
+		// Consumed but not durably logged: a server fault, not a client
+		// one. The report is in memory and the next snapshot captures
+		// it, but the durability promise of the ack cannot be made.
+		http.Error(w, "persistence failed: "+err2.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// ingestChunk feeds the decoded chunk reps[lo:hi] into the sharded
+// aggregator — through the store's consume+log pair when the deployment
+// is durable, so the accepted prefix of the chunk is in the WAL before
+// the batch handler acks. The logged payload is the chunk's slice of
+// the request body (body and ends as returned by UnmarshalBatchEnds):
+// the validated wire bytes verbatim. Group commit in the store keeps
+// concurrent chunks from serializing on the fsync.
+//
+// The returned count is how many of the chunk's reports entered the
+// aggregator, regardless of the error: on a report rejection it is the
+// accepted prefix, and on a WAL failure (which can mask a rejection)
+// it is still exactly what the aggregator consumed.
+func (s *Server) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
+	chunk := reps[lo:hi]
+	if s.st == nil {
+		err := s.agg.ConsumeBatch(chunk)
+		if err == nil {
+			return len(chunk), nil
+		}
+		var be *core.BatchError
+		if errors.As(err, &be) {
+			return be.Index, err
+		}
+		return 0, err
+	}
+	start := startOf(ends, lo)
+	applied := 0
+	err := s.st.Ingest(body[start:ends[hi-1]], func() (int, int, error) {
+		err := s.agg.ConsumeBatch(chunk)
+		if err == nil {
+			applied = len(chunk)
+			return applied, ends[hi-1] - start, nil
+		}
+		var be *core.BatchError
+		if errors.As(err, &be) && be.Index > 0 {
+			applied = be.Index
+			return applied, ends[lo+be.Index-1] - start, err
+		}
+		return 0, 0, err
+	})
+	return applied, err
+}
+
+// startOf returns the byte offset in the request body where report lo's
+// frame begins.
+func startOf(ends []int, lo int) int {
+	if lo > 0 {
+		return ends[lo-1]
+	}
+	return 0
 }
 
 // BatchResponse is the JSON shape of a /report/batch reply — both the
@@ -255,7 +393,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	tag, reps, err := encoding.UnmarshalBatch(body, maxBatchReports)
+	tag, reps, ends, err := encoding.UnmarshalBatchEnds(body, maxBatchReports)
 	if err != nil {
 		http.Error(w, "malformed batch: "+err.Error(), http.StatusBadRequest)
 		return
@@ -271,25 +409,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// The accepted count is summed per chunk (not read back from the
 	// shared aggregator counter, which concurrent requests also move).
 	var (
-		wg       sync.WaitGroup
-		accepted atomic.Int64
-		failed   atomic.Bool
-		errMu    sync.Mutex
-		firstErr error
-		firstIdx int
+		wg            sync.WaitGroup
+		accepted      atomic.Int64
+		failed        atomic.Bool
+		persistFailed atomic.Bool
+		errMu         sync.Mutex
+		firstErr      error
+		firstIdx      int
 	)
-	offset := 0
-	for len(reps) > 0 {
+	for lo := 0; lo < len(reps); lo += batchChunk {
 		// A rejected chunk stops further dispatch; only chunks already
 		// in flight can still land after it.
 		if failed.Load() {
 			break
 		}
-		chunk := reps
-		if len(chunk) > batchChunk {
-			chunk = chunk[:batchChunk]
-		}
-		reps = reps[len(chunk):]
+		hi := min(lo+batchChunk, len(reps))
 		s.ingest <- struct{}{}
 		// Re-check after the (possibly long) wait for a pool slot: a
 		// rejection may have landed while this chunk was queued.
@@ -298,24 +432,29 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		wg.Add(1)
-		go func(chunk []core.Report, offset int) {
+		go func(lo, hi int) {
+			offset := lo
 			defer wg.Done()
 			defer func() { <-s.ingest }()
-			err := s.agg.ConsumeBatch(chunk)
+			consumed, err := s.ingestChunk(reps, body, ends, lo, hi)
+			accepted.Add(int64(consumed))
 			if err == nil {
-				accepted.Add(int64(len(chunk)))
 				return
 			}
-			consumed := 0
 			idx := offset
 			var be *core.BatchError
 			if errors.As(err, &be) {
-				consumed = be.Index
 				// Re-anchor the chunk-relative index to the batch.
 				idx = offset + be.Index
 				err = fmt.Errorf("batch report %d: %w", idx, be.Err)
+			} else {
+				// Not a report rejection: the WAL (or store shutdown)
+				// failed. The consumed reports are in the aggregator —
+				// Accepted stays accurate — but the durability promise of
+				// a 200 cannot be made; this is a server fault, not a
+				// client one.
+				persistFailed.Store(true)
 			}
-			accepted.Add(int64(consumed))
 			failed.Store(true)
 			// Chunks fail in arbitrary wall-clock order; keep the
 			// rejection with the lowest batch index, matching the
@@ -325,18 +464,24 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				firstErr, firstIdx = err, idx
 			}
 			errMu.Unlock()
-		}(chunk, offset)
-		offset += len(chunk)
+		}(lo, hi)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		// The rejection reply still carries the exact accepted count so
+		// The failure reply still carries the exact accepted count so
 		// the client knows how much of the batch is in the estimate.
+		// Report rejections are the client's fault (400); persistence
+		// failures are the server's (500) and must not invite a retry
+		// that would double-count the already-consumed reports.
+		status, prefix := http.StatusBadRequest, "rejected: "
+		if persistFailed.Load() {
+			status, prefix = http.StatusInternalServerError, "persistence failed: "
+		}
 		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusBadRequest)
+		w.WriteHeader(status)
 		_ = json.NewEncoder(w).Encode(BatchResponse{
 			Accepted: int(accepted.Load()),
-			Error:    "rejected: " + firstErr.Error(),
+			Error:    prefix + firstErr.Error(),
 		})
 		return
 	}
@@ -471,6 +616,12 @@ type ViewStatusResponse struct {
 	BuildMillis float64 `json:"build_ms"`
 	// Tables is the number of materialized k-way tables.
 	Tables int `json:"tables"`
+	// RecoveredReports is the number of reports restored from the
+	// durable store at startup (0 for memory-only deployments).
+	RecoveredReports int `json:"recovered_reports,omitempty"`
+	// FromRecovery reports whether the serving epoch contains state
+	// restored from the durable store.
+	FromRecovery bool `json:"from_recovery,omitempty"`
 }
 
 func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
@@ -483,6 +634,11 @@ func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
 		AgeSeconds:       v.Age().Seconds(),
 		BuildMillis:      float64(v.BuildDuration.Nanoseconds()) / 1e6,
 		Tables:           v.Tables(),
+		RecoveredReports: s.recovered,
+		// Every epoch is built from an aggregator seeded with the
+		// recovered state, so any epoch of a recovered deployment
+		// contains it.
+		FromRecovery: s.recovered > 0,
 	}
 }
 
@@ -521,15 +677,39 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, HealthResponse{Status: "ok", Epoch: s.engine.Epoch()})
 }
 
-// StatusResponse is the JSON shape of a /status reply.
+// DurabilityStatus is the durability section of a /status reply.
+type DurabilityStatus struct {
+	// Fsync is the WAL durability policy (always, interval, off).
+	Fsync string `json:"fsync"`
+	// WALSegments and WALBytes describe the live write-ahead log.
+	WALSegments int   `json:"wal_segments"`
+	WALBytes    int64 `json:"wal_bytes"`
+	// LastSnapshotReports is the report count of the newest counter
+	// snapshot (0 before the first snapshot).
+	LastSnapshotReports int `json:"last_snapshot_reports"`
+	// SinceSnapshotReports is the number of reports appended to the WAL
+	// after the newest snapshot.
+	SinceSnapshotReports int `json:"since_snapshot_reports"`
+	// RecoveredReports is the number of reports restored at startup.
+	RecoveredReports int `json:"recovered_reports"`
+	// TornTailTruncations counts torn WAL records dropped at startup.
+	TornTailTruncations int `json:"torn_tail_truncations,omitempty"`
+	// LastSnapshotError is the most recent background-compaction
+	// failure, if any.
+	LastSnapshotError string `json:"last_snapshot_error,omitempty"`
+}
+
+// StatusResponse is the JSON shape of a /status reply. Durability is
+// present only for deployments with a store.
 type StatusResponse struct {
-	Protocol   string  `json:"protocol"`
-	D          int     `json:"d"`
-	K          int     `json:"k"`
-	Epsilon    float64 `json:"epsilon"`
-	N          int     `json:"n"`
-	ReportBits int     `json:"report_bits"`
-	Shards     int     `json:"shards"`
+	Protocol   string            `json:"protocol"`
+	D          int               `json:"d"`
+	K          int               `json:"k"`
+	Epsilon    float64           `json:"epsilon"`
+	N          int               `json:"n"`
+	ReportBits int               `json:"report_bits"`
+	Shards     int               `json:"shards"`
+	Durability *DurabilityStatus `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -538,7 +718,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := s.protocol.Config()
-	writeJSON(w, StatusResponse{
+	resp := StatusResponse{
 		Protocol:   s.protocol.Name(),
 		D:          cfg.D,
 		K:          cfg.K,
@@ -546,7 +726,21 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		N:          s.agg.N(), // atomic read; no lock
 		ReportBits: s.protocol.CommunicationBits(),
 		Shards:     s.agg.Shards(),
-	})
+	}
+	if s.st != nil {
+		st := s.st.Status()
+		resp.Durability = &DurabilityStatus{
+			Fsync:                st.Fsync,
+			WALSegments:          st.Segments,
+			WALBytes:             st.WALBytes,
+			LastSnapshotReports:  st.SnapshotReports,
+			SinceSnapshotReports: st.SinceSnapshot,
+			RecoveredReports:     st.Recovery.Reports,
+			TornTailTruncations:  st.Recovery.TornTailTruncations,
+			LastSnapshotError:    st.LastSnapshotError,
+		}
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

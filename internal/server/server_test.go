@@ -37,7 +37,7 @@ func newTestServerWithOptions(t *testing.T, opts Options) (*Server, *httptest.Se
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(s.Close)
+	t.Cleanup(func() { _ = s.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts, p

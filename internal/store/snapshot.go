@@ -1,0 +1,115 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+)
+
+// Snapshot file format. A snapshot is one compacted counter state: the
+// deployment identity, the highest WAL segment index it covers, and the
+// aggregator's MarshalState blob, all under one trailing CRC:
+//
+//	"LDPS", version byte, config block,
+//	uvarint covered segment index, uvarint report count,
+//	uvarint state length, state bytes,
+//	crc32c of everything above (4 bytes LE)
+//
+// Snapshots are written to a temp file, fsynced, and renamed into
+// place, so a crash mid-write never shadows the previous snapshot.
+
+// snapMeta is the in-memory identity of one valid snapshot file. state
+// is only populated transiently during recovery.
+type snapMeta struct {
+	seq     uint64
+	covered uint64
+	n       int
+	path    string
+	state   []byte
+}
+
+// encodeSnapshot builds the snapshot file contents.
+func encodeSnapshot(tag encoding.Tag, cfg core.Config, covered uint64, n int, state []byte) []byte {
+	buf := appendConfig(append([]byte(snapMagic), formatV1), tag, cfg)
+	buf = binary.AppendUvarint(buf, covered)
+	buf = binary.AppendUvarint(buf, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(len(state)))
+	buf = append(buf, state...)
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+}
+
+// decodeSnapshot validates a snapshot file against the deployment and
+// returns its coverage, report count, and state blob.
+func decodeSnapshot(buf []byte, tag encoding.Tag, cfg core.Config) (covered uint64, n int, state []byte, err error) {
+	if len(buf) < len(snapMagic)+1+crcBytes {
+		return 0, 0, nil, fmt.Errorf("store: snapshot of %d bytes is too short", len(buf))
+	}
+	body, sum := buf[:len(buf)-crcBytes], binary.LittleEndian.Uint32(buf[len(buf)-crcBytes:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return 0, 0, nil, fmt.Errorf("store: snapshot checksum %08x, want %08x", got, sum)
+	}
+	if string(body[:len(snapMagic)]) != snapMagic {
+		return 0, 0, nil, fmt.Errorf("store: bad snapshot magic %q", body[:len(snapMagic)])
+	}
+	if body[len(snapMagic)] != formatV1 {
+		return 0, 0, nil, fmt.Errorf("store: snapshot format version %d, want %d", body[len(snapMagic)], formatV1)
+	}
+	rest, err := checkConfig(body[len(snapMagic)+1:], tag, cfg)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	covered, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return 0, 0, nil, fmt.Errorf("store: snapshot covered-segment field malformed")
+	}
+	rest = rest[w:]
+	count, w := binary.Uvarint(rest)
+	if w <= 0 || count > uint64(math.MaxInt) {
+		return 0, 0, nil, fmt.Errorf("store: snapshot report-count field malformed")
+	}
+	rest = rest[w:]
+	stateLen, w := binary.Uvarint(rest)
+	if w <= 0 || stateLen != uint64(len(rest)-w) {
+		return 0, 0, nil, fmt.Errorf("store: snapshot state length %d does not match %d remaining bytes", stateLen, len(rest)-w)
+	}
+	return covered, int(count), rest[w:], nil
+}
+
+// writeSnapshotFile persists a snapshot atomically: temp file, fsync,
+// rename, directory fsync.
+func (s *Store) writeSnapshotFile(seq uint64, contents []byte) (string, error) {
+	path := filepath.Join(s.dir, snapName(seq))
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return "", err
+	}
+	if _, err := f.Write(contents); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return "", err
+	}
+	if err := syncDir(s.dir); err != nil {
+		return "", err
+	}
+	return path, nil
+}

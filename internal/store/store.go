@@ -1,0 +1,702 @@
+// Package store is the durability layer of a marginal-release
+// deployment. Under the paper's one-round collection model every report
+// is irreplaceable — a user reports once, ever — so losing aggregator
+// state loses privacy budget that can never be re-spent. The store
+// makes acked reports survive a crash with two artifacts in one data
+// directory:
+//
+//   - A write-ahead log of report frames: append-only segments of
+//     CRC-checked, length-prefixed records (the same framing as the
+//     /report/batch wire format), rotated by size. The fsync policy
+//     trades durability window against throughput: FsyncAlways group-
+//     commits every ingest, FsyncInterval batches fsyncs on a timer,
+//     FsyncOff leaves flushing to the OS.
+//
+//   - Counter snapshots: the aggregator's MarshalState blob plus the
+//     WAL segment index it covers, written atomically. A snapshot
+//     compacts the log — segments at or below the covered index carry
+//     no information the snapshot doesn't — so the WAL stays short and
+//     recovery stays fast. The two newest snapshots are retained; older
+//     snapshots and the segments they make redundant are deleted.
+//
+// Open recovers: it loads the newest valid snapshot (falling back past
+// a corrupt one), replays the WAL tail through Aggregator.Consume, and
+// tolerates a torn final record by truncating it. Because aggregation
+// is associative integer counting, the recovered state is byte-
+// identical to the state that produced the log.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/wire"
+)
+
+// FsyncPolicy selects when WAL appends are made durable.
+type FsyncPolicy int
+
+const (
+	// FsyncInterval (the default) fsyncs the active segment on a timer:
+	// an ack guarantees the OS has the bytes, and at most
+	// Options.FsyncInterval of acked reports are exposed to a power
+	// loss. Process crashes lose nothing.
+	FsyncInterval FsyncPolicy = iota
+	// FsyncAlways fsyncs before every ack, group-committed: concurrent
+	// ingests queued behind one fsync share it.
+	FsyncAlways
+	// FsyncOff never fsyncs during operation (a clean Close still
+	// syncs); the OS flushes on its own schedule.
+	FsyncOff
+)
+
+// String returns the policy's flag spelling.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// ParseFsync maps a flag spelling to its policy.
+func ParseFsync(s string) (FsyncPolicy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "off":
+		return FsyncOff, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync policy %q (always, interval, off)", s)
+	}
+}
+
+// Options tunes a store; the zero value selects the defaults.
+type Options struct {
+	// Fsync is the WAL durability policy; the zero value is
+	// FsyncInterval.
+	Fsync FsyncPolicy
+	// FsyncInterval is the timer period of FsyncInterval; <= 0 selects
+	// 100ms.
+	FsyncInterval time.Duration
+	// SegmentBytes rotates the active WAL segment once it exceeds this
+	// size; <= 0 selects 64 MiB.
+	SegmentBytes int64
+	// SnapshotEveryN compacts the WAL into a counter snapshot once this
+	// many reports have been appended since the last snapshot; <= 0
+	// snapshots only on Close (and explicit Snapshot calls).
+	SnapshotEveryN int
+}
+
+func (o Options) withDefaults() Options {
+	if o.FsyncInterval <= 0 {
+		o.FsyncInterval = 100 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 64 << 20
+	}
+	return o
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// RecoveryStats describes what Open reconstructed from the data
+// directory.
+type RecoveryStats struct {
+	// Reports is the recovered aggregator's total report count.
+	Reports int
+	// SnapshotSeq and SnapshotReports identify the snapshot the
+	// recovery started from (0 reports and seq 0 when none was loaded).
+	SnapshotSeq     uint64
+	SnapshotReports int
+	// SnapshotsDiscarded counts newer snapshot files that failed
+	// validation and were skipped.
+	SnapshotsDiscarded int
+	// SegmentsReplayed and ReportsReplayed describe the WAL tail walked
+	// after the snapshot (reports, not group records: one WAL record
+	// holds a whole ingested group).
+	SegmentsReplayed int
+	ReportsReplayed  int
+	// TornTailTruncations counts torn final records (or torn final
+	// segment headers) dropped during replay — at most one per crash.
+	TornTailTruncations int
+}
+
+// Store is the durable ingestion log of one deployment. Safe for
+// concurrent use.
+type Store struct {
+	dir  string
+	p    core.Protocol
+	tag  encoding.Tag
+	cfg  core.Config
+	opts Options
+
+	// barrier orders ingests against snapshots: Ingest holds it shared
+	// around the consume+append pair, Snapshot holds it exclusively, so
+	// a snapshot sees a state that matches the WAL exactly.
+	barrier sync.RWMutex
+	closed  bool
+
+	reqs       chan *walReq
+	commitStop chan struct{}
+	commitDone chan struct{}
+	tickStop   chan struct{}
+	tickDone   chan struct{}
+
+	source func() (core.Aggregator, error)
+
+	sinceSnap atomic.Int64
+	snapWG    sync.WaitGroup
+	snapBusy  atomic.Bool
+
+	statsMu     sync.Mutex
+	snaps       []snapMeta // valid snapshots, ascending seq
+	lastSnapErr error
+
+	walErr atomic.Pointer[error] // first committer write/sync failure, sticky
+
+	recovered core.Aggregator
+	recStats  RecoveryStats
+}
+
+// Open recovers the deployment state persisted in dir (creating it if
+// needed) and starts the write-ahead log. The protocol must match the
+// one the directory was written by.
+func Open(dir string, p core.Protocol, opts Options) (*Store, error) {
+	tag, err := encoding.TagForProtocol(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:        dir,
+		p:          p,
+		tag:        tag,
+		cfg:        p.Config(),
+		opts:       opts.withDefaults(),
+		reqs:       make(chan *walReq, 128),
+		commitStop: make(chan struct{}),
+		commitDone: make(chan struct{}),
+		tickStop:   make(chan struct{}),
+		tickDone:   make(chan struct{}),
+	}
+	maxSeg, err := s.recover()
+	if err != nil {
+		return nil, err
+	}
+	s.sinceSnap.Store(int64(s.recStats.ReportsReplayed))
+	f, size, err := s.createSegment(maxSeg + 1)
+	if err != nil {
+		return nil, err
+	}
+	go s.committer(f, maxSeg+1, size)
+	go s.syncLoop()
+	return s, nil
+}
+
+// recover loads the newest valid snapshot and replays the WAL tail,
+// leaving the reconstructed aggregator in s.recovered. It returns the
+// highest segment index present (0 when none).
+func (s *Store) recover() (maxSeg uint64, err error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return 0, err
+	}
+	var segs, snapSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeqName(e.Name(), "wal-", segSuffix); ok {
+			segs = append(segs, seq)
+		}
+		if seq, ok := parseSeqName(e.Name(), "snap-", snapSuffix); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(snapSeqs, func(i, j int) bool { return snapSeqs[i] < snapSeqs[j] })
+	if len(segs) > 0 {
+		maxSeg = segs[len(segs)-1]
+	}
+
+	// Validate every snapshot file; only valid ones enter s.snaps (and
+	// with them the pruning schedule). The newest valid one is restored.
+	agg := s.p.NewAggregator()
+	var covered uint64
+	for _, seq := range snapSeqs {
+		path := filepath.Join(s.dir, snapName(seq))
+		buf, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return 0, rerr
+		}
+		cov, n, state, derr := decodeSnapshot(buf, s.tag, s.cfg)
+		if derr != nil {
+			s.recStats.SnapshotsDiscarded++
+			continue
+		}
+		s.snaps = append(s.snaps, snapMeta{seq: seq, covered: cov, n: n, path: path, state: state})
+	}
+	for i := len(s.snaps) - 1; i >= 0; i-- {
+		m := s.snaps[i]
+		if err := agg.UnmarshalState(m.state); err != nil {
+			s.recStats.SnapshotsDiscarded++
+			s.snaps = append(s.snaps[:i], s.snaps[i+1:]...)
+			continue
+		}
+		if m.n != agg.N() {
+			return 0, fmt.Errorf("store: snapshot %s declares %d reports but its state holds %d", m.path, m.n, agg.N())
+		}
+		covered = m.covered
+		s.recStats.SnapshotSeq = m.seq
+		s.recStats.SnapshotReports = m.n
+		break
+	}
+	for i := range s.snaps {
+		s.snaps[i].state = nil // only needed during recovery
+	}
+
+	for i, idx := range segs {
+		if idx <= covered {
+			continue
+		}
+		final := i == len(segs)-1
+		if err := s.replaySegment(idx, final, agg); err != nil {
+			return 0, err
+		}
+		s.recStats.SegmentsReplayed++
+	}
+	s.recStats.Reports = agg.N()
+	s.recovered = agg
+	return maxSeg, nil
+}
+
+// replaySegment feeds one segment's records into agg. In the final
+// segment a torn tail — an incomplete header, an incomplete record, or
+// a record failing its CRC — is truncated away (durably) and replay
+// stops there; anywhere else the same damage is corruption and fails
+// recovery.
+func (s *Store) replaySegment(idx uint64, final bool, agg core.Aggregator) error {
+	path := filepath.Join(s.dir, segName(idx))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	truncateAt := func(off int64) error {
+		if err := os.Truncate(path, off); err != nil {
+			return fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+		}
+		if err := syncFile(path); err != nil {
+			return err
+		}
+		s.recStats.TornTailTruncations++
+		return nil
+	}
+	rest, err := checkSegHeader(buf, s.tag, s.cfg)
+	if err != nil {
+		if final && errors.Is(err, wire.ErrTruncated) {
+			// A crash between segment creation and the header write: the
+			// file carries nothing. Drop it entirely.
+			if rerr := os.Remove(path); rerr != nil {
+				return rerr
+			}
+			s.recStats.TornTailTruncations++
+			return nil
+		}
+		return fmt.Errorf("store: segment %s: %w", path, err)
+	}
+	offset := int64(len(buf) - len(rest))
+	for len(rest) > 0 {
+		batch, next, err := nextRecord(rest)
+		if err != nil {
+			if final && (errors.Is(err, wire.ErrTruncated) || errors.Is(err, errRecordDamaged)) {
+				return truncateAt(offset)
+			}
+			return fmt.Errorf("store: segment %s at offset %d: %w", path, offset, err)
+		}
+		// The record's CRC has passed, so its inner batch framing and
+		// report frames are exactly the acked bytes: any failure below
+		// is corruption the CRC cannot explain (or a code-version
+		// mismatch) and fails recovery rather than truncating.
+		for len(batch) > 0 {
+			frame, nextFrame, err := wire.NextFrame(batch, encoding.MaxFrameBytes)
+			if err != nil {
+				return fmt.Errorf("store: segment %s report %d: %w", path, s.recStats.ReportsReplayed, err)
+			}
+			tag, rep, err := encoding.Unmarshal(frame)
+			if err != nil {
+				return fmt.Errorf("store: segment %s report %d: %w", path, s.recStats.ReportsReplayed, err)
+			}
+			if tag != s.tag {
+				return fmt.Errorf("store: segment %s report %d: protocol tag %d, deployment runs %d", path, s.recStats.ReportsReplayed, tag, s.tag)
+			}
+			if err := agg.Consume(rep); err != nil {
+				return fmt.Errorf("store: segment %s report %d: %w", path, s.recStats.ReportsReplayed, err)
+			}
+			batch = nextFrame
+			s.recStats.ReportsReplayed++
+		}
+		rest = next
+		offset = int64(len(buf) - len(rest))
+	}
+	return nil
+}
+
+func syncFile(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Recovered returns the aggregator reconstructed by Open — the caller
+// seeds its live pipeline with it (e.g. ShardedAggregator.Merge) — and
+// the recovery statistics. After ReleaseRecovered the aggregator is nil
+// (the statistics remain).
+func (s *Store) Recovered() (core.Aggregator, RecoveryStats) {
+	return s.recovered, s.recStats
+}
+
+// ReleaseRecovered drops the store's reference to the recovered
+// aggregator once the caller has seeded its live pipeline, so a large
+// recovered state (protocols that keep raw reports) is not pinned in
+// memory twice for the store's lifetime.
+func (s *Store) ReleaseRecovered() { s.recovered = nil }
+
+// SetSource registers the function snapshots read the live state from,
+// typically ShardedAggregator.Snapshot. Snapshots (including the final
+// one in Close) are skipped while no source is set.
+func (s *Store) SetSource(src func() (core.Aggregator, error)) {
+	s.source = src
+}
+
+// Ingest runs apply — the caller's consume into its live aggregator —
+// under the snapshot barrier, then appends the accepted prefix of
+// batch to the WAL as one group record before returning. batch holds
+// the reports' wire frames in the /report/batch layout (length-
+// prefixed frames); apply returns how many reports it accepted and the
+// length in bytes of the corresponding prefix of batch, so the logged
+// payload is the already-validated wire bytes verbatim — no re-marshal
+// and no per-frame re-framing on the hot path.
+//
+// What "before returning" buys depends on the fsync policy. FsyncAlways
+// waits for the write and a (group-committed) fsync: the ack implies
+// the reports survive a power loss. FsyncInterval and FsyncOff enqueue
+// the write to the committer and return: the record reaches the OS
+// within microseconds (the committer is the only queue consumer) and
+// the channel's FIFO order still lands it ahead of any later snapshot
+// rotation, so crash recovery and snapshots stay exact; only an
+// ill-timed power loss can lose it, which is those policies' contract.
+// A committer write failure fails every subsequent Ingest.
+//
+// apply's error is returned after the accepted prefix is logged; a WAL
+// failure takes precedence, since an unlogged-but-consumed report must
+// not be acked as durable.
+func (s *Store) Ingest(batch []byte, apply func() (reports, bytes int, err error)) error {
+	s.barrier.RLock()
+	defer s.barrier.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.walFailure(); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	consumed, nbytes, aerr := apply()
+	if consumed > 0 {
+		if nbytes <= 0 || nbytes > len(batch) {
+			return fmt.Errorf("store: apply reported %d accepted bytes of a %d-byte batch", nbytes, len(batch))
+		}
+		// The committer frames batch[:nbytes] into records itself; the
+		// caller must not modify the bytes after this point (the server
+		// hands over per-request bodies, which nothing reuses).
+		if s.opts.Fsync == FsyncAlways {
+			req := &walReq{buf: batch[:nbytes], sync: true, done: make(chan walRes, 1)}
+			s.reqs <- req
+			if res := <-req.done; res.err != nil {
+				return fmt.Errorf("store: wal append: %w", res.err)
+			}
+		} else {
+			s.reqs <- &walReq{buf: batch[:nbytes]}
+		}
+		if n := s.sinceSnap.Add(int64(consumed)); s.opts.SnapshotEveryN > 0 && n >= int64(s.opts.SnapshotEveryN) {
+			s.triggerSnapshot()
+		}
+	}
+	return aerr
+}
+
+// setWALFailure publishes the committer's first failure.
+func (s *Store) setWALFailure(err error) {
+	s.walErr.CompareAndSwap(nil, &err)
+}
+
+// walFailure is on the ingest hot path: one atomic load.
+func (s *Store) walFailure() error {
+	if p := s.walErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// triggerSnapshot starts one background compaction unless one is
+// already running.
+func (s *Store) triggerSnapshot() {
+	if s.source == nil || !s.snapBusy.CompareAndSwap(false, true) {
+		return
+	}
+	s.snapWG.Add(1)
+	go func() {
+		defer s.snapWG.Done()
+		defer s.snapBusy.Store(false)
+		if err := s.Snapshot(); err != nil && !errors.Is(err, ErrClosed) {
+			s.statsMu.Lock()
+			s.lastSnapErr = err
+			s.statsMu.Unlock()
+		}
+	}()
+}
+
+// Snapshot compacts the log now: it stops ingestion momentarily, reads
+// the live state through the registered source, writes a snapshot
+// covering every completed WAL segment, and prunes snapshots and
+// segments made redundant (keeping one fallback generation).
+func (s *Store) Snapshot() error {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+func (s *Store) snapshotLocked() error {
+	if s.source == nil {
+		return fmt.Errorf("store: no state source registered")
+	}
+	if s.sinceSnap.Load() == 0 && len(s.snapsCopy()) > 0 {
+		// Nothing arrived since the last snapshot: it is still exact.
+		return nil
+	}
+	agg, err := s.source()
+	if err != nil {
+		return fmt.Errorf("store: reading state source: %w", err)
+	}
+	state, err := agg.MarshalState()
+	if err != nil {
+		return fmt.Errorf("store: marshaling state: %w", err)
+	}
+	// Rotate so the snapshot's coverage ends on a segment boundary: with
+	// the barrier held the WAL up to the rotated-out segment holds
+	// exactly the reports in the state (plus those in older snapshots).
+	req := &walReq{rotate: true, done: make(chan walRes, 1)}
+	s.reqs <- req
+	res := <-req.done
+	if res.err != nil {
+		return fmt.Errorf("store: rotating segment: %w", res.err)
+	}
+	s.statsMu.Lock()
+	seq := uint64(1)
+	if len(s.snaps) > 0 {
+		seq = s.snaps[len(s.snaps)-1].seq + 1
+	}
+	if s.recStats.SnapshotSeq >= seq {
+		seq = s.recStats.SnapshotSeq + 1
+	}
+	s.statsMu.Unlock()
+	path, err := s.writeSnapshotFile(seq, encodeSnapshot(s.tag, s.cfg, res.seg, agg.N(), state))
+	if err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	s.statsMu.Lock()
+	s.snaps = append(s.snaps, snapMeta{seq: seq, covered: res.seg, n: agg.N(), path: path})
+	s.lastSnapErr = nil
+	s.statsMu.Unlock()
+	s.sinceSnap.Store(0)
+	s.prune()
+	return nil
+}
+
+func (s *Store) snapsCopy() []snapMeta {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return append([]snapMeta(nil), s.snaps...)
+}
+
+// prune deletes snapshots beyond the two newest and every WAL segment
+// at or below the older retained snapshot's coverage. Keeping one
+// fallback generation means a corrupt newest snapshot can still recover
+// in full: the previous snapshot plus the segments above its coverage
+// reconstruct the same state.
+func (s *Store) prune() {
+	s.statsMu.Lock()
+	var drop []snapMeta
+	for len(s.snaps) > 2 {
+		drop = append(drop, s.snaps[0])
+		s.snaps = s.snaps[1:]
+	}
+	var covered uint64
+	if len(s.snaps) >= 2 {
+		covered = s.snaps[0].covered
+	}
+	s.statsMu.Unlock()
+	for _, m := range drop {
+		_ = os.Remove(m.path)
+	}
+	if covered > 0 {
+		entries, err := os.ReadDir(s.dir)
+		if err != nil {
+			return
+		}
+		for _, e := range entries {
+			if idx, ok := parseSeqName(e.Name(), "wal-", segSuffix); ok && idx <= covered {
+				_ = os.Remove(filepath.Join(s.dir, e.Name()))
+			}
+		}
+	}
+	if len(drop) > 0 || covered > 0 {
+		if s.opts.Fsync != FsyncOff {
+			_ = syncDir(s.dir)
+		}
+	}
+}
+
+// Status describes the store's durable footprint for monitoring
+// endpoints.
+type Status struct {
+	// Dir is the data directory.
+	Dir string
+	// Fsync is the policy's flag spelling.
+	Fsync string
+	// Segments and WALBytes describe the live write-ahead log
+	// (including segments retained only for the fallback snapshot).
+	Segments int
+	WALBytes int64
+	// SnapshotSeq and SnapshotReports identify the newest snapshot (0
+	// when none exists yet).
+	SnapshotSeq     uint64
+	SnapshotReports int
+	// SinceSnapshot is the number of reports appended after the newest
+	// snapshot.
+	SinceSnapshot int
+	// LastSnapshotError is the most recent background-compaction
+	// failure, cleared by the next success.
+	LastSnapshotError string
+	// WALError is the committer's first write/sync failure; once set,
+	// every further ingest fails.
+	WALError string
+	// Recovery describes what Open reconstructed.
+	Recovery RecoveryStats
+}
+
+// Status reports the current durable footprint. The segment walk reads
+// the directory; it is meant for status endpoints, not hot paths.
+func (s *Store) Status() Status {
+	st := Status{
+		Dir:           s.dir,
+		Fsync:         s.opts.Fsync.String(),
+		SinceSnapshot: int(s.sinceSnap.Load()),
+		Recovery:      s.recStats,
+	}
+	s.statsMu.Lock()
+	if len(s.snaps) > 0 {
+		last := s.snaps[len(s.snaps)-1]
+		st.SnapshotSeq = last.seq
+		st.SnapshotReports = last.n
+	} else {
+		st.SnapshotSeq = s.recStats.SnapshotSeq
+		st.SnapshotReports = s.recStats.SnapshotReports
+	}
+	if s.lastSnapErr != nil {
+		st.LastSnapshotError = s.lastSnapErr.Error()
+	}
+	s.statsMu.Unlock()
+	if err := s.walFailure(); err != nil {
+		st.WALError = err.Error()
+	}
+	if entries, err := os.ReadDir(s.dir); err == nil {
+		for _, e := range entries {
+			if _, ok := parseSeqName(e.Name(), "wal-", segSuffix); !ok {
+				continue
+			}
+			st.Segments++
+			if info, err := e.Info(); err == nil {
+				st.WALBytes += info.Size()
+			}
+		}
+	}
+	return st
+}
+
+// Fsync returns the configured durability policy.
+func (s *Store) Fsync() FsyncPolicy { return s.opts.Fsync }
+
+// Dir returns the data directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Close flushes and fsyncs the WAL, writes a final snapshot (when a
+// source is registered and reports arrived since the last one), and
+// stops the store. Ingest calls after Close fail with ErrClosed. Close
+// is idempotent.
+func (s *Store) Close() error {
+	s.barrier.Lock()
+	if s.closed {
+		s.barrier.Unlock()
+		return nil
+	}
+	var err error
+	if s.source != nil {
+		err = s.snapshotLocked()
+	}
+	s.closed = true
+	s.barrier.Unlock()
+	// Background compactions blocked on the barrier observe closed and
+	// exit without touching the committer.
+	s.snapWG.Wait()
+	close(s.tickStop)
+	<-s.tickDone
+	close(s.commitStop)
+	<-s.commitDone
+	return err
+}
+
+// syncLoop drives the FsyncInterval policy; under other policies it
+// only waits for shutdown.
+func (s *Store) syncLoop() {
+	defer close(s.tickDone)
+	if s.opts.Fsync != FsyncInterval {
+		<-s.tickStop
+		return
+	}
+	ticker := time.NewTicker(s.opts.FsyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.tickStop:
+			return
+		case <-ticker.C:
+			req := &walReq{sync: true, done: make(chan walRes, 1)}
+			s.reqs <- req
+			<-req.done
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package wire holds the byte-level primitives shared by the report
+// wire format (internal/encoding) and the durable store
+// (internal/store): length-prefixed framing and the deterministic
+// counter-state codec behind Aggregator.MarshalState. It is a leaf
+// package — internal/core depends on it for state codecs and
+// internal/encoding for batch framing — so it must not import either.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrTruncated tags framing failures where the buffer ends before the
+// frame does — the shape a torn tail write leaves behind. Consumers that
+// can repair (the WAL replay truncates at the last whole record)
+// distinguish it from structural corruption with errors.Is.
+var ErrTruncated = errors.New("wire: truncated frame")
+
+// AppendFrame appends one length-prefixed frame to dst and returns the
+// extended buffer.
+func AppendFrame(dst, frame []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(frame)))
+	return append(dst, frame...)
+}
+
+// NextFrame splits one length-prefixed frame off the front of buf,
+// returning the frame and the remainder. maxFrame bounds the declared
+// frame length (0 means no bound) so a hostile length prefix cannot
+// force unbounded reads. Incomplete input — a length prefix or frame
+// body cut short — fails with an error wrapping ErrTruncated; an
+// over-limit or malformed length prefix is structural corruption and
+// does not.
+func NextFrame(buf []byte, maxFrame int) (frame, rest []byte, err error) {
+	n, w := binary.Uvarint(buf)
+	if w == 0 {
+		return nil, nil, fmt.Errorf("%w: incomplete length prefix", ErrTruncated)
+	}
+	if w < 0 {
+		return nil, nil, fmt.Errorf("wire: malformed length prefix")
+	}
+	buf = buf[w:]
+	if maxFrame > 0 && n > uint64(maxFrame) {
+		return nil, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit %d", n, maxFrame)
+	}
+	if uint64(len(buf)) < n {
+		return nil, nil, fmt.Errorf("%w: frame body (%d of %d bytes)", ErrTruncated, len(buf), n)
+	}
+	return buf[:n], buf[n:], nil
+}

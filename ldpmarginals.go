@@ -12,6 +12,7 @@ import (
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/stats"
+	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
 )
 
@@ -289,6 +290,41 @@ func BuildView(snap Aggregator, p Protocol, opts ViewOptions) (*MarginalView, er
 // starts the refresh policy (if any). Close the engine to stop it.
 func NewViewEngine(src *ShardedAggregator, p Protocol, opts ViewEngineOptions) (*ViewEngine, error) {
 	return view.NewEngine(src, p, opts)
+}
+
+// ReportStore is the durability layer of a deployment: an append-only
+// write-ahead log of report frames plus periodic counter snapshots in
+// one data directory. Opening a directory recovers the aggregation
+// state a previous process persisted — including after a crash, where
+// the WAL tail is replayed and a torn final record is truncated.
+type ReportStore = store.Store
+
+// StoreOptions tunes a ReportStore (fsync policy, segment size,
+// snapshot cadence).
+type StoreOptions = store.Options
+
+// FsyncPolicy selects when WAL appends are made durable.
+type FsyncPolicy = store.FsyncPolicy
+
+// The WAL fsync policies: group-committed fsync per ack, timer-batched
+// fsync, or none.
+const (
+	FsyncAlways   = store.FsyncAlways
+	FsyncInterval = store.FsyncInterval
+	FsyncOff      = store.FsyncOff
+)
+
+// StoreRecoveryStats describes what OpenStore reconstructed from a data
+// directory.
+type StoreRecoveryStats = store.RecoveryStats
+
+// OpenStore recovers the deployment state persisted in dir (creating
+// it if needed) and starts the write-ahead log. Pass the store to the
+// HTTP server (internal/server Options.Store) to make ingestion
+// durable; every aggregator state round-trips through the codec because
+// Aggregator.MarshalState is canonical for all protocols.
+func OpenStore(dir string, p Protocol, opts StoreOptions) (*ReportStore, error) {
+	return store.Open(dir, p, opts)
 }
 
 // ConsistencyOptions controls EnforceConsistency.
