@@ -1,0 +1,197 @@
+package ldpmarginals_test
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ldpmarginals"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/rng"
+	"ldpmarginals/internal/server"
+	"ldpmarginals/internal/wire"
+)
+
+// seedEdge ingests clusterStateN reports into a live edge over
+// /report/batch, so pull benchmarks move a realistic state.
+func seedEdge(b *testing.B, url string, p ldpmarginals.Protocol) {
+	b.Helper()
+	client := p.NewClient()
+	r := rng.New(77)
+	reps := make([]ldpmarginals.Report, 1<<13)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	body, err := encoding.MarshalBatch(p.Name(), reps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for n := 0; n < clusterStateN; n += len(reps) {
+		resp, err := http.Post(url+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("seeding edge: status %d", resp.StatusCode)
+		}
+	}
+}
+
+// Cluster state-exchange benchmarks: the cost of moving an edge's
+// accumulated state to a coordinator, stage by stage, against the
+// baseline of ingesting the same reports locally. Every stage reports a
+// reports/s metric amortized over the state's report count — the figure
+// of merit is how many edge reports one pull cycle "moves" per second,
+// which is what bounds a coordinator's sustainable fleet size at a
+// given pull interval. Recorded in BENCH_cluster.json.
+
+// clusterStateN is the per-edge state size the exchange is amortized
+// over: pulls move whole counter states, so their per-report cost
+// shrinks as edges batch more reports between pulls.
+const clusterStateN = 1 << 17
+
+func clusterBenchSetup(b *testing.B) (ldpmarginals.Protocol, *ldpmarginals.ShardedAggregator, []byte) {
+	b.Helper()
+	cfg := ldpmarginals.Config{D: 8, K: 2, Epsilon: 1.0986, OptimizedPRR: true}
+	p, err := ldpmarginals.NewProtocol(ldpmarginals.InpHT, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(77)
+	reps := make([]ldpmarginals.Report, 1<<13)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i%256), r)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	agg := ldpmarginals.NewShardedAggregator(p, 0)
+	for n := 0; n < clusterStateN; n += len(reps) {
+		if err := agg.ConsumeBatch(reps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	blob, err := agg.MarshalState()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, agg, blob
+}
+
+// BenchmarkClusterStateExchange measures each stage of one pull cycle.
+func BenchmarkClusterStateExchange(b *testing.B) {
+	p, agg, blob := clusterBenchSetup(b)
+
+	// marshal: what an edge pays per GET /state (snapshot + canonical
+	// encode).
+	b.Run("marshal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := agg.MarshalState(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+
+	// decode+validate: what a coordinator pays to check a pulled frame
+	// before accepting it.
+	b.Run("decode+validate", func(b *testing.B) {
+		frame, err := wire.EncodeStateFrame(wire.StateFrame{NodeID: "edge-1", Version: 1, N: agg.N(), State: blob})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			sf, err := wire.DecodeStateFrame(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			probe := p.NewAggregator()
+			if err := probe.UnmarshalState(sf.State); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+
+	// merge: folding two edge blobs into the fleet snapshot.
+	b.Run("merge", func(b *testing.B) {
+		coord := ldpmarginals.NewShardedAggregator(p, 0)
+		blobs := [][]byte{blob, blob}
+		for i := 0; i < b.N; i++ {
+			if _, err := coord.SnapshotWith(blobs); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*2*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+
+	// pull-http: the full edge-to-coordinator cycle over real HTTP —
+	// GET /state off a live edge server, decode, validate, merge.
+	b.Run("pull-http", func(b *testing.B) {
+		edge, err := server.NewWithOptions(p, server.Options{Role: server.RoleEdge, NodeID: "bench-edge"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer edge.Close()
+		ts := httptest.NewServer(edge.Handler())
+		defer ts.Close()
+		seedEdge(b, ts.URL, p)
+		coord := ldpmarginals.NewShardedAggregator(p, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := http.Get(ts.URL + "/state")
+			if err != nil {
+				b.Fatal(err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			sf, err := wire.DecodeStateFrame(body)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := coord.SnapshotWith([][]byte{sf.State}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+
+	// local-ingest: the baseline — the same state accumulated by local
+	// batch ingestion instead of a pull (BenchmarkConsumeBatchParallel
+	// is the steady-state version of this).
+	b.Run("local-ingest", func(b *testing.B) {
+		client := p.NewClient()
+		r := rng.New(78)
+		reps := make([]ldpmarginals.Report, 1<<13)
+		for i := range reps {
+			rep, err := client.Perturb(uint64(i%256), r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			local := ldpmarginals.NewShardedAggregator(p, 0)
+			for n := 0; n < clusterStateN; n += len(reps) {
+				if err := local.ConsumeBatch(reps); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.ReportMetric(float64(b.N)*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+}

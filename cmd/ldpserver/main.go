@@ -36,6 +36,22 @@
 // how many WAL segments were replayed, and whether a torn tail was
 // truncated. Without -data-dir the deployment lives in memory only, as
 // before.
+//
+// -role selects the node's place in a cluster: "single" (default) runs
+// the whole pipeline in one process; "edge" ingests and WAL-logs
+// reports and exports its canonical aggregator state on GET /state;
+// "coordinator" pulls GET /state from every -peers URL on the
+// -pull-interval cadence (with per-peer exponential backoff on
+// failure), merges the fleet, and serves /marginal and /query over the
+// merged state. For a coordinator, -data-dir persists the latest
+// accepted peer states so a restart resumes without waiting for
+// re-pulls. A two-edge cluster:
+//
+//	ldpserver -role edge -addr :8081 -data-dir /var/lib/ldp-e1 ...
+//	ldpserver -role edge -addr :8082 -data-dir /var/lib/ldp-e2 ...
+//	ldpserver -role coordinator -addr :8080 \
+//	    -peers http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    -pull-interval 5s -data-dir /var/lib/ldp-coord ...
 package main
 
 import (
@@ -71,24 +87,55 @@ func main() {
 		interval = flag.Duration("refresh-interval", 5*time.Second, "rebuild the view this often (0 = no time-based refresh)")
 		everyN   = flag.Int("refresh-every-n", 0, "rebuild the view after this many new reports (0 = no count-based refresh)")
 
-		dataDir    = flag.String("data-dir", "", "durable WAL+snapshot directory (empty = memory-only deployment)")
+		dataDir    = flag.String("data-dir", "", "durable directory: WAL+snapshots for single/edge, peer-state snapshot for coordinator (empty = memory-only)")
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer period for -fsync interval")
 		snapEveryN = flag.Int("snapshot-every-n", 1_000_000, "compact the WAL into a counter snapshot after this many reports (0 = only on shutdown)")
+
+		role         = flag.String("role", "single", "node role: single, edge, or coordinator")
+		nodeID       = flag.String("node-id", "", "cluster node id (empty = random); must be unique across the fleet")
+		peers        = flag.String("peers", "", "comma-separated peer base URLs a coordinator pulls state from")
+		pullInterval = flag.Duration("pull-interval", 5*time.Second, "coordinator state-pull cadence (failing peers back off exponentially)")
 	)
 	flag.Parse()
+
+	nodeRole, err := server.ParseRole(*role)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, u := range strings.Split(*peers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				peerList = append(peerList, strings.TrimRight(u, "/"))
+			}
+		}
+	}
 
 	cfg := ldpmarginals.Config{D: *d, K: *k, Epsilon: *eps, OptimizedPRR: true}
 	p, err := makeProtocol(*protocol, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Validate the WAL flags for every role, so a typo fails identically
+	// whether or not this node opens a store.
+	policy, err := store.ParseFsync(*fsyncMode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterDir := ""
+	if nodeRole == server.RoleCoordinator && *dataDir != "" {
+		// A coordinator's durable artifact is the per-peer state
+		// snapshot, not a WAL: it ingests nothing itself. The WAL-tuning
+		// flags are dead on this role.
+		clusterDir = *dataDir
+		*dataDir = ""
+		if *fsyncMode != "interval" || *snapEveryN != 1_000_000 {
+			log.Printf("note: -fsync and -snapshot-every-n tune the WAL and have no effect on a coordinator")
+		}
+	}
 	var st *store.Store
 	if *dataDir != "" {
-		policy, err := store.ParseFsync(*fsyncMode)
-		if err != nil {
-			log.Fatal(err)
-		}
 		st, err = store.Open(*dataDir, p, store.Options{
 			Fsync:          policy,
 			FsyncInterval:  *fsyncEvery,
@@ -108,6 +155,11 @@ func main() {
 		}
 	}
 	srv, err := server.NewWithOptions(p, server.Options{
+		Role:          nodeRole,
+		NodeID:        *nodeID,
+		Peers:         peerList,
+		PullInterval:  *pullInterval,
+		ClusterDir:    clusterDir,
 		Shards:        *shards,
 		IngestWorkers: *workers,
 		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
@@ -117,6 +169,13 @@ func main() {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	if nodeRole == server.RoleCoordinator {
+		extra := ""
+		if clusterDir != "" {
+			extra = fmt.Sprintf(", resumed %d fleet reports from %s", srv.N(), clusterDir)
+		}
+		log.Printf("coordinator %s pulling %d peer(s) every %v%s", srv.NodeID(), len(peerList), *pullInterval, extra)
+	}
 
 	// Read timeouts bound how long a slow (or slow-loris) client can
 	// hold a connection — and with it one of the server's bounded batch
@@ -137,9 +196,11 @@ func main() {
 	durable := "memory-only"
 	if st != nil {
 		durable = fmt.Sprintf("durable in %s (fsync %s)", *dataDir, st.Fsync())
+	} else if clusterDir != "" {
+		durable = fmt.Sprintf("peer states in %s", clusterDir)
 	}
-	fmt.Printf("serving %s (d=%d k=%d eps=%.3g, %d shards, refresh %v/%d reports, %s) on %s\n",
-		p.Name(), *d, *k, *eps, srv.Shards(), *interval, *everyN, durable, *addr)
+	fmt.Printf("serving %s as %s node %s (d=%d k=%d eps=%.3g, %d shards, refresh %v/%d reports, %s) on %s\n",
+		p.Name(), nodeRole, srv.NodeID(), *d, *k, *eps, srv.Shards(), *interval, *everyN, durable, *addr)
 
 	select {
 	case err := <-errc:
@@ -157,7 +218,11 @@ func main() {
 		} else if st != nil {
 			log.Printf("flushed WAL and wrote final snapshot to %s", *dataDir)
 		}
-		log.Printf("served %d reports across %d epochs", srv.N(), srv.View().Epoch())
+		if v := srv.View(); v != nil {
+			log.Printf("served %d reports across %d epochs", srv.N(), v.Epoch())
+		} else {
+			log.Printf("ingested %d reports", srv.N())
+		}
 	}
 }
 

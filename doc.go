@@ -76,4 +76,32 @@
 // first epoch already answers over everything that survived.
 // cmd/ldpserver exposes this as -data-dir, -fsync, and
 // -snapshot-every-n.
+//
+// # Cluster topology
+//
+// Real LDP fleets ingest at the edge and aggregate centrally, and the
+// server composes into exactly that shape (internal/server, cmd/
+// ldpserver -role). An *edge* node runs ingestion and durability only:
+// it accepts /report and /report/batch, WAL-logs every ack, and exports
+// its canonical aggregator state on GET /state as a CRC-checked frame
+// carrying its node id and a state version. A *coordinator* node runs
+// the read side over the whole fleet: it pulls /state from its
+// configured peers on a fixed cadence (failing peers back off
+// exponentially), replaces each peer's previous contribution with the
+// freshly pulled full state — replacement keyed on the (node id,
+// version) label makes re-pulls idempotent and makes an edge's
+// WAL-recovery after a crash transparent — and materializes the view
+// over the merged result. A *single* node (the default) is both at
+// once.
+//
+// Because aggregation is associative integer counting and the state
+// codec is canonical, the coordinator's marginals are byte-identical to
+// a single node that consumed every edge's stream directly, crash or no
+// crash. The coordinator's own restart story is a per-peer state
+// snapshot (-data-dir on a coordinator): persisting the decomposition
+// rather than the merged state is what keeps re-pulls after a restart
+// from double-counting. Coordinators themselves serve /state over the
+// merged fleet, so tiers stack into deeper aggregation trees. See
+// examples/http_deployment/README.md for a two-edge walkthrough and the
+// failure/staleness semantics.
 package ldpmarginals

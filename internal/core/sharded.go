@@ -31,6 +31,7 @@ type ShardedAggregator struct {
 	shards   []aggShard
 	next     atomic.Uint64
 	n        atomic.Int64
+	ver      atomic.Uint64
 }
 
 // aggShard pairs one accumulator with its lock. The pad separates shards
@@ -80,6 +81,7 @@ func (s *ShardedAggregator) Consume(rep Report) error {
 		return err
 	}
 	s.n.Add(1)
+	s.ver.Add(1)
 	return nil
 }
 
@@ -98,12 +100,30 @@ func (s *ShardedAggregator) ConsumeBatch(reps []Report) error {
 	consumed := sh.agg.N() - before
 	sh.mu.Unlock()
 	s.n.Add(int64(consumed))
+	if consumed > 0 {
+		s.ver.Add(1)
+	}
 	return err
 }
 
 // N returns the number of reports consumed so far. Lock-free: it reads
 // one atomic counter and never blocks writers.
 func (s *ShardedAggregator) N() int { return int(s.n.Load()) }
+
+// Version returns a monotonic counter that advances on every state
+// mutation (Consume, ConsumeBatch, Merge, UnmarshalState). Lock-free.
+// The guarantee is one-directional: the counter advances only *after*
+// the mutation is visible, so a version read *before* a Snapshot is
+// never newer than the snapshotted state. Labeling an exported state
+// blob with such a read lets a consumer skip re-merging an unchanged
+// label safely — at worst the label trails the state and a future pull
+// re-transfers fresh data; it never skips it. The converse does not
+// hold (equal reads around a Snapshot do not prove the state was
+// quiescent: a concurrent writer may have unlocked its shard but not
+// yet bumped the counter). The counter restarts at zero with the
+// process; consumers must treat any change — not only an increase — as
+// "state may differ".
+func (s *ShardedAggregator) Version() uint64 { return s.ver.Load() }
 
 // Snapshot merges every shard into a fresh sequential aggregator and
 // returns it. Shards are locked one at a time, so ingestion stalls for
@@ -119,6 +139,32 @@ func (s *ShardedAggregator) Snapshot() (Aggregator, error) {
 		sh.mu.Unlock()
 		if err != nil {
 			return nil, fmt.Errorf("core: snapshot of shard %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// SnapshotWith merges every shard plus the given foreign state blobs
+// (canonical Aggregator.MarshalState bytes from aggregators of the same
+// protocol, e.g. pulled from cluster peers) into one private sequential
+// aggregator. Each blob is decoded into a fresh accumulator — validating
+// it against the deployment geometry and the protocol's counter
+// invariants — and folded in through the same Merge path the shards use,
+// so the result is byte-identical to a single aggregator that consumed
+// every report behind every input. Shards are locked one at a time,
+// exactly like Snapshot.
+func (s *ShardedAggregator) SnapshotWith(foreign [][]byte) (Aggregator, error) {
+	out, err := s.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	for i, blob := range foreign {
+		src := s.newShard()
+		if err := src.UnmarshalState(blob); err != nil {
+			return nil, fmt.Errorf("core: foreign state %d: %w", i, err)
+		}
+		if err := out.Merge(src); err != nil {
+			return nil, fmt.Errorf("core: merging foreign state %d: %w", i, err)
 		}
 	}
 	return out, nil
@@ -155,5 +201,6 @@ func (s *ShardedAggregator) Merge(other Aggregator) error {
 		return err
 	}
 	s.n.Add(int64(added))
+	s.ver.Add(1)
 	return nil
 }

@@ -292,6 +292,7 @@ func (s *ShardedAggregator) UnmarshalState(data []byte) error {
 		s.shards[i].agg = s.newShard()
 	}
 	s.n.Store(int64(fresh.N()))
+	s.ver.Add(1)
 	for i := range s.shards {
 		s.shards[i].mu.Unlock()
 	}

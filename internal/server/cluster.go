@@ -1,0 +1,498 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/store"
+	"ldpmarginals/internal/view"
+	"ldpmarginals/internal/wire"
+)
+
+// The cluster tier. An edge exports its canonical aggregator state on
+// GET /state as a wire.StateFrame; a coordinator's fleet holds the
+// latest accepted frame per configured peer and assembles the fleet-wide
+// aggregation state on demand. The exchange is *state transfer with
+// replacement*, not delta shipping: every pull carries the peer's full
+// cumulative counters, and accepting a pull replaces that peer's
+// previous contribution. Replacement is what makes the protocol
+// idempotent and crash-proof — re-pulling an unchanged peer is a no-op
+// (the (node id, version) label is unchanged), and an edge that crashed
+// and recovered from its WAL simply re-serves its full recovered state,
+// which replaces whatever the coordinator held. Because aggregation is
+// associative integer counting, the assembled fleet state is
+// byte-identical to a single aggregator that consumed every edge's
+// stream directly.
+
+// fleet is a coordinator's view.Source: the local (empty) sharded
+// aggregator plus the latest accepted state blob of every configured
+// peer.
+type fleet struct {
+	agg   *core.ShardedAggregator
+	p     core.Protocol
+	dir   string // peer-state persistence directory; "" disables
+	ownID string // this coordinator's node id; accept refuses frames bearing it
+
+	total atomic.Int64  // sum of accepted peer report counts
+	ver   atomic.Uint64 // bumps on every accepted peer update
+
+	mu          sync.Mutex
+	peers       []*peerEntry
+	comp        []view.Component // composition of the engine's latest Snapshot
+	lastSaveErr error
+
+	// saveMu serializes persist calls: two concurrent saves would
+	// collide on the snapshot's fixed temp path and could rename a
+	// partially written file into place, bricking the next restart on a
+	// CRC failure. Held across collect+write so the last writer to
+	// finish holds the newest data.
+	saveMu sync.Mutex
+}
+
+// peerEntry is one configured peer and its pull lifecycle state.
+type peerEntry struct {
+	url string
+
+	// Latest accepted state (zero until the first successful pull).
+	nodeID   string
+	version  uint64
+	n        int
+	state    []byte
+	pulledAt time.Time
+
+	// Pull scheduling: consecutive failures drive exponential backoff.
+	fails   int
+	nextDue time.Time
+	lastErr string
+}
+
+// newFleet builds the fleet over the configured peer URLs, recovering
+// persisted peer states from dir when set. ownID is the coordinator's
+// own node id, so a misconfigured peer list pointing back at this node
+// (directly, or through a coordinator cycle) is refused instead of
+// folding the node's own output back in as a "peer" every round.
+func newFleet(agg *core.ShardedAggregator, p core.Protocol, urls []string, dir, ownID string) (*fleet, error) {
+	f := &fleet{agg: agg, p: p, dir: dir, ownID: ownID}
+	for _, u := range urls {
+		f.peers = append(f.peers, &peerEntry{url: u})
+	}
+	if dir == "" {
+		return f, nil
+	}
+	saved, err := store.LoadPeerStates(dir, p)
+	if err != nil {
+		return nil, fmt.Errorf("server: recovering peer states: %w", err)
+	}
+	byURL := make(map[string]store.PeerState, len(saved))
+	for _, ps := range saved {
+		byURL[ps.URL] = ps
+	}
+	for _, pe := range f.peers {
+		ps, ok := byURL[pe.url]
+		if !ok {
+			continue
+		}
+		// Validate the recovered blob exactly like a live pull; a peer
+		// state that no longer decodes is dropped (the next pull
+		// replaces it) rather than poisoning every future snapshot.
+		if err := validateState(p, ps.State, ps.N); err != nil {
+			pe.lastErr = fmt.Sprintf("recovered state invalid: %v", err)
+			continue
+		}
+		// pulledAt stays zero: the state was recovered from disk, not
+		// pulled, and /status must not report a fresh pull that never
+		// happened (last_pull_age_seconds stays -1 until one does).
+		pe.nodeID, pe.version, pe.n, pe.state = ps.NodeID, ps.Version, ps.N, ps.State
+		f.total.Add(int64(ps.N))
+		f.ver.Add(1)
+	}
+	return f, nil
+}
+
+// validateState decodes a peer's canonical state blob into a fresh
+// aggregator of the deployment's protocol and cross-checks the declared
+// report count, so a foreign or corrupt blob is rejected before it can
+// enter any snapshot.
+func validateState(p core.Protocol, state []byte, n int) error {
+	probe := p.NewAggregator()
+	if err := probe.UnmarshalState(state); err != nil {
+		return err
+	}
+	if got := probe.N(); got != n {
+		return fmt.Errorf("state holds %d reports but the frame declares %d", got, n)
+	}
+	return nil
+}
+
+// collect gathers the accepted peer blobs and their composition under
+// the fleet lock. Blobs are replaced wholesale on accept (never mutated
+// in place), so reading them after the unlock is safe.
+func (f *fleet) collect() (blobs [][]byte, comp []view.Component) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	blobs = make([][]byte, 0, len(f.peers))
+	comp = make([]view.Component, 0, len(f.peers))
+	for _, pe := range f.peers {
+		if pe.state == nil {
+			continue
+		}
+		blobs = append(blobs, pe.state)
+		comp = append(comp, view.Component{
+			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.version, PulledAt: pe.pulledAt,
+		})
+	}
+	return blobs, comp
+}
+
+// Snapshot assembles the fleet-wide state: a merged snapshot of the
+// local shards plus every accepted peer blob, each decoded and folded in
+// through the canonical Merge path. It records the snapshot's
+// composition for the view engine (view.Composed) — only the engine may
+// call it (builds are serialized under the engine's lock); other
+// callers use export, which leaves the recorded composition alone.
+func (f *fleet) Snapshot() (core.Aggregator, error) {
+	blobs, comp := f.collect()
+	f.mu.Lock()
+	f.comp = comp
+	f.mu.Unlock()
+	return f.agg.SnapshotWith(blobs)
+}
+
+// export assembles the same merged fleet state for GET /state without
+// touching the engine's recorded composition, so a concurrent
+// tier-stacking pull can never make View.Components misdescribe a
+// published epoch.
+func (f *fleet) export() (core.Aggregator, error) {
+	blobs, _ := f.collect()
+	return f.agg.SnapshotWith(blobs)
+}
+
+// Composition describes the constituents of the latest Snapshot.
+func (f *fleet) Composition() []view.Component {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]view.Component(nil), f.comp...)
+}
+
+// N is the fleet-wide report count: local ingestion (always zero on a
+// coordinator, which rejects reports) plus every accepted peer state.
+// Lock-free, so the view engine's staleness polling never contends with
+// pulls.
+func (f *fleet) N() int { return f.agg.N() + int(f.total.Load()) }
+
+// version labels the coordinator's own exported state: it changes
+// whenever any accepted peer state changes.
+func (f *fleet) version() uint64 { return f.ver.Load() }
+
+// accept installs a freshly pulled (and already validated) frame for the
+// peer at url. It returns (changed=false) when the frame's (node id,
+// version) matches the stored one — the idempotent re-pull case — and an
+// error when another configured peer already serves the same node id
+// (two URLs reaching one node would double-count its reports). The
+// node-id guards see one tier deep only: a merged frame carries the
+// exporting coordinator's id, not its constituents', so in stacked
+// topologies the operator must keep peer sets disjoint per tier (see
+// the example README's cluster section).
+func (f *fleet) accept(url string, sf wire.StateFrame) (changed bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if sf.NodeID == f.ownID {
+		// A self-pull (or a coordinator cycle) would re-ingest this
+		// node's own merged output as a peer contribution, inflating
+		// the fleet without bound: the export's version label changes
+		// on every accept, so the idempotency skip would never fire.
+		return false, fmt.Errorf("peer %s answered with this coordinator's own node id %q (self-pull or coordinator cycle)", url, sf.NodeID)
+	}
+	var target *peerEntry
+	for _, pe := range f.peers {
+		if pe.url == url {
+			target = pe
+		} else if pe.nodeID == sf.NodeID && pe.state != nil {
+			return false, fmt.Errorf("node id %q already served by peer %s", sf.NodeID, pe.url)
+		}
+	}
+	if target == nil {
+		return false, fmt.Errorf("peer %s is not configured", url)
+	}
+	if target.state != nil && target.nodeID == sf.NodeID && target.version == sf.Version {
+		return false, nil
+	}
+	f.total.Add(int64(sf.N - target.n))
+	target.nodeID, target.version, target.n, target.state = sf.NodeID, sf.Version, sf.N, sf.State
+	f.ver.Add(1)
+	return true, nil
+}
+
+// persist writes the current peer states to the cluster directory (when
+// configured) so a coordinator restart resumes from the last accepted
+// pulls instead of an empty fleet.
+func (f *fleet) persist() {
+	if f.dir == "" {
+		return
+	}
+	f.saveMu.Lock()
+	defer f.saveMu.Unlock()
+	f.mu.Lock()
+	states := make([]store.PeerState, 0, len(f.peers))
+	for _, pe := range f.peers {
+		if pe.state == nil {
+			continue
+		}
+		states = append(states, store.PeerState{
+			URL: pe.url, NodeID: pe.nodeID, Version: pe.version, N: pe.n, State: pe.state,
+		})
+	}
+	f.mu.Unlock()
+	err := store.SavePeerStates(f.dir, f.p, states)
+	f.mu.Lock()
+	f.lastSaveErr = err
+	f.mu.Unlock()
+}
+
+// puller drives the periodic state pulls of a coordinator with per-peer
+// exponential backoff.
+type puller struct {
+	f        *fleet
+	client   *http.Client
+	interval time.Duration
+	maxState int64
+
+	stop  chan struct{}
+	close sync.Once
+	done  sync.WaitGroup
+
+	// roundMu serializes pull rounds (the background ticker and forced
+	// POST /pull rounds): interleaved rounds could fetch a peer's state,
+	// lose the race to a concurrent round that accepted a *newer* frame,
+	// and then install the older one — accept only compares labels for
+	// equality, so the regression would stick (and be persisted).
+	roundMu sync.Mutex
+}
+
+// maxBackoffShift caps the failure backoff at interval << 5 = 32x.
+const maxBackoffShift = 5
+
+func newPuller(f *fleet, interval, timeout time.Duration, maxState int64) *puller {
+	return &puller{
+		f:        f,
+		client:   &http.Client{Timeout: timeout},
+		interval: interval,
+		maxState: maxState,
+		stop:     make(chan struct{}),
+	}
+}
+
+func (pl *puller) start() {
+	pl.done.Add(1)
+	go pl.loop()
+}
+
+func (pl *puller) Close() {
+	pl.close.Do(func() { close(pl.stop) })
+	pl.done.Wait()
+}
+
+// loop wakes at a fraction of the pull interval and pulls every due
+// peer, so backoff deadlines are honored within ~interval/4 without
+// per-peer goroutines.
+func (pl *puller) loop() {
+	defer pl.done.Done()
+	tick := pl.interval / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-pl.stop:
+			return
+		case <-ticker.C:
+			pl.round(false)
+		}
+	}
+}
+
+// round pulls every peer that is due (or all of them when force is set,
+// the POST /pull path), persisting the fleet once if anything changed.
+// Rounds are serialized; see roundMu.
+func (pl *puller) round(force bool) {
+	pl.roundMu.Lock()
+	defer pl.roundMu.Unlock()
+	now := time.Now()
+	pl.f.mu.Lock()
+	due := make([]string, 0, len(pl.f.peers))
+	for _, pe := range pl.f.peers {
+		if force || !now.Before(pe.nextDue) {
+			due = append(due, pe.url)
+		}
+	}
+	pl.f.mu.Unlock()
+	// Pull due peers concurrently: one unresponsive peer burning its
+	// full PullTimeout must not stall the others' staleness bound (or a
+	// forced POST /pull) beyond a single timeout.
+	var (
+		wg         sync.WaitGroup
+		anyChanged atomic.Bool
+	)
+	for _, url := range due {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			if pl.pull(url) {
+				anyChanged.Store(true)
+			}
+		}(url)
+	}
+	wg.Wait()
+	if anyChanged.Load() {
+		pl.f.persist()
+	}
+}
+
+// pull fetches, verifies, and installs one peer's state, updating that
+// peer's schedule: success re-arms the regular interval, failure backs
+// off exponentially.
+func (pl *puller) pull(url string) (changed bool) {
+	changed, err := pl.fetch(url)
+	pl.f.mu.Lock()
+	defer pl.f.mu.Unlock()
+	for _, pe := range pl.f.peers {
+		if pe.url != url {
+			continue
+		}
+		if err != nil {
+			pe.fails++
+			pe.lastErr = err.Error()
+			shift := pe.fails - 1
+			if shift > maxBackoffShift {
+				shift = maxBackoffShift
+			}
+			pe.nextDue = time.Now().Add(pl.interval << shift)
+		} else {
+			pe.fails = 0
+			pe.lastErr = ""
+			pe.pulledAt = time.Now()
+			pe.nextDue = time.Now().Add(pl.interval)
+		}
+	}
+	return changed
+}
+
+// fetch performs the HTTP GET and frame validation for one peer.
+func (pl *puller) fetch(url string) (changed bool, err error) {
+	resp, err := pl.client.Get(url + "/state")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false, fmt.Errorf("GET /state: status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, pl.maxState+1))
+	if err != nil {
+		return false, fmt.Errorf("GET /state: reading body: %w", err)
+	}
+	if int64(len(body)) > pl.maxState {
+		return false, fmt.Errorf("GET /state: body exceeds %d bytes", pl.maxState)
+	}
+	sf, err := wire.DecodeStateFrame(body)
+	if err != nil {
+		return false, err
+	}
+	// Skip the (expensive) decode validation for an unchanged state: the
+	// accept below short-circuits on the (node id, version) label. Peek
+	// cheaply first.
+	if pl.f.sameVersion(url, sf) {
+		return false, nil
+	}
+	if err := validateState(pl.f.p, sf.State, sf.N); err != nil {
+		return false, err
+	}
+	return pl.f.accept(url, sf)
+}
+
+// sameVersion reports whether the frame matches the stored label for the
+// peer — the idempotent re-pull fast path.
+func (f *fleet) sameVersion(url string, sf wire.StateFrame) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, pe := range f.peers {
+		if pe.url == url {
+			return pe.state != nil && pe.nodeID == sf.NodeID && pe.version == sf.Version
+		}
+	}
+	return false
+}
+
+// PeerStatus is one peer's entry in the /status cluster block.
+type PeerStatus struct {
+	// URL is the configured peer base URL.
+	URL string `json:"url"`
+	// NodeID is the peer's self-reported node id ("" before the first
+	// successful pull).
+	NodeID string `json:"node_id,omitempty"`
+	// Version and N label the latest accepted state.
+	Version uint64 `json:"version"`
+	N       int    `json:"n"`
+	// LastPullAgeSeconds is how long ago the last successful pull
+	// finished (negative when none has succeeded yet).
+	LastPullAgeSeconds float64 `json:"last_pull_age_seconds"`
+	// ConsecutiveFailures counts pulls failed since the last success;
+	// the pull schedule backs off exponentially with it.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+	// LastError is the most recent pull failure, cleared on success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// ClusterStatus is the cluster block of a /status reply.
+type ClusterStatus struct {
+	// Role is the node's role (single, edge, coordinator).
+	Role string `json:"role"`
+	// NodeID is this node's id, as exported in its /state frames.
+	NodeID string `json:"node_id"`
+	// StateVersion is the version this node would label a /state export
+	// with right now.
+	StateVersion uint64 `json:"state_version"`
+	// PullIntervalSeconds is the coordinator's configured pull cadence
+	// (0 for other roles).
+	PullIntervalSeconds float64 `json:"pull_interval_seconds,omitempty"`
+	// Peers describes every configured peer (coordinator only).
+	Peers []PeerStatus `json:"peers,omitempty"`
+	// PeerStateSaveError is the most recent failure persisting peer
+	// states to the cluster directory, if any.
+	PeerStateSaveError string `json:"peer_state_save_error,omitempty"`
+}
+
+// status snapshots the fleet for the /status cluster block.
+func (f *fleet) status() (peers []PeerStatus, saveErr string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	peers = make([]PeerStatus, 0, len(f.peers))
+	for _, pe := range f.peers {
+		ps := PeerStatus{
+			URL:                 pe.url,
+			NodeID:              pe.nodeID,
+			Version:             pe.version,
+			N:                   pe.n,
+			LastPullAgeSeconds:  -1,
+			ConsecutiveFailures: pe.fails,
+			LastError:           pe.lastErr,
+		}
+		if !pe.pulledAt.IsZero() {
+			ps.LastPullAgeSeconds = time.Since(pe.pulledAt).Seconds()
+		}
+		peers = append(peers, ps)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i].URL < peers[j].URL })
+	if f.lastSaveErr != nil {
+		saveErr = f.lastSaveErr.Error()
+	}
+	return peers, saveErr
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/rng"
+)
+
+// TestClusterE2E is the process-level proof of the scale-out tier: two
+// real edge ldpserver processes and one real coordinator process, with
+// one edge SIGKILLed mid-run and restarted from its data directory. The
+// coordinator must converge to exactly the union of both edges' durable
+// state, and its view must serve it.
+func TestClusterE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ldpserver")
+	build := exec.Command("go", "build", "-o", bin, "ldpmarginals/cmd/ldpserver")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ldpserver: %v\n%s", err, out)
+	}
+
+	edgeDirs := [2]string{t.TempDir(), t.TempDir()}
+	edgeAddrs := [2]string{freeAddr(t), freeAddr(t)}
+	coordAddr := freeAddr(t)
+	coordDir := t.TempDir()
+
+	startEdge := func(i int) *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", edgeAddrs[i],
+			"-role", "edge", "-node-id", fmt.Sprintf("edge-%d", i),
+			"-protocol", "InpHT", "-d", "8", "-k", "2", "-eps", "1.1",
+			"-data-dir", edgeDirs[i], "-fsync", "always",
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting edge %d: %v", i, err)
+		}
+		waitHealthy(t, edgeAddrs[i])
+		return cmd
+	}
+	edges := [2]*exec.Cmd{startEdge(0), startEdge(1)}
+	defer func() {
+		for _, e := range edges {
+			if e != nil && e.Process != nil {
+				_ = e.Process.Kill()
+			}
+		}
+	}()
+
+	coord := exec.Command(bin,
+		"-addr", coordAddr,
+		"-role", "coordinator", "-node-id", "coord",
+		"-peers", "http://"+edgeAddrs[0]+",http://"+edgeAddrs[1],
+		"-pull-interval", "100ms",
+		"-protocol", "InpHT", "-d", "8", "-k", "2", "-eps", "1.1",
+		"-data-dir", coordDir,
+		"-refresh-interval", "0", "-refresh-every-n", "0",
+	)
+	if err := coord.Start(); err != nil {
+		t.Fatalf("starting coordinator: %v", err)
+	}
+	defer func() { _ = coord.Process.Kill() }()
+	waitHealthy(t, coordAddr)
+
+	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 1.1, OptimizedPRR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(123)
+	makeBatch := func(n int) []byte {
+		reps := make([]core.Report, n)
+		for i := range reps {
+			rep, err := client.Perturb(uint64(i%256), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		body, err := encoding.MarshalBatch(p.Name(), reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	post := func(addr string, body []byte) bool {
+		resp, err := http.Post("http://"+addr+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var br BatchResponse
+		return json.NewDecoder(resp.Body).Decode(&br) == nil && resp.StatusCode == http.StatusOK
+	}
+
+	// Phase 1: both edges ingest; acked batches are durable (fsync
+	// always).
+	if !post(edgeAddrs[0], makeBatch(1500)) || !post(edgeAddrs[1], makeBatch(1200)) {
+		t.Fatal("phase-1 batches not acked")
+	}
+
+	// Phase 2: SIGKILL edge 0 mid-run while ingestion continues on it.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 30; i++ {
+			if !post(edgeAddrs[0], makeBatch(100)) {
+				return
+			}
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := edges[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	_ = edges[0].Wait()
+
+	// Phase 3: restart the killed edge from its directory; the fleet
+	// must converge to exactly edge0.N + edge1.N.
+	edges[0] = startEdge(0)
+	if !post(edgeAddrs[0], makeBatch(300)) {
+		t.Fatal("post-restart batch not acked")
+	}
+	edgeN := func(addr string) int {
+		var sr StatusResponse
+		resp, err := http.Get("http://" + addr + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.N
+	}
+	wantN := edgeN(edgeAddrs[0]) + edgeN(edgeAddrs[1])
+
+	deadline := time.Now().Add(15 * time.Second)
+	var gotN int
+	for time.Now().Before(deadline) {
+		gotN = edgeN(coordAddr) // coordinator /status n is fleet-wide
+		if gotN == wantN {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if gotN != wantN {
+		t.Fatalf("coordinator converged to %d reports, want %d", gotN, wantN)
+	}
+
+	// The converged fleet serves: refresh and read a marginal over it.
+	resp, err := http.Post("http://"+coordAddr+"/refresh", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vs ViewStatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&vs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if vs.ViewN != wantN {
+		t.Fatalf("coordinator epoch holds %d reports, want %d", vs.ViewN, wantN)
+	}
+	if len(vs.Peers) != 2 {
+		t.Fatalf("view/status peers = %+v, want 2", vs.Peers)
+	}
+	mresp, err := http.Get("http://" + coordAddr + "/marginal?beta=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr MarginalResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("marginal over the fleet: status %d err %v", mresp.StatusCode, err)
+	}
+	if len(mr.Cells) != 4 || mr.N != wantN {
+		t.Fatalf("marginal response = %+v, want n=%d", mr, wantN)
+	}
+}

@@ -6,6 +6,30 @@
 // (Section 7); this package is the reference shape of such a deployment
 // at scale.
 //
+// # Node roles and the cluster tier
+//
+// A deployment is composed from three pipelines — ingestion (sharded
+// aggregation + durable WAL), serving (the materialized-view engine),
+// and state exchange (canonical aggregator state over GET /state) —
+// selected by Options.Role:
+//
+//   - single (default) runs everything in one process, exactly the
+//     monolithic behavior.
+//   - edge runs ingestion only: it accepts and WAL-logs reports and
+//     exports its canonical state for a coordinator; it serves no
+//     estimates and never pays reconstruction cost.
+//   - coordinator runs serving only: it periodically pulls GET /state
+//     from Options.Peers, replaces each peer's previous contribution
+//     with the freshly pulled full state (idempotent by the peer's
+//     (node id, version) label), and materializes the view over the
+//     merged fleet. It rejects direct report ingestion.
+//
+// Because aggregation is associative integer counting and the state
+// codec is canonical, a coordinator's view over E edges splitting a
+// report stream is byte-identical to a single node consuming the whole
+// stream — including after an edge crashes and recovers from its WAL.
+// See internal/server/cluster.go for the exchange semantics.
+//
 // # Epochs and staleness
 //
 // The read side serves from a materialized view (internal/view): all
@@ -18,7 +42,8 @@
 // period: the epoch advances on the configured policy (Options.Refresh:
 // wall-time interval and/or report-count delta) and on explicit
 // POST /refresh. /view/status reports the serving epoch, its report
-// count, and how many reports have arrived since it was built.
+// count, and how many reports have arrived since it was built — and, on
+// a coordinator, the per-peer composition of the serving epoch.
 //
 // # Ingestion architecture
 //
@@ -50,6 +75,9 @@
 // final snapshot. GET /status reports the WAL footprint and GET
 // /view/status whether the serving epoch contains recovered reports.
 // Without a store the deployment is memory-only, exactly as before.
+// A coordinator does not ingest, so it takes no Store; its durable
+// artifact is the per-peer state snapshot in Options.ClusterDir, which
+// a restart recovers before re-pulls replace it.
 //
 // # Batch semantics
 //
@@ -65,6 +93,9 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -73,12 +104,14 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
+	"ldpmarginals/internal/wire"
 )
 
 // maxReportBytes bounds a single report upload, matching the largest
@@ -88,6 +121,22 @@ const maxReportBytes = encoding.MaxFrameBytes
 // defaultMaxBatchBytes bounds a /report/batch body: 16 MiB holds over a
 // million typical frames (InpHT at d=20 is a few bytes per report).
 const defaultMaxBatchBytes = 16 << 20
+
+// defaultMaxQueryBytes bounds a /query body: 1 MiB of JSON holds tens of
+// thousands of conjunctions, far beyond any sane analyst batch.
+const defaultMaxQueryBytes = 1 << 20
+
+// defaultMaxStateBytes bounds a pulled /state body. The largest live
+// state is InpRR near d=20: 2^20 uvarint counters plus framing, well
+// under this.
+const defaultMaxStateBytes = 256 << 20
+
+// defaultPullInterval is the coordinator's pull cadence when
+// Options.PullInterval is unset.
+const defaultPullInterval = 5 * time.Second
+
+// defaultPullTimeout bounds one peer state transfer.
+const defaultPullTimeout = 30 * time.Second
 
 // maxBatchReports bounds the decoded report count of one batch request,
 // capping the memory amplification of a body packed with minimal
@@ -100,8 +149,34 @@ const maxBatchReports = 1 << 20
 // large batch spreads across every shard.
 const batchChunk = 1024
 
-// Options tunes a deployment; the zero value selects the defaults.
+// Options tunes a deployment; the zero value selects the defaults
+// (a single-role, memory-only node).
 type Options struct {
+	// Role selects which pipeline stages this node runs; the zero value
+	// is RoleSingle (the monolithic deployment).
+	Role Role
+	// NodeID names this node in state-exchange frames and cluster
+	// status; empty selects a random "node-xxxxxxxx" id. Must be unique
+	// across a cluster: a coordinator refuses to merge two peers
+	// claiming the same id.
+	NodeID string
+	// Peers is the list of peer base URLs (e.g. "http://10.0.0.7:8080")
+	// a coordinator pulls state from. Required for RoleCoordinator,
+	// rejected for other roles.
+	Peers []string
+	// PullInterval is the coordinator's per-peer pull cadence; <= 0
+	// selects 5s. Failing peers back off exponentially up to 32x.
+	PullInterval time.Duration
+	// PullTimeout bounds one peer state transfer; <= 0 selects 30s.
+	PullTimeout time.Duration
+	// MaxStateBytes bounds a pulled /state body; <= 0 selects 256 MiB.
+	MaxStateBytes int64
+	// ClusterDir, when set on a coordinator, persists the latest
+	// accepted peer states (atomically, CRC-checked) so a restart
+	// resumes from them instead of an empty fleet. Rejected for other
+	// roles (their durability is Store).
+	ClusterDir string
+
 	// Shards is the number of per-shard accumulators; <= 0 selects
 	// GOMAXPROCS.
 	Shards int
@@ -112,6 +187,8 @@ type Options struct {
 	IngestWorkers int
 	// MaxBatchBytes bounds a /report/batch body; <= 0 selects 16 MiB.
 	MaxBatchBytes int64
+	// MaxQueryBytes bounds a /query JSON body; <= 0 selects 1 MiB.
+	MaxQueryBytes int64
 	// Refresh is the automatic view-refresh policy; the zero value means
 	// the view only advances on POST /refresh.
 	Refresh view.Policy
@@ -122,8 +199,68 @@ type Options struct {
 	// appended to its write-ahead log before the ack, the recovered
 	// state seeds the aggregator, and the aggregator becomes the
 	// store's snapshot source. The server owns the store from here on:
-	// Server.Close closes it.
+	// Server.Close closes it. Rejected for RoleCoordinator, which does
+	// not ingest.
 	Store *store.Store
+}
+
+// ingestPipeline is the write side of a deployment: the sharded
+// aggregator, the optional durable store wired in front of it, and the
+// bounded batch worker pool. Roles that ingest (single, edge) run one.
+type ingestPipeline struct {
+	agg       *core.ShardedAggregator
+	st        *store.Store  // nil for a memory-only deployment
+	recovered int           // reports restored from the store at startup
+	slots     chan struct{} // bounded worker-pool slots for batch chunks
+	batches   chan struct{} // bounds whole /report/batch requests in flight
+	maxBatch  int64
+}
+
+// newIngestPipeline wires the store (seeding recovered state,
+// registering the snapshot source) and sizes the worker pools.
+func newIngestPipeline(agg *core.ShardedAggregator, opts Options) (*ingestPipeline, error) {
+	recovered := 0
+	if opts.Store != nil {
+		rec, _ := opts.Store.Recovered()
+		if rec != nil && rec.N() > 0 {
+			// Seed the live pipeline before the engine builds its first
+			// epoch, so recovered reports are served immediately.
+			if err := agg.Merge(rec); err != nil {
+				return nil, fmt.Errorf("server: seeding recovered state: %w", err)
+			}
+			recovered = rec.N()
+		}
+		// The recovered state now lives in the sharded aggregator; let
+		// the store drop its copy.
+		opts.Store.ReleaseRecovered()
+		opts.Store.SetSource(agg.Snapshot)
+	}
+	workers := opts.IngestWorkers
+	if workers <= 0 {
+		workers = agg.Shards()
+	}
+	maxBatch := opts.MaxBatchBytes
+	if maxBatch <= 0 {
+		maxBatch = defaultMaxBatchBytes
+	}
+	return &ingestPipeline{
+		agg:       agg,
+		st:        opts.Store,
+		recovered: recovered,
+		slots:     make(chan struct{}, workers),
+		batches:   make(chan struct{}, workers),
+		maxBatch:  maxBatch,
+	}, nil
+}
+
+// readPipeline is the read side of a deployment: the view engine over
+// its source (the local aggregator for single, the fleet for a
+// coordinator). Roles that serve estimates (single, coordinator) run
+// one.
+type readPipeline struct {
+	engine   *view.Engine
+	src      view.Source // what staleness is measured against
+	maxQuery int64
 }
 
 // Server exposes one protocol deployment over HTTP. Safe for concurrent
@@ -131,19 +268,30 @@ type Options struct {
 type Server struct {
 	protocol core.Protocol
 	tag      encoding.Tag
+	role     Role
+	nodeID   string
 
-	agg       *core.ShardedAggregator
-	engine    *view.Engine
-	st        *store.Store  // nil for a memory-only deployment
-	recovered int           // reports restored from the store at startup
-	ingest    chan struct{} // bounded worker-pool slots for batch chunks
-	batches   chan struct{} // bounds whole /report/batch requests in flight
-	maxBatch  int64
+	agg *core.ShardedAggregator // local aggregation state (all roles)
+
+	// verSalt offsets the exported state version with a per-process
+	// random value. The in-memory mutation counters restart at zero with
+	// the process, so without the salt a node that crashed, recovered a
+	// *different* state (reports inside the fsync window are lost), and
+	// reached the same counter value could be skipped by a coordinator
+	// as "unchanged". Consumers compare version labels only for
+	// equality, so the salt costs nothing and makes cross-restart
+	// collisions vanishingly unlikely.
+	verSalt uint64
+
+	ingest *ingestPipeline // nil when the role doesn't ingest (coordinator)
+	reads  *readPipeline   // nil when the role doesn't serve (edge)
+	fleet  *fleet          // coordinator only
+	puller *puller         // coordinator only
 }
 
-// New builds a server around a protocol with default Options. The
-// protocol's name must have a wire tag registered in the encoding
-// package.
+// New builds a single-role server around a protocol with default
+// Options. The protocol's name must have a wire tag registered in the
+// encoding package.
 func New(p core.Protocol) (*Server, error) {
 	return NewWithOptions(p, Options{})
 }
@@ -164,83 +312,179 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 	if err != nil {
 		return fail(err)
 	}
-	agg := core.NewSharded(p, opts.Shards)
-	recovered := 0
-	if opts.Store != nil {
-		rec, _ := opts.Store.Recovered()
-		if rec != nil && rec.N() > 0 {
-			// Seed the live pipeline before the engine builds its first
-			// epoch, so recovered reports are served immediately.
-			if err := agg.Merge(rec); err != nil {
-				return fail(fmt.Errorf("server: seeding recovered state: %w", err))
-			}
-			recovered = rec.N()
-		}
-		// The recovered state now lives in the sharded aggregator; let
-		// the store drop its copy.
-		opts.Store.ReleaseRecovered()
-		opts.Store.SetSource(agg.Snapshot)
-	}
-	workers := opts.IngestWorkers
-	if workers <= 0 {
-		workers = agg.Shards()
-	}
-	maxBatch := opts.MaxBatchBytes
-	if maxBatch <= 0 {
-		maxBatch = defaultMaxBatchBytes
-	}
-	engine, err := view.NewEngine(agg, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View})
-	if err != nil {
+	if err := validateRoleOptions(opts); err != nil {
 		return fail(err)
 	}
-	return &Server{
-		protocol:  p,
-		tag:       tag,
-		agg:       agg,
-		engine:    engine,
-		st:        opts.Store,
-		recovered: recovered,
-		ingest:    make(chan struct{}, workers),
-		batches:   make(chan struct{}, workers),
-		maxBatch:  maxBatch,
-	}, nil
+	nodeID := opts.NodeID
+	if nodeID == "" {
+		nodeID, err = randomNodeID()
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if len(nodeID) > wire.MaxNodeIDLen {
+		return fail(fmt.Errorf("server: node id of %d bytes exceeds %d", len(nodeID), wire.MaxNodeIDLen))
+	}
+	s := &Server{
+		protocol: p,
+		tag:      tag,
+		role:     opts.Role,
+		nodeID:   nodeID,
+		agg:      core.NewSharded(p, opts.Shards),
+	}
+	var salt [8]byte
+	if _, err := rand.Read(salt[:]); err != nil {
+		return fail(fmt.Errorf("server: generating version salt: %w", err))
+	}
+	s.verSalt = binary.LittleEndian.Uint64(salt[:])
+	if s.role.ingests() {
+		if s.ingest, err = newIngestPipeline(s.agg, opts); err != nil {
+			return fail(err)
+		}
+	}
+	var src view.Source = s.agg
+	if s.role == RoleCoordinator {
+		if s.fleet, err = newFleet(s.agg, p, opts.Peers, opts.ClusterDir, nodeID); err != nil {
+			return fail(err)
+		}
+		src = s.fleet
+		interval := opts.PullInterval
+		if interval <= 0 {
+			interval = defaultPullInterval
+		}
+		timeout := opts.PullTimeout
+		if timeout <= 0 {
+			timeout = defaultPullTimeout
+		}
+		maxState := opts.MaxStateBytes
+		if maxState <= 0 {
+			maxState = defaultMaxStateBytes
+		}
+		s.puller = newPuller(s.fleet, interval, timeout, maxState)
+	}
+	if s.role.serves() {
+		maxQuery := opts.MaxQueryBytes
+		if maxQuery <= 0 {
+			maxQuery = defaultMaxQueryBytes
+		}
+		engine, err := view.NewEngine(src, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View})
+		if err != nil {
+			return fail(err)
+		}
+		s.reads = &readPipeline{engine: engine, src: src, maxQuery: maxQuery}
+	}
+	if s.puller != nil {
+		// Start pulling only after the initial epoch is built, so the
+		// engine never races fleet mutations during construction.
+		s.puller.start()
+	}
+	return s, nil
 }
 
-// Close stops the view engine's refresh loop and, for a durable
-// deployment, flushes the write-ahead log and writes a final counter
-// snapshot. The server's handlers remain usable (serving the last
-// published epoch, rejecting ingestion); Close is idempotent.
-func (s *Server) Close() error {
-	s.engine.Close()
-	if s.st != nil {
-		return s.st.Close()
+// validateRoleOptions rejects option combinations that cross role
+// boundaries, so a misconfigured node fails at startup instead of
+// silently dropping a pipeline stage.
+func validateRoleOptions(opts Options) error {
+	if opts.Role == RoleCoordinator {
+		if len(opts.Peers) == 0 {
+			return errors.New("server: role coordinator requires at least one peer URL")
+		}
+		if opts.Store != nil {
+			return errors.New("server: role coordinator does not ingest and takes no Store; durability lives at the edges (use ClusterDir for peer-state persistence)")
+		}
+		return nil
+	}
+	if len(opts.Peers) > 0 {
+		return fmt.Errorf("server: role %s takes no peers (only a coordinator pulls state)", opts.Role)
+	}
+	if opts.ClusterDir != "" {
+		return fmt.Errorf("server: role %s takes no ClusterDir (its durability is Store)", opts.Role)
 	}
 	return nil
 }
 
-// Store returns the durability layer, or nil for a memory-only
-// deployment.
-func (s *Server) Store() *store.Store { return s.st }
+// randomNodeID generates a "node-xxxxxxxx" id unique enough for a
+// fleet.
+func randomNodeID() (string, error) {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("server: generating node id: %w", err)
+	}
+	return "node-" + hex.EncodeToString(b[:]), nil
+}
 
-// View returns the engine publishing the server's materialized view.
-func (s *Server) View() *view.Engine { return s.engine }
+// Close stops the coordinator's peer puller and the view engine's
+// refresh loop and, for a durable deployment, flushes the write-ahead
+// log and writes a final counter snapshot (a coordinator persists its
+// peer states instead). The server's handlers remain usable (serving
+// the last published epoch, rejecting ingestion); Close is idempotent.
+func (s *Server) Close() error {
+	if s.puller != nil {
+		s.puller.Close()
+	}
+	if s.reads != nil {
+		s.reads.engine.Close()
+	}
+	if s.fleet != nil {
+		s.fleet.persist()
+	}
+	if s.ingest != nil && s.ingest.st != nil {
+		return s.ingest.st.Close()
+	}
+	return nil
+}
 
-// N returns the number of reports consumed so far. Lock-free.
-func (s *Server) N() int { return s.agg.N() }
+// Role returns the node's role.
+func (s *Server) Role() Role { return s.role }
+
+// NodeID returns the node's cluster id.
+func (s *Server) NodeID() string { return s.nodeID }
+
+// Store returns the durability layer, or nil for a memory-only (or
+// coordinator) deployment.
+func (s *Server) Store() *store.Store {
+	if s.ingest == nil {
+		return nil
+	}
+	return s.ingest.st
+}
+
+// View returns the engine publishing the server's materialized view, or
+// nil for an edge (which serves no estimates).
+func (s *Server) View() *view.Engine {
+	if s.reads == nil {
+		return nil
+	}
+	return s.reads.engine
+}
+
+// N returns the number of reports behind this node: local ingestion for
+// single and edge roles, the fleet-wide count for a coordinator.
+// Lock-free.
+func (s *Server) N() int {
+	if s.fleet != nil {
+		return s.fleet.N()
+	}
+	return s.agg.N()
+}
 
 // Shards returns the number of aggregation shards of the deployment.
 func (s *Server) Shards() int { return s.agg.Shards() }
 
 // Handler returns the HTTP routes of the deployment:
 //
-//	POST /report        binary frame (encoding.Marshal)        -> 204
-//	POST /report/batch  length-prefixed frames (MarshalBatch)  -> JSON count
-//	GET  /marginal      ?beta=<decimal mask>                   -> JSON table (cached epoch)
-//	POST /query         JSON conjunction batch                 -> JSON per-query answers
-//	POST /refresh       build + publish the next epoch         -> JSON view status
-//	GET  /view/status   serving epoch, staleness, build time   -> JSON
-//	GET  /status        deployment metadata                    -> JSON
+//	POST /report        binary frame (encoding.Marshal)        -> 204  (single, edge)
+//	POST /report/batch  length-prefixed frames (MarshalBatch)  -> JSON count (single, edge)
+//	GET  /marginal      ?beta=<decimal mask>                   -> JSON table (single, coordinator)
+//	POST /query         JSON conjunction batch                 -> JSON per-query answers (single, coordinator)
+//	POST /refresh       build + publish the next epoch         -> JSON view status (single, coordinator)
+//	GET  /view/status   serving epoch, staleness, build time   -> JSON (single, coordinator)
+//	GET  /state         canonical aggregator state frame       -> binary (all roles)
+//	POST /pull          pull every peer now                    -> JSON cluster status (coordinator)
+//	GET  /status        deployment metadata + cluster block    -> JSON
 //	GET  /healthz       liveness probe                         -> JSON ok
+//
+// Endpoints outside the node's role answer 403 naming the role.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
@@ -249,14 +493,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/refresh", s.handleRefresh)
 	mux.HandleFunc("/view/status", s.handleViewStatus)
+	mux.HandleFunc("/state", s.handleState)
+	mux.HandleFunc("/pull", s.handlePull)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
 
+// allow guards a handler's method, answering 405 with the Allow header
+// (RFC 9110 §15.5.6) for anything else.
+func allow(w http.ResponseWriter, r *http.Request, method string) bool {
+	if r.Method == method {
+		return true
+	}
+	w.Header().Set("Allow", method)
+	http.Error(w, method+" required", http.StatusMethodNotAllowed)
+	return false
+}
+
+// rejectRole answers 403 for an endpoint outside the node's role,
+// naming the role that does serve it.
+func (s *Server) rejectRole(w http.ResponseWriter, what, serveRole string) {
+	http.Error(w, fmt.Sprintf("role %s does not serve %s; use a %s node", s.role, what, serveRole), http.StatusForbidden)
+}
+
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	if s.ingest == nil {
+		s.rejectRole(w, "report ingestion", "single or edge")
 		return
 	}
 	frame, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
@@ -277,20 +543,21 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
+	in := s.ingest
 	var rejected error
 	var err2 error
-	if s.st != nil {
+	if in.st != nil {
 		// The frame is appended to the WAL (honoring the fsync policy)
 		// before the ack below; a single report logs as a one-frame batch.
 		batch := encoding.AppendFrame(nil, frame)
-		err2 = s.st.Ingest(batch, func() (int, int, error) {
-			if err := s.agg.Consume(rep); err != nil {
+		err2 = in.st.Ingest(batch, func() (int, int, error) {
+			if err := in.agg.Consume(rep); err != nil {
 				rejected = err
 				return 0, 0, err
 			}
 			return 1, len(batch), nil
 		})
-	} else if err := s.agg.Consume(rep); err != nil {
+	} else if err := in.agg.Consume(rep); err != nil {
 		rejected = err
 	}
 	if rejected != nil {
@@ -319,10 +586,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // aggregator, regardless of the error: on a report rejection it is the
 // accepted prefix, and on a WAL failure (which can mask a rejection)
 // it is still exactly what the aggregator consumed.
-func (s *Server) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
+func (in *ingestPipeline) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
 	chunk := reps[lo:hi]
-	if s.st == nil {
-		err := s.agg.ConsumeBatch(chunk)
+	if in.st == nil {
+		err := in.agg.ConsumeBatch(chunk)
 		if err == nil {
 			return len(chunk), nil
 		}
@@ -334,8 +601,8 @@ func (s *Server) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi
 	}
 	start := startOf(ends, lo)
 	applied := 0
-	err := s.st.Ingest(body[start:ends[hi-1]], func() (int, int, error) {
-		err := s.agg.ConsumeBatch(chunk)
+	err := in.st.Ingest(body[start:ends[hi-1]], func() (int, int, error) {
+		err := in.agg.ConsumeBatch(chunk)
 		if err == nil {
 			applied = len(chunk)
 			return applied, ends[hi-1] - start, nil
@@ -374,22 +641,26 @@ type BatchResponse struct {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodPost) {
 		return
 	}
+	if s.ingest == nil {
+		s.rejectRole(w, "report ingestion", "single or edge")
+		return
+	}
+	in := s.ingest
 	// Bound whole batch requests in flight, not just the shard writes:
 	// buffering and decoding a body costs up to maxBatch bytes plus the
 	// decoded reports, so excess requests wait here (HTTP backpressure)
 	// instead of amplifying memory without bound.
-	s.batches <- struct{}{}
-	defer func() { <-s.batches }()
-	body, err := io.ReadAll(io.LimitReader(r.Body, s.maxBatch+1))
+	in.batches <- struct{}{}
+	defer func() { <-in.batches }()
+	body, err := io.ReadAll(io.LimitReader(r.Body, in.maxBatch+1))
 	if err != nil {
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if int64(len(body)) > s.maxBatch {
+	if int64(len(body)) > in.maxBatch {
 		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
@@ -424,19 +695,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		hi := min(lo+batchChunk, len(reps))
-		s.ingest <- struct{}{}
+		in.slots <- struct{}{}
 		// Re-check after the (possibly long) wait for a pool slot: a
 		// rejection may have landed while this chunk was queued.
 		if failed.Load() {
-			<-s.ingest
+			<-in.slots
 			break
 		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			offset := lo
 			defer wg.Done()
-			defer func() { <-s.ingest }()
-			consumed, err := s.ingestChunk(reps, body, ends, lo, hi)
+			defer func() { <-in.slots }()
+			consumed, err := in.ingestChunk(reps, body, ends, lo, hi)
 			accepted.Add(int64(consumed))
 			if err == nil {
 				return
@@ -473,7 +744,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// Report rejections are the client's fault (400); persistence
 		// failures are the server's (500) and must not invite a retry
 		// that would double-count the already-consumed reports.
-		status, prefix := http.StatusBadRequest, "rejected: "
+		status := http.StatusBadRequest
+		prefix := "rejected: "
 		if persistFailed.Load() {
 			status, prefix = http.StatusInternalServerError, "persistence failed: "
 		}
@@ -501,8 +773,11 @@ type MarginalResponse struct {
 }
 
 func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	if s.reads == nil {
+		s.rejectRole(w, "marginal estimates", "single or coordinator")
 		return
 	}
 	betaStr := r.URL.Query().Get("beta")
@@ -513,7 +788,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	}
 	// Serve from the cached epoch: no lock, no snapshot, no
 	// reconstruction — O(2^k) marginalization of cached tables at most.
-	v := s.engine.Current()
+	v := s.reads.engine.Current()
 	tab, err := v.Marginal(beta)
 	if err != nil {
 		status := http.StatusInternalServerError
@@ -563,12 +838,15 @@ type QueryResponse struct {
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	if s.reads == nil {
+		s.rejectRole(w, "conjunction queries", "single or coordinator")
 		return
 	}
 	var req QueryRequest
-	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(io.LimitReader(r.Body, s.reads.maxQuery)).Decode(&req); err != nil {
 		http.Error(w, "malformed query body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -582,7 +860,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// One epoch answers the whole batch, so the results are mutually
 	// consistent even while refreshes land concurrently.
-	v := s.engine.Current()
+	v := s.reads.engine.Current()
 	resp := QueryResponse{Epoch: v.Epoch, N: v.N, Results: make([]QueryResult, len(queries))}
 	for i, res := range query.EvaluateStrings(v, v.Config().D, nil, queries) {
 		out := QueryResult{Query: res.Query}
@@ -598,6 +876,66 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleState exports the node's canonical aggregation state as a
+// wire.StateFrame: the local state for single and edge roles, the
+// merged fleet state for a coordinator (so coordinators themselves can
+// be pulled, stacking into deeper aggregation trees). The version label
+// is read *before* the snapshot: a label that trails the state only
+// makes a future pull re-transfer, never skip, fresh data.
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	var (
+		ver  = s.stateVersion()
+		snap core.Aggregator
+		err  error
+	)
+	if s.fleet != nil {
+		// export, not Snapshot: only the engine's serialized builds may
+		// record the fleet composition a published epoch is labeled
+		// with.
+		snap, err = s.fleet.export()
+	} else {
+		snap, err = s.agg.Snapshot()
+	}
+	if err != nil {
+		http.Error(w, "snapshotting state: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	blob, err := snap.MarshalState()
+	if err != nil {
+		http.Error(w, "marshaling state: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	frame, err := wire.EncodeStateFrame(wire.StateFrame{
+		NodeID: s.nodeID, Version: ver, N: snap.N(), State: blob,
+	})
+	if err != nil {
+		http.Error(w, "framing state: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// handlePull runs one synchronous pull round over every configured peer
+// (ignoring backoff schedules) and reports the resulting cluster state —
+// the operational "converge now" lever, and what keeps cluster tests
+// deterministic.
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodPost) {
+		return
+	}
+	if s.puller == nil {
+		s.rejectRole(w, "peer pulls", "coordinator")
+		return
+	}
+	s.puller.round(true)
+	writeJSON(w, s.clusterStatus())
+}
+
 // ViewStatusResponse is the JSON shape of a /view/status or /refresh
 // reply: the serving epoch and how far behind the live pipeline it is.
 type ViewStatusResponse struct {
@@ -605,7 +943,8 @@ type ViewStatusResponse struct {
 	Epoch int64 `json:"epoch"`
 	// ViewN is the number of reports in the serving epoch.
 	ViewN int `json:"view_n"`
-	// CurrentN is the live aggregator's report count.
+	// CurrentN is the live pipeline's report count (fleet-wide on a
+	// coordinator).
 	CurrentN int `json:"current_n"`
 	// StalenessReports is CurrentN - ViewN (0 floor): reports not yet
 	// visible to readers.
@@ -622,11 +961,39 @@ type ViewStatusResponse struct {
 	// FromRecovery reports whether the serving epoch contains state
 	// restored from the durable store.
 	FromRecovery bool `json:"from_recovery,omitempty"`
+	// Peers describes, per configured peer, how much of that peer's
+	// state the serving epoch contains versus what the fleet holds now
+	// (coordinator only).
+	Peers []PeerViewStatus `json:"peers,omitempty"`
+}
+
+// PeerViewStatus is one peer's per-epoch staleness entry in a
+// coordinator's /view/status reply.
+type PeerViewStatus struct {
+	// URL is the configured peer base URL.
+	URL string `json:"url"`
+	// NodeID is the peer's node id as of the serving epoch (or the
+	// latest pull when the epoch predates the peer).
+	NodeID string `json:"node_id,omitempty"`
+	// ViewN and ViewVersion label the peer's state inside the serving
+	// epoch (0 when the epoch contains nothing from this peer).
+	ViewN       int    `json:"view_n"`
+	ViewVersion uint64 `json:"view_version"`
+	// CurrentN and CurrentVersion label the latest accepted pull.
+	CurrentN       int    `json:"current_n"`
+	CurrentVersion uint64 `json:"current_version"`
+	// StalenessReports is CurrentN - ViewN (0 floor): this peer's
+	// reports not yet visible to readers.
+	StalenessReports int `json:"staleness_reports"`
 }
 
 func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
-	n := s.agg.N()
-	return ViewStatusResponse{
+	n := s.reads.src.N()
+	recovered := 0
+	if s.ingest != nil {
+		recovered = s.ingest.recovered
+	}
+	resp := ViewStatusResponse{
 		Epoch:            v.Epoch,
 		ViewN:            v.N,
 		CurrentN:         n,
@@ -634,20 +1001,59 @@ func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
 		AgeSeconds:       v.Age().Seconds(),
 		BuildMillis:      float64(v.BuildDuration.Nanoseconds()) / 1e6,
 		Tables:           v.Tables(),
-		RecoveredReports: s.recovered,
+		RecoveredReports: recovered,
 		// Every epoch is built from an aggregator seeded with the
 		// recovered state, so any epoch of a recovered deployment
 		// contains it.
-		FromRecovery: s.recovered > 0,
+		FromRecovery: recovered > 0,
 	}
+	if s.fleet != nil {
+		resp.Peers = s.peerViewStatus(v)
+	}
+	return resp
+}
+
+// peerViewStatus joins the serving epoch's composition (what each peer
+// contributed to the view) with the fleet's latest pulls (what each
+// peer has now), yielding per-peer staleness.
+func (s *Server) peerViewStatus(v *view.View) []PeerViewStatus {
+	inView := make(map[string]view.Component, len(v.Components))
+	for _, c := range v.Components {
+		inView[c.URL] = c
+	}
+	current, _ := s.fleet.status()
+	out := make([]PeerViewStatus, 0, len(current))
+	for _, cur := range current {
+		pvs := PeerViewStatus{
+			URL:            cur.URL,
+			NodeID:         cur.NodeID,
+			CurrentN:       cur.N,
+			CurrentVersion: cur.Version,
+		}
+		if c, ok := inView[cur.URL]; ok {
+			pvs.ViewN = c.N
+			pvs.ViewVersion = c.Version
+			if c.ID != "" {
+				pvs.NodeID = c.ID
+			}
+		}
+		if st := pvs.CurrentN - pvs.ViewN; st > 0 {
+			pvs.StalenessReports = st
+		}
+		out = append(out, pvs)
+	}
+	return out
 }
 
 func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodPost) {
 		return
 	}
-	v, err := s.engine.Refresh()
+	if s.reads == nil {
+		s.rejectRole(w, "view refreshes", "single or coordinator")
+		return
+	}
+	v, err := s.reads.engine.Refresh()
 	if err != nil {
 		http.Error(w, "refresh failed: "+err.Error(), http.StatusInternalServerError)
 		return
@@ -656,25 +1062,32 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleViewStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, s.viewStatus(s.engine.Current()))
+	if s.reads == nil {
+		s.rejectRole(w, "view status", "single or coordinator")
+		return
+	}
+	writeJSON(w, s.viewStatus(s.reads.engine.Current()))
 }
 
 // HealthResponse is the JSON shape of a /healthz reply.
 type HealthResponse struct {
 	Status string `json:"status"`
+	Role   string `json:"role"`
 	Epoch  int64  `json:"epoch"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
-	writeJSON(w, HealthResponse{Status: "ok", Epoch: s.engine.Epoch()})
+	resp := HealthResponse{Status: "ok", Role: s.role.String()}
+	if s.reads != nil {
+		resp.Epoch = s.reads.engine.Epoch()
+	}
+	writeJSON(w, resp)
 }
 
 // DurabilityStatus is the durability section of a /status reply.
@@ -700,7 +1113,8 @@ type DurabilityStatus struct {
 }
 
 // StatusResponse is the JSON shape of a /status reply. Durability is
-// present only for deployments with a store.
+// present only for deployments with a store; Cluster describes the
+// node's role and, on a coordinator, every configured peer.
 type StatusResponse struct {
 	Protocol   string            `json:"protocol"`
 	D          int               `json:"d"`
@@ -710,11 +1124,37 @@ type StatusResponse struct {
 	ReportBits int               `json:"report_bits"`
 	Shards     int               `json:"shards"`
 	Durability *DurabilityStatus `json:"durability,omitempty"`
+	Cluster    *ClusterStatus    `json:"cluster,omitempty"`
+}
+
+// clusterStatus assembles the /status cluster block.
+func (s *Server) clusterStatus() *ClusterStatus {
+	cs := &ClusterStatus{
+		Role:   s.role.String(),
+		NodeID: s.nodeID,
+	}
+	cs.StateVersion = s.stateVersion()
+	if s.fleet != nil {
+		cs.PullIntervalSeconds = s.puller.interval.Seconds()
+		cs.Peers, cs.PeerStateSaveError = s.fleet.status()
+	}
+	return cs
+}
+
+// stateVersion is the label a /state export carries right now: the
+// mutation counter (fleet-wide on a coordinator) offset by the
+// per-process salt. It must be read *before* the state snapshot it
+// labels — a trailing label makes a future pull re-transfer, never
+// skip, fresh data.
+func (s *Server) stateVersion() uint64 {
+	if s.fleet != nil {
+		return s.verSalt + s.fleet.version()
+	}
+	return s.verSalt + s.agg.Version()
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		http.Error(w, "GET required", http.StatusMethodNotAllowed)
+	if !allow(w, r, http.MethodGet) {
 		return
 	}
 	cfg := s.protocol.Config()
@@ -723,21 +1163,22 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		D:          cfg.D,
 		K:          cfg.K,
 		Epsilon:    cfg.Epsilon,
-		N:          s.agg.N(), // atomic read; no lock
+		N:          s.N(), // atomic reads; no lock
 		ReportBits: s.protocol.CommunicationBits(),
 		Shards:     s.agg.Shards(),
+		Cluster:    s.clusterStatus(),
 	}
-	if s.st != nil {
-		st := s.st.Status()
+	if st := s.Store(); st != nil {
+		stat := st.Status()
 		resp.Durability = &DurabilityStatus{
-			Fsync:                st.Fsync,
-			WALSegments:          st.Segments,
-			WALBytes:             st.WALBytes,
-			LastSnapshotReports:  st.SnapshotReports,
-			SinceSnapshotReports: st.SinceSnapshot,
-			RecoveredReports:     st.Recovery.Reports,
-			TornTailTruncations:  st.Recovery.TornTailTruncations,
-			LastSnapshotError:    st.LastSnapshotError,
+			Fsync:                stat.Fsync,
+			WALSegments:          stat.Segments,
+			WALBytes:             stat.WALBytes,
+			LastSnapshotReports:  stat.SnapshotReports,
+			SinceSnapshotReports: stat.SinceSnapshot,
+			RecoveredReports:     stat.Recovery.Reports,
+			TornTailTruncations:  stat.Recovery.TornTailTruncations,
+			LastSnapshotError:    stat.LastSnapshotError,
 		}
 	}
 	writeJSON(w, resp)

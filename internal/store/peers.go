@@ -1,0 +1,168 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/wire"
+)
+
+// Coordinator peer-state snapshot. A coordinator's durable artifact is
+// deliberately NOT the merged fleet state: edges re-serve their full
+// canonical state on every pull, so persisting a merged blob would
+// double-count every peer that answers after a restart. What makes a
+// coordinator restart exact is the per-peer decomposition — the latest
+// (url, node id, version, state) tuple for every configured peer — which
+// re-pulls then replace idempotently. The file layout:
+//
+//	"LDPP", format version byte, config block (shared with WAL/snapshots),
+//	uvarint peer count,
+//	repeat: uvarint url length, url bytes,
+//	        length-prefixed state-exchange frame (wire.EncodeStateFrame)
+//	crc32c of everything above (4 bytes LE)
+//
+// written atomically (temp file, fsync, rename) like counter snapshots.
+
+const peersMagic = "LDPP"
+
+// peersFile is the coordinator snapshot's name inside the cluster
+// directory. It deliberately doesn't match the wal-/snap- patterns, so
+// a directory shared with an edge store would not confuse recovery.
+const peersFile = "cluster.peers"
+
+// PeerState is one peer's last accepted pull, as persisted by a
+// coordinator.
+type PeerState struct {
+	// URL is the configured peer base URL the state was pulled from.
+	URL string
+	// NodeID, Version, and N identify the pull (wire.StateFrame fields).
+	NodeID  string
+	Version uint64
+	N       int
+	// State is the peer's canonical aggregator state blob.
+	State []byte
+}
+
+// SavePeerStates atomically persists a coordinator's per-peer states to
+// dir (creating it if needed), pinned to the deployment identity.
+func SavePeerStates(dir string, p core.Protocol, peers []PeerState) error {
+	tag, err := encoding.TagForProtocol(p.Name())
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf := appendConfig(append([]byte(peersMagic), formatV1), tag, p.Config())
+	buf = binary.AppendUvarint(buf, uint64(len(peers)))
+	for _, ps := range peers {
+		frame, err := wire.EncodeStateFrame(wire.StateFrame{
+			NodeID: ps.NodeID, Version: ps.Version, N: ps.N, State: ps.State,
+		})
+		if err != nil {
+			return fmt.Errorf("store: peer %s: %w", ps.URL, err)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(ps.URL)))
+		buf = append(buf, ps.URL...)
+		buf = wire.AppendFrame(buf, frame)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+
+	path := filepath.Join(dir, peersFile)
+	tmp := path + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LoadPeerStates recovers the peer states persisted in dir. A missing
+// file is an empty fleet, not an error; a corrupt or foreign file fails
+// so a misconfigured coordinator cannot silently serve the wrong
+// deployment's counters.
+func LoadPeerStates(dir string, p core.Protocol) ([]PeerState, error) {
+	tag, err := encoding.TagForProtocol(p.Name())
+	if err != nil {
+		return nil, err
+	}
+	buf, err := os.ReadFile(filepath.Join(dir, peersFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) < len(peersMagic)+1+crcBytes {
+		return nil, fmt.Errorf("store: peer snapshot of %d bytes is too short", len(buf))
+	}
+	body, sum := buf[:len(buf)-crcBytes], binary.LittleEndian.Uint32(buf[len(buf)-crcBytes:])
+	if got := crc32.Checksum(body, castagnoli); got != sum {
+		return nil, fmt.Errorf("store: peer snapshot checksum %08x, want %08x", got, sum)
+	}
+	if string(body[:len(peersMagic)]) != peersMagic {
+		return nil, fmt.Errorf("store: bad peer snapshot magic %q", body[:len(peersMagic)])
+	}
+	if body[len(peersMagic)] != formatV1 {
+		return nil, fmt.Errorf("store: peer snapshot format version %d, want %d", body[len(peersMagic)], formatV1)
+	}
+	rest, err := checkConfig(body[len(peersMagic)+1:], tag, p.Config())
+	if err != nil {
+		return nil, err
+	}
+	count, w := binary.Uvarint(rest)
+	if w <= 0 || count > uint64(len(rest)) {
+		return nil, fmt.Errorf("store: peer snapshot count malformed")
+	}
+	rest = rest[w:]
+	peers := make([]PeerState, 0, count)
+	for i := uint64(0); i < count; i++ {
+		urlLen, w := binary.Uvarint(rest)
+		if w <= 0 || urlLen > uint64(len(rest)-w) {
+			return nil, fmt.Errorf("store: peer %d url malformed", i)
+		}
+		rest = rest[w:]
+		url := string(rest[:urlLen])
+		rest = rest[urlLen:]
+		frame, next, err := wire.NextFrame(rest, 0)
+		if err != nil {
+			return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
+		}
+		sf, err := wire.DecodeStateFrame(frame)
+		if err != nil {
+			return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
+		}
+		peers = append(peers, PeerState{
+			URL: url, NodeID: sf.NodeID, Version: sf.Version, N: sf.N,
+			State: append([]byte(nil), sf.State...),
+		})
+		rest = next
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("store: peer snapshot has %d trailing bytes", len(rest))
+	}
+	return peers, nil
+}

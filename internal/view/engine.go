@@ -19,6 +19,36 @@ type Source interface {
 	N() int
 }
 
+// Component describes one constituent of a composed source's snapshot:
+// a cluster peer (or the local pipeline) whose state was folded into the
+// epoch. The engine records the composition on every refresh, so a
+// /view/status endpoint can report per-peer staleness — which peer's
+// reports the serving epoch actually contains — rather than only the
+// fleet total.
+type Component struct {
+	// ID names the component: a peer's node id, or "local".
+	ID string
+	// URL is the peer's configured base URL (empty for the local
+	// pipeline).
+	URL string
+	// N is the component's report count inside the snapshot.
+	N int
+	// Version is the component's state version inside the snapshot.
+	Version uint64
+	// PulledAt is when the component's state was last fetched (zero for
+	// the local pipeline).
+	PulledAt time.Time
+}
+
+// Composed is optionally implemented by a Source assembled from multiple
+// constituents (e.g. a coordinator's fleet of edge states). Composition
+// must describe exactly the constituents of the most recent Snapshot
+// call; the engine copies it into the published View right after
+// snapshotting, under the same build lock.
+type Composed interface {
+	Composition() []Component
+}
+
 // Policy selects when the engine rebuilds the view on its own. The zero
 // value disables automatic refresh: the view only advances on explicit
 // Refresh calls (e.g. a POST /refresh endpoint).
@@ -141,11 +171,19 @@ func (e *Engine) Refresh() (*View, error) {
 	if err != nil {
 		return nil, fmt.Errorf("view: snapshotting source: %w", err)
 	}
+	// Capture the snapshot's composition before the (long) build: the
+	// source pins it to its last Snapshot call, and builds are serialized
+	// under e.mu, so this is exactly the epoch's makeup.
+	var comp []Component
+	if c, ok := e.src.(Composed); ok {
+		comp = c.Composition()
+	}
 	v, err := Build(snap, e.p, e.opts.Build)
 	if err != nil {
 		return nil, err
 	}
 	v.snapshotAt = snapshotAt
+	v.Components = comp
 	e.epoch++
 	v.Epoch = e.epoch
 	e.cur.Store(v)

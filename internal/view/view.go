@@ -70,6 +70,10 @@ type View struct {
 	BuildDuration time.Duration
 	// Protocol is the deployment's protocol name.
 	Protocol string
+	// Components describes the constituents of the epoch's snapshot when
+	// the engine's source is Composed (a coordinator's fleet of peer
+	// states); nil for plain sources.
+	Components []Component
 
 	cfg     core.Config
 	kWay    int               // count of collection (k-way) tables at the front of tables

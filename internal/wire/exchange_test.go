@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestStateFrameRoundTrip(t *testing.T) {
+	in := StateFrame{
+		NodeID:  "edge-07",
+		Version: 0xdeadbeefcafe,
+		N:       123456,
+		State:   []byte{1, 1, 9, 3, 0, 255, 42},
+	}
+	buf, err := EncodeStateFrame(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeStateFrame(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NodeID != in.NodeID || out.Version != in.Version || out.N != in.N || !bytes.Equal(out.State, in.State) {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	// Empty state (a fresh node) is a valid frame.
+	empty, err := EncodeStateFrame(StateFrame{NodeID: "n", State: nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := DecodeStateFrame(empty); err != nil || len(out.State) != 0 {
+		t.Fatalf("empty state: %v %+v", err, out)
+	}
+}
+
+func TestStateFrameRejectsCorruption(t *testing.T) {
+	buf, err := EncodeStateFrame(StateFrame{NodeID: "edge-1", Version: 7, N: 3, State: []byte{1, 1, 3, 1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every single-bit flip anywhere in the frame must be caught.
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x10
+		if _, err := DecodeStateFrame(bad); err == nil {
+			t.Fatalf("bit flip at byte %d was accepted", i)
+		}
+	}
+	// Every truncation must be caught.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeStateFrame(buf[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes was accepted", cut)
+		}
+	}
+}
+
+func TestStateFrameRejectsBadNodeIDs(t *testing.T) {
+	if _, err := EncodeStateFrame(StateFrame{NodeID: ""}); err == nil {
+		t.Error("empty node id was accepted")
+	}
+	long := strings.Repeat("x", MaxNodeIDLen+1)
+	if _, err := EncodeStateFrame(StateFrame{NodeID: long}); err == nil {
+		t.Error("oversized node id was accepted")
+	}
+	if _, err := EncodeStateFrame(StateFrame{NodeID: "ok", N: -1}); err == nil {
+		t.Error("negative report count was accepted")
+	}
+}
+
+func FuzzDecodeStateFrame(f *testing.F) {
+	seed, _ := EncodeStateFrame(StateFrame{NodeID: "edge-1", Version: 9, N: 2, State: []byte{3, 1, 2, 7}})
+	f.Add(seed)
+	f.Add([]byte("LDPX"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sf, err := DecodeStateFrame(data)
+		if err != nil {
+			return
+		}
+		// Anything accepted must re-encode to the identical bytes: the
+		// frame, like the state codec, is canonical.
+		again, err := EncodeStateFrame(sf)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(again, data) {
+			t.Fatalf("re-encode differs:\n in: %x\nout: %x", data, again)
+		}
+	})
+}
