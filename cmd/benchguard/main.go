@@ -1,0 +1,133 @@
+// Command benchguard is the CI bench-regression smoke gate: it reads
+// `go test -bench` output on stdin, looks each benchmark up in the
+// checked-in BENCH_*.json baselines, and fails when any ns/op exceeds
+// the baseline by more than the threshold factor.
+//
+// Usage:
+//
+//	go test -run '^$' -bench '...' -benchtime=0.3s -cpu=4 . | \
+//	    go run ./cmd/benchguard -dir . -threshold 3
+//
+// The threshold is deliberately generous (default 3x): CI machines are
+// noisy and differ from the box the baselines were recorded on, so the
+// gate catches order-of-magnitude regressions — an accidentally
+// quadratic loop, a lost fast path, a lock back on the hot path — not
+// scheduling jitter. Benchmarks without a recorded baseline are listed
+// and skipped, so adding a bench never breaks CI until its baseline is
+// recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+)
+
+// benchFile is the subset of the BENCH_*.json layout the guard needs;
+// the files carry richer context (descriptions, derived ratios, notes)
+// that is ignored here.
+type benchFile struct {
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+}
+
+// benchLine matches one result line of `go test -bench` output, e.g.
+// "BenchmarkQueryCached-4   123456   117.3 ns/op   0 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the BENCH_*.json baseline files")
+	threshold := flag.Float64("threshold", 3, "fail when ns/op exceeds baseline by this factor")
+	flag.Parse()
+
+	baselines, err := loadBaselines(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	if len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: no baselines under %s\n", *dir)
+		os.Exit(2)
+	}
+
+	var (
+		checked, skipped int
+		failures         []string
+	)
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		got, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		base, ok := baselines[name]
+		if !ok || base <= 0 {
+			fmt.Printf("skip  %-60s %12.0f ns/op (no baseline)\n", name, got)
+			skipped++
+			continue
+		}
+		checked++
+		ratio := got / base
+		verdict := "ok"
+		if ratio > *threshold {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op is %.1fx the %.0f ns/op baseline (limit %.1fx)",
+				name, got, ratio, base, *threshold))
+		}
+		fmt.Printf("%-5s %-60s %12.0f ns/op  %5.2fx of baseline\n", verdict, name, got, ratio)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard: reading stdin:", err)
+		os.Exit(2)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no benchmark in the input matched a baseline")
+		os.Exit(2)
+	}
+	fmt.Printf("benchguard: %d checked, %d without baseline, %d regressions\n", checked, skipped, len(failures))
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchguard:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+// loadBaselines merges the benchmark entries of every BENCH_*.json in
+// dir into one name -> ns/op map.
+func loadBaselines(dir string) (map[string]float64, error) {
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		var bf benchFile
+		if err := json.Unmarshal(data, &bf); err != nil {
+			return nil, fmt.Errorf("%s: %w", f, err)
+		}
+		for _, b := range bf.Benchmarks {
+			if b.NsPerOp > 0 {
+				out[b.Name] = b.NsPerOp
+			}
+		}
+	}
+	return out, nil
+}

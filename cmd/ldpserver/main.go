@@ -25,7 +25,16 @@
 // every -refresh-interval of wall time, and/or whenever
 // -refresh-every-n new reports have arrived (0 disables either
 // trigger; with both at 0 the view only advances on POST /refresh).
-// SIGINT/SIGTERM drain in-flight requests before exiting.
+// Refreshes are incremental by default — only aggregation shards (and,
+// on a coordinator, peers) that changed since the serving epoch are
+// folded into the cached reconstruction state — with every
+// -full-rebuild-every-th build a cold full rebuild that re-derives that
+// state from scratch (see GET /view/status for per-epoch build kind and
+// cost). SIGINT/SIGTERM drain in-flight requests before exiting.
+//
+// -pprof-addr serves net/http/pprof on a separate listener (disabled by
+// default), so hot-path regressions can be profiled in place without
+// exposing the debug handlers on the service port.
 //
 // With -data-dir set the deployment is durable: accepted reports are
 // appended to a write-ahead log before the ack (fsynced per -fsync:
@@ -61,6 +70,7 @@ import (
 	"log"
 	"math"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof-addr
 	"os/signal"
 	"strings"
 	"syscall"
@@ -77,15 +87,19 @@ func main() {
 	log.SetPrefix("ldpserver: ")
 
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		protocol = flag.String("protocol", "InpHT", "protocol name")
-		d        = flag.Int("d", 8, "number of binary attributes")
-		k        = flag.Int("k", 2, "largest marginal size supported")
-		eps      = flag.Float64("eps", math.Log(3), "privacy budget epsilon")
-		shards   = flag.Int("shards", 0, "aggregation shards (0 = GOMAXPROCS)")
-		workers  = flag.Int("ingest-workers", 0, "bounded batch-ingestion workers (0 = shard count)")
-		interval = flag.Duration("refresh-interval", 5*time.Second, "rebuild the view this often (0 = no time-based refresh)")
-		everyN   = flag.Int("refresh-every-n", 0, "rebuild the view after this many new reports (0 = no count-based refresh)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		protocol  = flag.String("protocol", "InpHT", "protocol name")
+		d         = flag.Int("d", 8, "number of binary attributes")
+		k         = flag.Int("k", 2, "largest marginal size supported")
+		eps       = flag.Float64("eps", math.Log(3), "privacy budget epsilon")
+		shards    = flag.Int("shards", 0, "aggregation shards (0 = GOMAXPROCS)")
+		workers   = flag.Int("ingest-workers", 0, "bounded batch-ingestion workers (0 = shard count)")
+		interval  = flag.Duration("refresh-interval", 5*time.Second, "rebuild the view this often (0 = no time-based refresh)")
+		everyN    = flag.Int("refresh-every-n", 0, "rebuild the view after this many new reports (0 = no count-based refresh)")
+		fullEvery = flag.Int("full-rebuild-every", 0,
+			"make every Nth view build a full (cold) rebuild instead of an incremental delta fold (0 = default 64, 1 = always full, negative = never)")
+		pprofAddr = flag.String("pprof-addr", "",
+			"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = disabled)")
 
 		dataDir    = flag.String("data-dir", "", "durable directory: WAL+snapshots for single/edge, peer-state snapshot for coordinator (empty = memory-only)")
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
@@ -163,6 +177,7 @@ func main() {
 		Shards:        *shards,
 		IngestWorkers: *workers,
 		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
+		View:          view.Options{FullRebuildEvery: *fullEvery},
 		Store:         st,
 	})
 	if err != nil {
@@ -175,6 +190,20 @@ func main() {
 			extra = fmt.Sprintf(", resumed %d fleet reports from %s", srv.N(), clusterDir)
 		}
 		log.Printf("coordinator %s pulling %d peer(s) every %v%s", srv.NodeID(), len(peerList), *pullInterval, extra)
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the service listener: the pprof handlers
+		// register on http.DefaultServeMux (blank import below), which
+		// the deployment mux never touches, and bind to their own —
+		// typically loopback-only — address. Hot-path regressions can
+		// then be profiled in place without exposing /debug to clients.
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	// Read timeouts bound how long a slow (or slow-loris) client can

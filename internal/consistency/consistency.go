@@ -17,7 +17,6 @@ package consistency
 
 import (
 	"fmt"
-	"sort"
 
 	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/marginal"
@@ -45,117 +44,30 @@ func (o Options) withDefaults() Options {
 // tables must be over distinct attribute masks; weights (one per table,
 // or nil for uniform) set the relative trust in each table's evidence,
 // e.g. per-marginal user counts from a marginal-view protocol.
+//
+// Enforce derives the overlap structure from scratch on every call.
+// Callers that sweep the same collection repeatedly (the materialized-
+// view refresh loop) build the structure once with NewPlan and call
+// Plan.Enforce, which is bit-identical and allocation-free; the sweep
+// order is a fixed function of the masks either way, so equal inputs
+// produce bit-identical outputs — which the view layer relies on for
+// reproducible epoch rebuilds.
 func Enforce(tables []*marginal.Table, weights []float64, opts Options) error {
-	opts = opts.withDefaults()
 	if len(tables) == 0 {
 		return fmt.Errorf("consistency: no tables")
 	}
-	if weights != nil && len(weights) != len(tables) {
-		return fmt.Errorf("consistency: %d weights for %d tables", len(weights), len(tables))
-	}
-	seen := map[uint64]bool{}
-	for _, t := range tables {
+	betas := make([]uint64, len(tables))
+	for i, t := range tables {
 		if t == nil {
 			return fmt.Errorf("consistency: nil table")
 		}
-		if seen[t.Beta] {
-			return fmt.Errorf("consistency: duplicate marginal %b", t.Beta)
-		}
-		seen[t.Beta] = true
+		betas[i] = t.Beta
 	}
-	w := func(i int) float64 {
-		if weights == nil {
-			return 1
-		}
-		if weights[i] < 0 {
-			return 0
-		}
-		return weights[i]
+	plan, err := NewPlan(betas)
+	if err != nil {
+		return err
 	}
-
-	// Collect every sub-marginal shared by at least two tables.
-	shared := map[uint64][]int{}
-	for i, a := range tables {
-		for j := i + 1; j < len(tables); j++ {
-			common := a.Beta & tables[j].Beta
-			if common == 0 {
-				continue
-			}
-			for _, sub := range bitops.SubMasks(common) {
-				if sub == 0 {
-					continue
-				}
-				if shared[sub] == nil {
-					for idx, t := range tables {
-						if bitops.IsSubset(sub, t.Beta) {
-							shared[sub] = append(shared[sub], idx)
-						}
-					}
-				}
-			}
-		}
-	}
-	if len(shared) == 0 {
-		return nil // nothing overlaps; vacuously consistent
-	}
-	// Sweep shared sub-marginals in increasing mask order. Within a round
-	// the corrections are order-dependent, so a fixed order makes Enforce
-	// deterministic: equal inputs produce bit-identical outputs, which the
-	// materialized-view layer relies on for reproducible epoch rebuilds.
-	order := make([]uint64, 0, len(shared))
-	for sub := range shared {
-		order = append(order, sub)
-	}
-	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
-
-	for round := 0; round < opts.Rounds; round++ {
-		for _, sub := range order {
-			members := shared[sub]
-			// Weighted consensus of the implied sub-marginal.
-			consensus, err := marginal.New(sub)
-			if err != nil {
-				return err
-			}
-			var totalW float64
-			for _, idx := range members {
-				imp, err := tables[idx].MarginalizeTo(sub)
-				if err != nil {
-					return err
-				}
-				imp.Scale(w(idx))
-				if err := consensus.Add(imp); err != nil {
-					return err
-				}
-				totalW += w(idx)
-			}
-			if totalW == 0 {
-				continue
-			}
-			consensus.Scale(1 / totalW)
-			// Shift each member's cells so its implied sub-marginal
-			// equals the consensus: spread each sub-cell's deficit
-			// uniformly over the table cells mapping to it.
-			for _, idx := range members {
-				t := tables[idx]
-				imp, err := t.MarginalizeTo(sub)
-				if err != nil {
-					return err
-				}
-				groupSize := float64(len(t.Cells) / len(consensus.Cells))
-				for c := range t.Cells {
-					full := bitops.Expand(uint64(c), t.Beta)
-					sc := bitops.Compress(full, sub)
-					t.Cells[c] += (consensus.Cells[sc] - imp.Cells[sc]) / groupSize
-				}
-			}
-		}
-	}
-	if opts.Project {
-		for _, t := range tables {
-			t.ProjectToSimplex()
-		}
-	}
-	return nil
+	return plan.Enforce(tables, weights, opts)
 }
 
 // MaxDisagreement measures the largest L-infinity gap between the

@@ -1,0 +1,209 @@
+package consistency
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+)
+
+// Plan is the data-independent structure of one Enforce sweep,
+// precomputed once per table collection: which sub-marginals are shared,
+// which tables contain each, and the cell-to-subcell index map of every
+// (table, sub-marginal) pair. The collection of a marginal-release
+// deployment never changes across epochs, so an epoch refresh reuses one
+// Plan for the life of the process instead of re-deriving the pairwise
+// overlap structure (O(T^2) submask enumeration) and re-allocating
+// thousands of tiny marginalization tables every build.
+//
+// A Plan is immutable after construction and safe for concurrent use;
+// Enforce's per-call scratch comes from an internal pool, so the
+// steady-state sweep allocates nothing. Plan.Enforce is arithmetic-
+// identical to the package-level Enforce (which now builds a throwaway
+// Plan): same sweep order, same summation order, bit-identical results.
+type Plan struct {
+	betas []uint64 // table masks, in table order
+
+	order   []uint64  // shared sub-marginals, ascending mask order
+	subSize []int     // per sub: 2^|sub|
+	members [][]int   // per sub: indices of tables containing it
+	idx     [][][]int // per sub, per member: table cell -> sub cell
+	group   [][]float64
+
+	maxSub  int // largest shared sub-marginal cell count
+	scratch sync.Pool
+}
+
+// NewPlan precomputes the enforcement structure for tables over the
+// given masks (in table order). All masks must be distinct.
+func NewPlan(betas []uint64) (*Plan, error) {
+	p := &Plan{betas: append([]uint64(nil), betas...)}
+	seen := map[uint64]bool{}
+	for _, b := range betas {
+		if seen[b] {
+			return nil, fmt.Errorf("consistency: duplicate marginal %b", b)
+		}
+		seen[b] = true
+	}
+	// Collect every sub-marginal shared by at least two tables — the
+	// same pairwise walk Enforce always did, done once.
+	shared := map[uint64][]int{}
+	for i, a := range betas {
+		for j := i + 1; j < len(betas); j++ {
+			common := a & betas[j]
+			if common == 0 {
+				continue
+			}
+			for _, sub := range bitops.SubMasks(common) {
+				if sub == 0 {
+					continue
+				}
+				if shared[sub] == nil {
+					for idx, t := range betas {
+						if bitops.IsSubset(sub, t) {
+							shared[sub] = append(shared[sub], idx)
+						}
+					}
+				}
+			}
+		}
+	}
+	p.order = make([]uint64, 0, len(shared))
+	for sub := range shared {
+		p.order = append(p.order, sub)
+	}
+	sort.Slice(p.order, func(i, j int) bool { return p.order[i] < p.order[j] })
+
+	p.subSize = make([]int, len(p.order))
+	p.members = make([][]int, len(p.order))
+	p.idx = make([][][]int, len(p.order))
+	p.group = make([][]float64, len(p.order))
+	for si, sub := range p.order {
+		size := 1 << uint(bitops.OnesCount(sub))
+		p.subSize[si] = size
+		if size > p.maxSub {
+			p.maxSub = size
+		}
+		mem := shared[sub]
+		p.members[si] = mem
+		p.idx[si] = make([][]int, len(mem))
+		p.group[si] = make([]float64, len(mem))
+		for mi, m := range mem {
+			cells := 1 << uint(bitops.OnesCount(betas[m]))
+			mp := make([]int, cells)
+			for c := 0; c < cells; c++ {
+				full := bitops.Expand(uint64(c), betas[m])
+				mp[c] = int(bitops.Compress(full, sub))
+			}
+			p.idx[si][mi] = mp
+			p.group[si][mi] = float64(cells / size)
+		}
+	}
+	maxSub := p.maxSub
+	p.scratch.New = func() any {
+		return &enforceScratch{cons: make([]float64, maxSub), imp: make([]float64, maxSub)}
+	}
+	return p, nil
+}
+
+type enforceScratch struct{ cons, imp []float64 }
+
+// Enforce adjusts the tables in place so shared sub-marginals agree,
+// exactly like the package-level Enforce but over the precomputed
+// structure and pooled scratch. tables must match the plan's masks in
+// order; weights (one per table, or nil for uniform) set the relative
+// trust in each table's evidence.
+func (p *Plan) Enforce(tables []*marginal.Table, weights []float64, opts Options) error {
+	opts = opts.withDefaults()
+	if len(tables) != len(p.betas) {
+		return fmt.Errorf("consistency: %d tables for a plan over %d", len(tables), len(p.betas))
+	}
+	if weights != nil && len(weights) != len(tables) {
+		return fmt.Errorf("consistency: %d weights for %d tables", len(weights), len(tables))
+	}
+	for i, t := range tables {
+		if t == nil {
+			return fmt.Errorf("consistency: nil table")
+		}
+		if t.Beta != p.betas[i] {
+			return fmt.Errorf("consistency: table %d is over %b, plan expects %b", i, t.Beta, p.betas[i])
+		}
+	}
+	if len(p.order) == 0 {
+		return nil // nothing overlaps; vacuously consistent
+	}
+	w := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		if weights[i] < 0 {
+			return 0
+		}
+		return weights[i]
+	}
+	sc := p.scratch.Get().(*enforceScratch)
+	defer p.scratch.Put(sc)
+	for round := 0; round < opts.Rounds; round++ {
+		for si := range p.order {
+			members := p.members[si]
+			cons := sc.cons[:p.subSize[si]]
+			for c := range cons {
+				cons[c] = 0
+			}
+			var totalW float64
+			for mi, m := range members {
+				imp := sc.imp[:p.subSize[si]]
+				for c := range imp {
+					imp[c] = 0
+				}
+				mp := p.idx[si][mi]
+				for c, v := range tables[m].Cells {
+					imp[mp[c]] += v
+				}
+				wm := w(m)
+				for c := range cons {
+					// Two statements, not cons[c] += imp[c]*wm: the
+					// compiler may fuse a*b+c into one FMA, which would
+					// round differently from the legacy Scale-then-Add
+					// and break bit-identity with Enforce.
+					v := imp[c] * wm
+					cons[c] += v
+				}
+				totalW += wm
+			}
+			if totalW == 0 {
+				continue
+			}
+			inv := 1 / totalW
+			for c := range cons {
+				cons[c] *= inv
+			}
+			// Shift each member's cells so its implied sub-marginal
+			// equals the consensus: spread each sub-cell's deficit
+			// uniformly over the table cells mapping to it.
+			for mi, m := range members {
+				imp := sc.imp[:p.subSize[si]]
+				for c := range imp {
+					imp[c] = 0
+				}
+				mp := p.idx[si][mi]
+				cells := tables[m].Cells
+				for c, v := range cells {
+					imp[mp[c]] += v
+				}
+				group := p.group[si][mi]
+				for c := range cells {
+					cells[c] += (cons[mp[c]] - imp[mp[c]]) / group
+				}
+			}
+		}
+	}
+	if opts.Project {
+		for _, t := range tables {
+			t.ProjectToSimplex()
+		}
+	}
+	return nil
+}

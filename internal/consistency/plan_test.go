@@ -1,0 +1,192 @@
+package consistency
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/marginal"
+)
+
+// enforceReference is a frozen copy of the pre-plan Enforce algorithm,
+// kept verbatim so the plan-based sweep is pinned bit-identical to it.
+func enforceReference(tables []*marginal.Table, weights []float64, opts Options) error {
+	opts = opts.withDefaults()
+	w := func(i int) float64 {
+		if weights == nil {
+			return 1
+		}
+		if weights[i] < 0 {
+			return 0
+		}
+		return weights[i]
+	}
+	shared := map[uint64][]int{}
+	for i, a := range tables {
+		for j := i + 1; j < len(tables); j++ {
+			common := a.Beta & tables[j].Beta
+			if common == 0 {
+				continue
+			}
+			for _, sub := range bitops.SubMasks(common) {
+				if sub == 0 {
+					continue
+				}
+				if shared[sub] == nil {
+					for idx, t := range tables {
+						if bitops.IsSubset(sub, t.Beta) {
+							shared[sub] = append(shared[sub], idx)
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(shared) == 0 {
+		return nil
+	}
+	order := make([]uint64, 0, len(shared))
+	for sub := range shared {
+		order = append(order, sub)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for round := 0; round < opts.Rounds; round++ {
+		for _, sub := range order {
+			members := shared[sub]
+			consensus, err := marginal.New(sub)
+			if err != nil {
+				return err
+			}
+			var totalW float64
+			for _, idx := range members {
+				imp, err := tables[idx].MarginalizeTo(sub)
+				if err != nil {
+					return err
+				}
+				imp.Scale(w(idx))
+				if err := consensus.Add(imp); err != nil {
+					return err
+				}
+				totalW += w(idx)
+			}
+			if totalW == 0 {
+				continue
+			}
+			consensus.Scale(1 / totalW)
+			for _, idx := range members {
+				t := tables[idx]
+				imp, err := t.MarginalizeTo(sub)
+				if err != nil {
+					return err
+				}
+				groupSize := float64(len(t.Cells) / len(consensus.Cells))
+				for c := range t.Cells {
+					full := bitops.Expand(uint64(c), t.Beta)
+					sc := bitops.Compress(full, sub)
+					t.Cells[c] += (consensus.Cells[sc] - imp.Cells[sc]) / groupSize
+				}
+			}
+		}
+	}
+	if opts.Project {
+		for _, t := range tables {
+			t.ProjectToSimplex()
+		}
+	}
+	return nil
+}
+
+// randomCollection builds the full C(d,k) collection with noisy
+// (unbiased-estimate-shaped, possibly negative) cells and per-table
+// weights.
+func randomCollection(t *testing.T, d, k int, seed int64) ([]*marginal.Table, []*marginal.Table, []float64) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	masks := bitops.MasksWithExactlyK(d, k)
+	a := make([]*marginal.Table, len(masks))
+	b := make([]*marginal.Table, len(masks))
+	weights := make([]float64, len(masks))
+	for i, m := range masks {
+		ta, err := marginal.New(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ta.Cells {
+			ta.Cells[c] = r.Float64()*1.2 - 0.1
+		}
+		a[i] = ta
+		b[i] = ta.Clone()
+		weights[i] = float64(r.Intn(1000))
+	}
+	return a, b, weights
+}
+
+// TestPlanEnforceBitIdenticalToReference pins the plan-based sweep to
+// the frozen legacy algorithm: same inputs, bit-identical outputs, with
+// and without weights, across several (d, k) shapes, and on plan reuse.
+func TestPlanEnforceBitIdenticalToReference(t *testing.T) {
+	for _, shape := range []struct{ d, k int }{{4, 2}, {6, 3}, {8, 2}, {5, 4}} {
+		for _, weighted := range []bool{false, true} {
+			got, want, weights := randomCollection(t, shape.d, shape.k, int64(7*shape.d+int(shape.k)))
+			if !weighted {
+				weights = nil
+			}
+			betas := make([]uint64, len(got))
+			for i, tab := range got {
+				betas[i] = tab.Beta
+			}
+			plan, err := NewPlan(betas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two plan sweeps over independent clones: the second reuses
+			// the pooled scratch, which must not change results.
+			got2 := make([]*marginal.Table, len(got))
+			for i := range got {
+				got2[i] = got[i].Clone()
+			}
+			if err := plan.Enforce(got, weights, Options{Rounds: 3}); err != nil {
+				t.Fatal(err)
+			}
+			if err := plan.Enforce(got2, weights, Options{Rounds: 3}); err != nil {
+				t.Fatal(err)
+			}
+			if err := enforceReference(want, weights, Options{Rounds: 3}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				for c := range got[i].Cells {
+					if math.Float64bits(got[i].Cells[c]) != math.Float64bits(want[i].Cells[c]) {
+						t.Fatalf("d=%d k=%d weighted=%v: table %b cell %d: plan %v != reference %v",
+							shape.d, shape.k, weighted, got[i].Beta, c, got[i].Cells[c], want[i].Cells[c])
+					}
+					if math.Float64bits(got2[i].Cells[c]) != math.Float64bits(want[i].Cells[c]) {
+						t.Fatalf("d=%d k=%d weighted=%v: table %b cell %d: plan reuse diverged", shape.d, shape.k, weighted, got[i].Beta, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlanEnforceValidation covers the mismatch errors unique to the
+// plan path.
+func TestPlanEnforceValidation(t *testing.T) {
+	plan, err := NewPlan([]uint64{0b011, 0b110})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := marginal.New(0b011)
+	t2, _ := marginal.New(0b101) // wrong mask
+	if err := plan.Enforce([]*marginal.Table{t1, t2}, nil, Options{}); err == nil {
+		t.Fatal("plan accepted a table over the wrong mask")
+	}
+	if err := plan.Enforce([]*marginal.Table{t1}, nil, Options{}); err == nil {
+		t.Fatal("plan accepted a short table list")
+	}
+	if _, err := NewPlan([]uint64{0b011, 0b011}); err == nil {
+		t.Fatal("NewPlan accepted duplicate masks")
+	}
+}

@@ -1,0 +1,373 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ldpmarginals/internal/rng"
+)
+
+// deltaTestConfig keeps the delta tests fast while exercising every
+// protocol's counter layout.
+func deltaTestConfig() Config {
+	return Config{D: 6, K: 2, Epsilon: 1.1, OptimizedPRR: true}
+}
+
+func deltaReports(tb testing.TB, p Protocol, n int, seed uint64) []Report {
+	tb.Helper()
+	client := p.NewClient()
+	r := rng.New(seed)
+	reps := make([]Report, n)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i)%(1<<uint(p.Config().D)), r)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+// TestSnapshotDeltaMatchesSnapshot interleaves randomized ingestion with
+// delta folds across all six protocols and checks, after every fold,
+// that the arena's cumulative state is byte-identical to a fresh full
+// Snapshot — the central exactness claim of the delta path.
+func TestSnapshotDeltaMatchesSnapshot(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, deltaTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := NewSharded(p, 4)
+			arena := sh.NewSnapshotArena()
+			if arena == nil {
+				t.Fatalf("%s: no snapshot arena for a core protocol", kind)
+			}
+			reps := deltaReports(t, p, 4000, uint64(kind)+11)
+			r := rand.New(rand.NewSource(int64(kind) + 5))
+			lo := 0
+			folds := 0
+			for lo < len(reps) {
+				hi := lo + 1 + r.Intn(400)
+				if hi > len(reps) {
+					hi = len(reps)
+				}
+				if err := sh.ConsumeBatch(reps[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+				lo = hi
+				if r.Intn(3) == 0 || lo == len(reps) {
+					touched, err := sh.SnapshotDeltaInto(arena)
+					if err != nil {
+						t.Fatal(err)
+					}
+					folds++
+					if folds > 1 && touched > 4 {
+						t.Fatalf("fold touched %d shards of 4", touched)
+					}
+					wantAgg, err := sh.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := wantAgg.MarshalState()
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := arena.State().MarshalState()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("%s: after fold %d the arena state diverges from Snapshot", kind, folds)
+					}
+					if arena.State().N() != sh.N() {
+						t.Fatalf("arena N %d, want %d", arena.State().N(), sh.N())
+					}
+				}
+			}
+			// A fold with no ingestion in between touches nothing.
+			touched, err := sh.SnapshotDeltaInto(arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if touched != 0 {
+				t.Fatalf("idle fold touched %d shards", touched)
+			}
+			// Reset forces a cold recapture that still matches Snapshot.
+			arena.Reset()
+			if arena.Primed() {
+				t.Fatal("arena primed after Reset")
+			}
+			if touched, err = sh.SnapshotDeltaInto(arena); err != nil || touched != 4 {
+				t.Fatalf("cold recapture touched %d (%v), want 4", touched, err)
+			}
+			wantAgg, err := sh.Snapshot()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := wantAgg.MarshalState()
+			got, _ := arena.State().MarshalState()
+			if !bytes.Equal(got, want) {
+				t.Fatal("cold recapture diverges from Snapshot")
+			}
+		})
+	}
+}
+
+// TestSnapshotDeltaSeesRestore pins the per-shard version bump of
+// UnmarshalState: a state restore replaces every shard, so the next
+// fold must re-fold all of them (a stale "unchanged" skip would keep
+// serving the pre-restore contribution).
+func TestSnapshotDeltaSeesRestore(t *testing.T) {
+	p, err := New(InpHT, deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharded(p, 4)
+	arena := sh.NewSnapshotArena()
+	if err := sh.ConsumeBatch(deltaReports(t, p, 500, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.SnapshotDeltaInto(arena); err != nil {
+		t.Fatal(err)
+	}
+	// Build a different state and restore it wholesale.
+	other := NewSharded(p, 2)
+	if err := other.ConsumeBatch(deltaReports(t, p, 900, 4)); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := other.MarshalState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.UnmarshalState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh.SnapshotDeltaInto(arena); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := arena.State().MarshalState()
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := snap.MarshalState()
+	if !bytes.Equal(got, want) {
+		t.Fatal("arena did not track the restored state")
+	}
+	if arena.State().N() != 900 {
+		t.Fatalf("arena N %d after restore, want 900", arena.State().N())
+	}
+}
+
+// noDeltaAgg wraps a protocol aggregator, hiding the Unmerge and
+// CopyStateFrom methods.
+type noDeltaAgg struct{ Aggregator }
+
+// TestNoArenaWithoutUnmerge: a factory whose aggregators cannot be
+// unmerged gets no arena (callers fall back to full snapshots).
+func TestNoArenaWithoutUnmerge(t *testing.T) {
+	p, err := New(InpHT, deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewShardedFrom(func() Aggregator { return noDeltaAgg{p.NewAggregator()} }, 2)
+	if arena := sh.NewSnapshotArena(); arena != nil {
+		t.Fatal("got an arena over an unmergeable aggregator")
+	}
+	if sh.SupportsDeltaSnapshots() {
+		t.Fatal("SupportsDeltaSnapshots over an unmergeable aggregator")
+	}
+}
+
+// TestArenaOwnership: folding someone else's arena is rejected.
+func TestArenaOwnership(t *testing.T) {
+	p, err := New(InpHT, deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := NewSharded(p, 2), NewSharded(p, 2)
+	arena := a.NewSnapshotArena()
+	if _, err := b.SnapshotDeltaInto(arena); err == nil {
+		t.Fatal("foreign arena accepted")
+	}
+}
+
+// TestUnmergeInvertsMerge checks the exact-inverse contract on every
+// protocol: merge then unmerge restores the original counters bit for
+// bit.
+func TestUnmergeInvertsMerge(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, deltaTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := p.NewAggregator()
+			if err := base.ConsumeBatch(deltaReports(t, p, 700, 21)); err != nil {
+				t.Fatal(err)
+			}
+			extra := p.NewAggregator()
+			if err := extra.ConsumeBatch(deltaReports(t, p, 300, 22)); err != nil {
+				t.Fatal(err)
+			}
+			want, err := base.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := base.Merge(extra); err != nil {
+				t.Fatal(err)
+			}
+			if err := UnmergeAggregators(base, extra); err != nil {
+				t.Fatal(err)
+			}
+			got, err := base.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: merge+unmerge is not the identity", kind)
+			}
+		})
+	}
+}
+
+// TestSnapshotDeltaRaceClean hammers concurrent batch writers against a
+// folding reader; the assertions are in the race detector plus a final
+// exactness check once the writers quiesce.
+func TestSnapshotDeltaRaceClean(t *testing.T) {
+	p, err := New(MargHT, deltaTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := NewSharded(p, 4)
+	arena := sh.NewSnapshotArena()
+	reps := deltaReports(t, p, 8000, 9)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for lo := w * 2000; lo < (w+1)*2000; lo += 250 {
+				if err := sh.ConsumeBatch(reps[lo : lo+250]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := sh.SnapshotDeltaInto(arena); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if t.Failed() {
+		return
+	}
+	if _, err := sh.SnapshotDeltaInto(arena); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := snap.MarshalState()
+	got, _ := arena.State().MarshalState()
+	if !bytes.Equal(got, want) {
+		t.Fatal("arena state diverged after concurrent ingestion")
+	}
+}
+
+// TestLinearReconstructionMatchesEstimate compares the input-view
+// protocols' single-transform k-way reconstruction against the exact
+// per-table scan: within 1e-11 total variation per table (the two
+// differ only in floating-point summation order).
+func TestLinearReconstructionMatchesEstimate(t *testing.T) {
+	for _, kind := range []Kind{InpRR, InpPS} {
+		for _, d := range []int{6, 10} {
+			cfg := Config{D: d, K: 3, Epsilon: 1.1, OptimizedPRR: true}
+			p, err := New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := p.NewAggregator()
+			if err := agg.ConsumeBatch(deltaReports(t, p, 3000, uint64(d))); err != nil {
+				t.Fatal(err)
+			}
+			arena, err := NewKWayArena(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := AllKWayTablesInto(agg, arena, true); err != nil {
+				t.Fatal(err)
+			}
+			exact, err := AllKWayTables(agg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range exact {
+				var tv float64
+				for c := range exact[i].Table.Cells {
+					tv += math.Abs(exact[i].Table.Cells[c] - arena.Tables[i].Cells[c])
+				}
+				tv /= 2
+				if tv > 1e-11 {
+					t.Fatalf("%s d=%d: table %b fast-vs-exact TV %g", kind, d, exact[i].Beta, tv)
+				}
+				if arena.Users[i] != exact[i].Users {
+					t.Fatalf("%s d=%d: table %b users %d vs %d", kind, d, exact[i].Beta, arena.Users[i], exact[i].Users)
+				}
+			}
+		}
+	}
+}
+
+// TestKWayArenaMatchesAllKWayTables pins the arena reconstruction
+// (fast disabled) bit-identical to AllKWayTables for every protocol.
+func TestKWayArenaMatchesAllKWayTables(t *testing.T) {
+	cfg := deltaTestConfig()
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			agg := p.NewAggregator()
+			if err := agg.ConsumeBatch(deltaReports(t, p, 2500, uint64(kind)+31)); err != nil {
+				t.Fatal(err)
+			}
+			arena, err := NewKWayArena(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := AllKWayTablesInto(agg, arena, false); err != nil {
+				t.Fatal(err)
+			}
+			want, err := AllKWayTables(agg, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if arena.Users[i] != want[i].Users {
+					t.Fatalf("%s: table %b users %d vs %d", kind, want[i].Beta, arena.Users[i], want[i].Users)
+				}
+				for c := range want[i].Table.Cells {
+					if math.Float64bits(arena.Tables[i].Cells[c]) != math.Float64bits(want[i].Table.Cells[c]) {
+						t.Fatalf("%s: table %b cell %d differs", kind, want[i].Beta, c)
+					}
+				}
+			}
+		})
+	}
+}

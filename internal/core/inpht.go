@@ -129,6 +129,35 @@ func (a *inpHTAgg) Merge(other Aggregator) error {
 	return nil
 }
 
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots.
+func (a *inpHTAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*inpHTAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from InpHT aggregator", other)
+	}
+	for i := range a.sums {
+		a.sums[i] -= o.sums[i]
+		a.counts[i] -= o.counts[i]
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers.
+func (a *inpHTAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*inpHTAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into InpHT aggregator", other)
+	}
+	copy(a.sums, o.sums)
+	copy(a.counts, o.counts)
+	a.n = o.n
+	a.normalizeByExpected = o.normalizeByExpected
+	return nil
+}
+
 // ScaledCoefficient returns the unbiased estimate of m_alpha, normalizing
 // by the realized per-coefficient report count as in Algorithm 2 (and 0
 // when the coefficient was never sampled). It implements
@@ -162,4 +191,19 @@ func (a *inpHTAgg) Estimate(beta uint64) (*marginal.Table, error) {
 	}
 	cells := hadamard.ReconstructMarginal(a, beta)
 	return marginal.FromCells(beta, cells)
+}
+
+// estimateInto is Estimate writing into the caller's table — the
+// allocation-free kernel behind arena rebuilds. Identical arithmetic
+// (gather the subcube's coefficients, one inverse transform), so arena
+// reconstructions are bit-identical to Estimate's.
+func (a *inpHTAgg) estimateInto(dst *marginal.Table) error {
+	if err := checkBetaWithin(dst.Beta, a.p.cfg); err != nil {
+		return err
+	}
+	if a.n == 0 {
+		return fmt.Errorf("core: InpHT aggregator has no reports")
+	}
+	hadamard.ReconstructMarginalInto(dst.Cells, a, dst.Beta)
+	return nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/hadamard"
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/mech"
 	"ldpmarginals/internal/rng"
@@ -94,6 +96,78 @@ func (a *inpPSAgg) Merge(other Aggregator) error {
 		a.counts[i] += c
 	}
 	a.n += o.n
+	return nil
+}
+
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots.
+func (a *inpPSAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*inpPSAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from InpPS aggregator", other)
+	}
+	for i, c := range o.counts {
+		a.counts[i] -= c
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers.
+func (a *inpPSAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*inpPSAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into InpPS aggregator", other)
+	}
+	copy(a.counts, o.counts)
+	a.n = o.n
+	return nil
+}
+
+// reconstructKWayLinear derives every k-way table from ONE full-domain
+// Walsh-Hadamard transform of the per-cell report counts instead of a
+// 2^d scan per table — see inpRRAgg.reconstructKWayLinear for the
+// identity. The GRR unbiasing is affine with D = m-1:
+//
+//	est_c = (D*S_c/n + 2^{d-k}*(Ps-1)) / (D*Ps + Ps - 1).
+func (a *inpPSAgg) reconstructKWayLinear(masks []uint64, tables []*marginal.Table, users []int) error {
+	if a.n == 0 {
+		return fmt.Errorf("core: InpPS aggregator has no reports")
+	}
+	w := hadamard.GetVec(int(a.p.size))
+	defer hadamard.PutVec(w)
+	for j, c := range a.counts {
+		w[j] = float64(c)
+	}
+	if err := hadamard.WHT(w); err != nil {
+		return err
+	}
+	invN := 1 / float64(a.n)
+	dd := float64(a.p.grr.M - 1)
+	ps := a.p.grr.Ps
+	denom := dd*ps + ps - 1
+	errs := make([]error, len(masks))
+	parallelFor(len(masks), func(i int) {
+		cells := tables[i].Cells
+		for c := range cells {
+			cells[c] = w[bitops.Expand(uint64(c), masks[i])]
+		}
+		if err := hadamard.InverseWHT(cells); err != nil {
+			errs[i] = err
+			return
+		}
+		group := float64(int(a.p.size) / len(cells))
+		for c := range cells {
+			cells[c] = (dd*cells[c]*invN + group*(ps-1)) / denom
+		}
+		users[i] = a.n
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

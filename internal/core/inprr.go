@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/hadamard"
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/mech"
 	"ldpmarginals/internal/rng"
@@ -105,6 +106,33 @@ func (a *inpRRAgg) Merge(other Aggregator) error {
 	return nil
 }
 
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots to replace a
+// shard's stale contribution.
+func (a *inpRRAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*inpRRAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from InpRR aggregator", other)
+	}
+	for i, c := range o.ones {
+		a.ones[i] -= c
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers (no allocation).
+func (a *inpRRAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*inpRRAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into InpRR aggregator", other)
+	}
+	copy(a.ones, o.ones)
+	a.n = o.n
+	return nil
+}
+
 // SimulateBatch is the statistically exact fast path used by the runner:
 // instead of generating a 2^d-bit report per user, it samples the
 // aggregate per-cell 1-counts directly as binomials over the true per-cell
@@ -151,6 +179,59 @@ func (a *inpRRAgg) Estimate(beta uint64) (*marginal.Table, error) {
 
 func (a *inpRRAgg) checkBeta(beta uint64) error {
 	return checkBetaWithin(beta, a.p.cfg)
+}
+
+// reconstructKWayLinear derives every k-way table from ONE full-domain
+// Walsh-Hadamard transform of the per-cell 1-counts instead of a 2^d
+// scan per table. The marginal operator is linear in the counters:
+// with W = WHT(ones), the sum of ones over the cells of any marginal
+// beta is the inverse transform of W's subcube alpha ⪯ beta, and the
+// PRR unbiasing is affine, so
+//
+//	est_c = (S_c/n - 2^{d-k} * P0) / (P1 - P0),  S_c = sum of ones in c.
+//
+// All WHT intermediates are sums/differences of integers (exact in
+// float64 far beyond the supported d), so S_c is exact; only the final
+// affine step rounds differently from Estimate's per-cell summation,
+// keeping the two within ~1e-12 TV. Cost: O(d 2^d) once, then O(k 2^k)
+// per table — the delta-refresh fast path.
+func (a *inpRRAgg) reconstructKWayLinear(masks []uint64, tables []*marginal.Table, users []int) error {
+	if a.n == 0 {
+		return fmt.Errorf("core: InpRR aggregator has no reports")
+	}
+	w := hadamard.GetVec(a.p.size)
+	defer hadamard.PutVec(w)
+	for j, c := range a.ones {
+		w[j] = float64(c)
+	}
+	if err := hadamard.WHT(w); err != nil {
+		return err
+	}
+	invN := 1 / float64(a.n)
+	p0, p1 := a.p.prr.P0, a.p.prr.P1
+	scale := 1 / (p1 - p0)
+	errs := make([]error, len(masks))
+	parallelFor(len(masks), func(i int) {
+		cells := tables[i].Cells
+		for c := range cells {
+			cells[c] = w[bitops.Expand(uint64(c), masks[i])]
+		}
+		if err := hadamard.InverseWHT(cells); err != nil {
+			errs[i] = err
+			return
+		}
+		group := float64(a.p.size / len(cells))
+		for c := range cells {
+			cells[c] = (cells[c]*invN - group*p0) * scale
+		}
+		users[i] = a.n
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // checkBetaWithin validates a queried marginal against the deployment

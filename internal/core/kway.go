@@ -2,10 +2,29 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/marginal"
 )
+
+// maskCache memoizes bitops.MasksWithExactlyK per (d, k): the collection
+// C is identical for every build of a deployment's lifetime, so there is
+// no reason to re-enumerate (and re-allocate) it once per epoch. Cached
+// slices are shared — callers must treat them as read-only.
+var maskCache sync.Map // uint64(d)<<8 | uint64(k) -> []uint64
+
+// KWayMasks returns the memoized mask list of the C(d,k) k-way
+// collection, in the numeric order of bitops.MasksWithExactlyK. The
+// returned slice is shared and must not be mutated.
+func KWayMasks(d, k int) []uint64 {
+	key := uint64(d)<<8 | uint64(k)
+	if m, ok := maskCache.Load(key); ok {
+		return m.([]uint64)
+	}
+	m, _ := maskCache.LoadOrStore(key, bitops.MasksWithExactlyK(d, k))
+	return m.([]uint64)
+}
 
 // KWayTable is one reconstructed k-way collection table together with the
 // evidence behind it.
@@ -30,6 +49,141 @@ type kWayReconstructor interface {
 	kWay(pos int) (*marginal.Table, int, error)
 }
 
+// kWayIntoReconstructor is the allocation-free variant: reconstruct the
+// table at position pos into the caller's table (dst.Beta already set to
+// the position's mask), returning the per-marginal user count. The
+// marginal-view aggregators implement it with arithmetic identical to
+// kWay, so an arena build is bit-identical to an allocating one.
+type kWayIntoReconstructor interface {
+	kWayInto(pos int, dst *marginal.Table) (int, error)
+}
+
+// estimateIntoReconstructor is the allocation-free variant for
+// aggregators whose every report informs every table (InpHT):
+// reconstruct the marginal over dst.Beta into dst. Arithmetic identical
+// to Estimate.
+type estimateIntoReconstructor interface {
+	estimateInto(dst *marginal.Table) error
+}
+
+// linearKWayReconstructor is the delta-refresh fast path of the
+// input-view protocols: derive every k-way table's unnormalized cell
+// sums from ONE full-domain Walsh-Hadamard transform of the counter
+// vector (O(d 2^d) total) instead of one 2^d-cell scan per table
+// (O(C(d,k) 2^d)), then apply the protocol's affine unbiasing per cell.
+// The result agrees with the per-table scan up to floating-point
+// summation order (within ~1e-12 TV at the supported sizes); the exact
+// per-table scan remains the cold-build (bit-pinned) path.
+type linearKWayReconstructor interface {
+	reconstructKWayLinear(masks []uint64, tables []*marginal.Table, users []int) error
+}
+
+// KWayArena is a reusable reconstruction workspace: one pre-allocated
+// table per mask of the C(d,k) collection plus the per-table evidence.
+// An epoch refresh reconstructs into the same arena every time, so the
+// steady-state build allocates nothing. Not safe for concurrent use.
+type KWayArena struct {
+	cfg Config
+	// Masks is the memoized collection mask list (read-only, shared).
+	Masks []uint64
+	// Tables holds one table per mask, reused across builds.
+	Tables []*marginal.Table
+	// Users holds the per-table evidence of the latest build.
+	Users []int
+}
+
+// NewKWayArena allocates the reconstruction arena of a deployment.
+func NewKWayArena(cfg Config) (*KWayArena, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	masks := KWayMasks(cfg.D, cfg.K)
+	a := &KWayArena{
+		cfg:    cfg,
+		Masks:  masks,
+		Tables: make([]*marginal.Table, len(masks)),
+		Users:  make([]int, len(masks)),
+	}
+	cells := make([]float64, len(masks)<<uint(cfg.K))
+	tabs := make([]marginal.Table, len(masks))
+	for i, m := range masks {
+		tabs[i] = marginal.Table{Beta: m, Cells: cells[i<<uint(cfg.K) : (i+1)<<uint(cfg.K)]}
+		a.Tables[i] = &tabs[i]
+	}
+	return a, nil
+}
+
+// AllKWayTablesInto reconstructs every k-way marginal of the collection
+// from one aggregator snapshot into the arena — the allocation-free
+// counterpart of AllKWayTables. With fast set, input-view aggregators
+// take the single-transform linear path (see linearKWayReconstructor);
+// otherwise, and for every other protocol, the arithmetic is identical
+// to AllKWayTables, so the arena's tables are bit-identical to a cold
+// reconstruction of the same state.
+func AllKWayTablesInto(agg Aggregator, a *KWayArena, fast bool) error {
+	if agg.N() == 0 {
+		for i, t := range a.Tables {
+			uniform(t.Cells)
+			a.Users[i] = 0
+		}
+		return nil
+	}
+	if fast {
+		if lr, ok := agg.(linearKWayReconstructor); ok {
+			return lr.reconstructKWayLinear(a.Masks, a.Tables, a.Users)
+		}
+	}
+	errs := make([]error, len(a.Masks))
+	switch rec := agg.(type) {
+	case kWayIntoReconstructor:
+		parallelFor(len(a.Masks), func(i int) {
+			users, err := rec.kWayInto(i, a.Tables[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			a.Users[i] = users
+		})
+	case estimateIntoReconstructor:
+		n := agg.N()
+		parallelFor(len(a.Masks), func(i int) {
+			if err := rec.estimateInto(a.Tables[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			a.Users[i] = n
+		})
+	default:
+		// Generic fallback (out-of-package aggregators): allocate via
+		// Estimate and copy into the arena.
+		n := agg.N()
+		parallelFor(len(a.Masks), func(i int) {
+			t, err := agg.Estimate(a.Masks[i])
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			copy(a.Tables[i].Cells, t.Cells)
+			a.Users[i] = n
+		})
+	}
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: reconstructing %b: %w", a.Masks[i], err)
+		}
+	}
+	return nil
+}
+
+// uniform fills cells with the uniform distribution, matching
+// marginal.Uniform's values.
+func uniform(cells []float64) {
+	u := 1 / float64(len(cells))
+	for i := range cells {
+		cells[i] = u
+	}
+}
+
 // AllKWayTables reconstructs every C(d,k) k-way marginal of the
 // collection from one aggregator snapshot, fanning the per-table
 // reconstructions out across goroutines. Tables are returned in the
@@ -43,7 +197,7 @@ func AllKWayTables(agg Aggregator, cfg Config) ([]KWayTable, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	masks := bitops.MasksWithExactlyK(cfg.D, cfg.K)
+	masks := KWayMasks(cfg.D, cfg.K)
 	out := make([]KWayTable, len(masks))
 	if agg.N() == 0 {
 		for i, m := range masks {

@@ -133,31 +133,73 @@ func (a *margHTAgg) Merge(other Aggregator) error {
 	return nil
 }
 
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots.
+func (a *margHTAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*margHTAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from MargHT aggregator", other)
+	}
+	for i := range a.sums {
+		for c := range a.sums[i] {
+			a.sums[i][c] -= o.sums[i][c]
+			a.counts[i][c] -= o.counts[i][c]
+		}
+		a.users[i] -= o.users[i]
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers.
+func (a *margHTAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*margHTAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into MargHT aggregator", other)
+	}
+	for i := range a.sums {
+		copy(a.sums[i], o.sums[i])
+		copy(a.counts[i], o.counts[i])
+	}
+	copy(a.users, o.users)
+	a.n = o.n
+	return nil
+}
+
 // kWay reconstructs the marginal at position pos from its estimated
 // coefficient vector by one inverse transform over the 2^k subcube.
 func (a *margHTAgg) kWay(pos int) (*marginal.Table, int, error) {
-	beta := a.p.idx.masks[pos]
-	if a.users[pos] == 0 {
-		t, err := marginal.Uniform(beta)
-		return t, 0, err
+	t, err := marginal.New(a.p.idx.masks[pos])
+	if err != nil {
+		return nil, 0, err
 	}
-	cells := make([]float64, a.p.cells)
+	users, err := a.kWayInto(pos, t)
+	return t, users, err
+}
+
+// kWayInto is kWay writing into the caller's table (dst.Beta must be
+// the mask at pos) — the allocation-free kernel behind arena rebuilds,
+// with arithmetic identical to kWay.
+func (a *margHTAgg) kWayInto(pos int, dst *marginal.Table) (int, error) {
+	if a.users[pos] == 0 {
+		uniform(dst.Cells)
+		return 0, nil
+	}
+	cells := dst.Cells
 	cells[0] = 1
 	for c := 1; c < a.p.cells; c++ {
 		if a.counts[pos][c] == 0 {
+			cells[c] = 0
 			continue
 		}
 		mean := float64(a.sums[pos][c]) / float64(a.counts[pos][c])
 		cells[c] = a.rrUnbias(mean)
 	}
 	if err := hadamard.InverseWHT(cells); err != nil {
-		return nil, 0, err
+		return 0, err
 	}
-	t, err := marginal.FromCells(beta, cells)
-	if err != nil {
-		return nil, 0, err
-	}
-	return t, a.users[pos], nil
+	return a.users[pos], nil
 }
 
 func (a *margHTAgg) rrUnbias(mean float64) float64 { return a.p.rr.UnbiasSign(mean) }

@@ -111,21 +111,60 @@ func (a *margPSAgg) Merge(other Aggregator) error {
 	return nil
 }
 
-func (a *margPSAgg) kWay(pos int) (*marginal.Table, int, error) {
-	beta := a.p.idx.masks[pos]
-	if a.users[pos] == 0 {
-		t, err := marginal.Uniform(beta)
-		return t, 0, err
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots.
+func (a *margPSAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*margPSAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from MargPS aggregator", other)
 	}
-	t, err := marginal.New(beta)
+	for i := range a.counts {
+		for c := range a.counts[i] {
+			a.counts[i][c] -= o.counts[i][c]
+		}
+		a.users[i] -= o.users[i]
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers.
+func (a *margPSAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*margPSAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into MargPS aggregator", other)
+	}
+	for i := range a.counts {
+		copy(a.counts[i], o.counts[i])
+	}
+	copy(a.users, o.users)
+	a.n = o.n
+	return nil
+}
+
+func (a *margPSAgg) kWay(pos int) (*marginal.Table, int, error) {
+	t, err := marginal.New(a.p.idx.masks[pos])
 	if err != nil {
 		return nil, 0, err
 	}
+	users, err := a.kWayInto(pos, t)
+	return t, users, err
+}
+
+// kWayInto is kWay writing into the caller's table (dst.Beta must be
+// the mask at pos) — the allocation-free kernel behind arena rebuilds,
+// with arithmetic identical to kWay.
+func (a *margPSAgg) kWayInto(pos int, dst *marginal.Table) (int, error) {
+	if a.users[pos] == 0 {
+		uniform(dst.Cells)
+		return 0, nil
+	}
 	inv := 1 / float64(a.users[pos])
 	for c := uint64(0); c < a.p.cells; c++ {
-		t.Cells[c] = a.p.grr.UnbiasFrequency(float64(a.counts[pos][c]) * inv)
+		dst.Cells[c] = a.p.grr.UnbiasFrequency(float64(a.counts[pos][c]) * inv)
 	}
-	return t, a.users[pos], nil
+	return a.users[pos], nil
 }
 
 // Estimate answers |beta| = k directly and |beta| < k by weighted

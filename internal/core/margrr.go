@@ -123,23 +123,62 @@ func (a *margRRAgg) Merge(other Aggregator) error {
 	return nil
 }
 
+// Unmerge subtracts a previously merged contribution — the exact
+// integer inverse of Merge, used by delta snapshots.
+func (a *margRRAgg) Unmerge(other Aggregator) error {
+	o, ok := other.(*margRRAgg)
+	if !ok {
+		return fmt.Errorf("core: unmerging %T from MargRR aggregator", other)
+	}
+	for i := range a.ones {
+		for c := range a.ones[i] {
+			a.ones[i][c] -= o.ones[i][c]
+		}
+		a.users[i] -= o.users[i]
+	}
+	a.n -= o.n
+	return nil
+}
+
+// CopyStateFrom replaces the receiver's state with a deep copy of
+// other's, reusing the receiver's buffers.
+func (a *margRRAgg) CopyStateFrom(other Aggregator) error {
+	o, ok := other.(*margRRAgg)
+	if !ok {
+		return fmt.Errorf("core: copying %T into MargRR aggregator", other)
+	}
+	for i := range a.ones {
+		copy(a.ones[i], o.ones[i])
+	}
+	copy(a.users, o.users)
+	a.n = o.n
+	return nil
+}
+
 // kWay unbiases the PRR counts of the marginal at position pos using its
 // realized user count.
 func (a *margRRAgg) kWay(pos int) (*marginal.Table, int, error) {
-	beta := a.p.idx.masks[pos]
-	if a.users[pos] == 0 {
-		t, err := marginal.Uniform(beta)
-		return t, 0, err
-	}
-	t, err := marginal.New(beta)
+	t, err := marginal.New(a.p.idx.masks[pos])
 	if err != nil {
 		return nil, 0, err
 	}
+	users, err := a.kWayInto(pos, t)
+	return t, users, err
+}
+
+// kWayInto is kWay writing into the caller's table (dst.Beta must be
+// the mask at pos) — the allocation-free kernel behind arena rebuilds,
+// with arithmetic identical to kWay.
+func (a *margRRAgg) kWayInto(pos int, dst *marginal.Table) (int, error) {
+	if a.users[pos] == 0 {
+		uniform(dst.Cells)
+		return 0, nil
+	}
 	inv := 1 / float64(a.users[pos])
 	for c := 0; c < a.p.cells; c++ {
-		t.Cells[c] = a.p.prr.UnbiasFrequency(float64(a.ones[pos][c]) * inv)
+		dst.Cells[c] = a.p.prr.UnbiasFrequency(float64(a.ones[pos][c]) * inv)
 	}
-	return t, a.users[pos], nil
+	return a.users[pos], nil
 }
 
 // Estimate answers |beta| = k directly and |beta| < k by weighted

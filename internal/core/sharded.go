@@ -34,12 +34,16 @@ type ShardedAggregator struct {
 	ver      atomic.Uint64
 }
 
-// aggShard pairs one accumulator with its lock. The pad separates shards
-// into distinct cache lines so uncontended locks don't false-share.
+// aggShard pairs one accumulator with its lock and its own mutation
+// version, advanced under the lock on every state change so a delta
+// snapshot (SnapshotDeltaInto) can skip shards that did not move since
+// its last capture. The pad separates shards into distinct cache lines
+// so uncontended locks don't false-share.
 type aggShard struct {
 	mu  sync.Mutex
 	agg Aggregator
-	_   [40]byte
+	ver uint64 // mutation version; read and written under mu
+	_   [32]byte
 }
 
 // NewSharded builds a sharded aggregator over p with the given shard
@@ -76,6 +80,9 @@ func (s *ShardedAggregator) Consume(rep Report) error {
 	sh := s.pick()
 	sh.mu.Lock()
 	err := sh.agg.Consume(rep)
+	if err == nil {
+		sh.ver++
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err
@@ -98,6 +105,9 @@ func (s *ShardedAggregator) ConsumeBatch(reps []Report) error {
 	before := sh.agg.N()
 	err := sh.agg.ConsumeBatch(reps)
 	consumed := sh.agg.N() - before
+	if consumed > 0 {
+		sh.ver++
+	}
 	sh.mu.Unlock()
 	s.n.Add(int64(consumed))
 	if consumed > 0 {
@@ -196,6 +206,9 @@ func (s *ShardedAggregator) Merge(other Aggregator) error {
 	sh := &s.shards[0]
 	sh.mu.Lock()
 	err := sh.agg.Merge(src)
+	if err == nil {
+		sh.ver++
+	}
 	sh.mu.Unlock()
 	if err != nil {
 		return err

@@ -294,6 +294,11 @@ func (s *ShardedAggregator) UnmarshalState(data []byte) error {
 	s.n.Store(int64(fresh.N()))
 	s.ver.Add(1)
 	for i := range s.shards {
+		// Every shard's state was replaced (even the emptied ones), so
+		// every per-shard version must move or a delta snapshot would
+		// keep serving the pre-restore contribution of an "unchanged"
+		// shard.
+		s.shards[i].ver++
 		s.shards[i].mu.Unlock()
 	}
 	return nil

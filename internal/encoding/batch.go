@@ -61,11 +61,18 @@ func UnmarshalBatch(buf []byte, maxReports int) (Tag, []core.Report, error) {
 // already-validated wire bytes, with no re-marshal and no per-frame
 // re-framing.
 func UnmarshalBatchEnds(buf []byte, maxReports int) (Tag, []core.Report, []int, error) {
-	var (
-		tag  Tag
-		reps []core.Report
-		ends []int
-	)
+	return UnmarshalBatchEndsInto(buf, maxReports, nil, nil)
+}
+
+// UnmarshalBatchEndsInto is UnmarshalBatchEnds appending into the
+// caller's (typically pooled, length-zero) report and offset slices, so
+// a steady-state ingest path stops allocating the per-request decode
+// buffers. Only the slice headers are reused: per-report payloads (the
+// Bits bitmaps of the RR protocols) are freshly decoded, so a consumer
+// that retained an earlier batch's reports is unaffected.
+func UnmarshalBatchEndsInto(buf []byte, maxReports int, reps []core.Report, ends []int) (Tag, []core.Report, []int, error) {
+	var tag Tag
+	reps, ends = reps[:0], ends[:0]
 	total := len(buf)
 	for len(buf) > 0 {
 		frame, rest, err := wire.NextFrame(buf, MaxFrameBytes)

@@ -162,11 +162,21 @@ func (m MapSource) ScaledCoefficient(alpha uint64) float64 {
 // bitops.Expand(c, beta)). Only the 2^k coefficients alpha ⪯ beta are
 // consulted, per Lemma 3.7.
 func ReconstructMarginal(src CoefficientSource, beta uint64) []float64 {
-	k := bitops.OnesCount(beta)
-	size := 1 << uint(k)
-	// Gather coefficients into the compact subcube, then one inverse
-	// transform produces all 2^k cells in O(k 2^k).
-	cells := make([]float64, size)
+	cells := make([]float64, 1<<uint(bitops.OnesCount(beta)))
+	ReconstructMarginalInto(cells, src, beta)
+	return cells
+}
+
+// ReconstructMarginalInto is ReconstructMarginal writing into the
+// caller's cell buffer (len 2^|beta|) — the allocation-free kernel the
+// epoch-refresh arenas reuse. The arithmetic is identical to
+// ReconstructMarginal: gather the subcube's coefficients, then one
+// inverse transform produces all 2^k cells in O(k 2^k).
+func ReconstructMarginalInto(cells []float64, src CoefficientSource, beta uint64) {
+	size := 1 << uint(bitops.OnesCount(beta))
+	if len(cells) != size {
+		panic("hadamard: cell buffer does not match |beta|")
+	}
 	for c := 0; c < size; c++ {
 		cells[c] = src.ScaledCoefficient(bitops.Expand(uint64(c), beta))
 	}
@@ -174,7 +184,6 @@ func ReconstructMarginal(src CoefficientSource, beta uint64) []float64 {
 	if err := InverseWHT(cells); err != nil {
 		panic("hadamard: impossible: " + err.Error())
 	}
-	return cells
 }
 
 // CoefficientSet returns the indices T of the scaled coefficients that a

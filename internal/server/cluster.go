@@ -173,6 +173,131 @@ func (f *fleet) export() (core.Aggregator, error) {
 	return f.agg.SnapshotWith(blobs)
 }
 
+// fleetArena is the coordinator's core.StateArena: the local shard
+// arena (whose cumulative aggregator is the single fold target) plus
+// the decoded contribution of every peer currently folded in, keyed by
+// peer URL and labeled exactly like fleet.accept — (node id, version).
+// A pull round that changed one edge's state re-folds only that edge's
+// contribution; unchanged peers cost one label comparison.
+type fleetArena struct {
+	local core.StateArena
+	peers map[string]*heldPeer
+}
+
+// heldPeer is one peer contribution folded into the arena's cumulative
+// state.
+type heldPeer struct {
+	nodeID  string
+	version uint64
+	n       int
+	agg     core.Aggregator
+}
+
+func (fa *fleetArena) State() core.Aggregator { return fa.local.State() }
+func (fa *fleetArena) Primed() bool           { return fa.local.Primed() }
+func (fa *fleetArena) Reset()                 { fa.local.Reset() }
+
+// NewSnapshotArena returns a delta-snapshot arena over the fleet, or
+// nil when the deployment's protocol cannot back exact delta folds.
+// Implements view.DeltaSource alongside SnapshotDeltaInto.
+func (f *fleet) NewSnapshotArena() core.StateArena {
+	local := f.agg.NewSnapshotArena()
+	if local == nil {
+		return nil
+	}
+	return &fleetArena{local: local, peers: make(map[string]*heldPeer)}
+}
+
+// SnapshotDeltaInto advances the arena to the current fleet state:
+// local shard deltas fold through the core arena, and each peer whose
+// accepted (node id, version) label moved since the arena's last
+// capture has its old contribution unmerged and its fresh state decoded
+// and merged — a pull that changed one edge re-folds one component. It
+// records the snapshot's composition for the view engine, exactly like
+// Snapshot. Only the engine may call it (builds are serialized under
+// the engine's lock).
+func (f *fleet) SnapshotDeltaInto(arena core.StateArena) (int, error) {
+	fa, ok := arena.(*fleetArena)
+	if !ok {
+		return 0, fmt.Errorf("server: arena of type %T was not created by this fleet", arena)
+	}
+	if !fa.local.Primed() {
+		// The local arena is about to recapture its cumulative state
+		// from scratch (fresh arena, Reset, or a failed fold), which
+		// drops every peer contribution folded into it.
+		clear(fa.peers)
+	}
+	touched, err := f.agg.SnapshotDeltaInto(fa.local)
+	if err != nil {
+		return touched, err
+	}
+	cum := fa.local.State()
+
+	// Snapshot the accepted peer labels (and blob references — blobs are
+	// replaced wholesale on accept, never mutated) under the fleet lock,
+	// and record the composition the engine will label this epoch with.
+	type peerSnap struct {
+		url, nodeID string
+		version     uint64
+		n           int
+		state       []byte
+	}
+	f.mu.Lock()
+	cur := make([]peerSnap, 0, len(f.peers))
+	comp := make([]view.Component, 0, len(f.peers))
+	for _, pe := range f.peers {
+		if pe.state == nil {
+			continue
+		}
+		cur = append(cur, peerSnap{pe.url, pe.nodeID, pe.version, pe.n, pe.state})
+		comp = append(comp, view.Component{
+			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.version, PulledAt: pe.pulledAt,
+		})
+	}
+	f.comp = comp
+	f.mu.Unlock()
+
+	// A half-applied fold leaves cum inconsistent; force a cold
+	// recapture on the next call.
+	fail := func(e error) (int, error) {
+		fa.local.Reset()
+		return touched, e
+	}
+	seen := make(map[string]bool, len(cur))
+	for _, pe := range cur {
+		seen[pe.url] = true
+		held := fa.peers[pe.url]
+		if held != nil && held.nodeID == pe.nodeID && held.version == pe.version {
+			continue
+		}
+		if held != nil {
+			if err := core.UnmergeAggregators(cum, held.agg); err != nil {
+				return fail(fmt.Errorf("server: unfolding stale state of peer %s: %w", pe.url, err))
+			}
+		}
+		dec := f.p.NewAggregator()
+		if err := dec.UnmarshalState(pe.state); err != nil {
+			return fail(fmt.Errorf("server: decoding state of peer %s: %w", pe.url, err))
+		}
+		if err := core.MergeAggregators(cum, dec); err != nil {
+			return fail(fmt.Errorf("server: folding state of peer %s: %w", pe.url, err))
+		}
+		fa.peers[pe.url] = &heldPeer{nodeID: pe.nodeID, version: pe.version, n: pe.n, agg: dec}
+		touched++
+	}
+	for url, held := range fa.peers {
+		if seen[url] {
+			continue
+		}
+		if err := core.UnmergeAggregators(cum, held.agg); err != nil {
+			return fail(fmt.Errorf("server: unfolding dropped peer %s: %w", url, err))
+		}
+		delete(fa.peers, url)
+		touched++
+	}
+	return touched, nil
+}
+
 // Composition describes the constituents of the latest Snapshot.
 func (f *fleet) Composition() []view.Component {
 	f.mu.Lock()

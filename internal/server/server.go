@@ -626,6 +626,42 @@ func startOf(ends []int, lo int) int {
 	return 0
 }
 
+// batchBuffers is one /report/batch request's reusable workspace: the
+// raw body and the decoded record slices. Pooled so steady-state ingest
+// stops allocating per request — the decoded []core.Report alone is an
+// order of magnitude larger than a typical body. Only slice headers are
+// reused; per-report payloads are freshly decoded (see
+// encoding.UnmarshalBatchEndsInto), so nothing an aggregator could have
+// retained is ever overwritten.
+type batchBuffers struct {
+	body []byte
+	reps []core.Report
+	ends []int
+}
+
+var batchBufPool = sync.Pool{New: func() any { return new(batchBuffers) }}
+
+// readBodyInto reads r (bounded by limit+1 bytes) into buf, growing it
+// as needed and returning the filled slice — io.ReadAll over a reusable
+// buffer.
+func readBodyInto(r io.Reader, limit int64, buf []byte) ([]byte, error) {
+	lr := io.LimitReader(r, limit+1)
+	buf = buf[:0]
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
 // BatchResponse is the JSON shape of a /report/batch reply — both the
 // 200 success reply and the 400 rejection reply. On rejection, Accepted
 // is the exact number of reports ingested before ingestion stopped
@@ -655,7 +691,19 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// instead of amplifying memory without bound.
 	in.batches <- struct{}{}
 	defer func() { <-in.batches }()
-	body, err := io.ReadAll(io.LimitReader(r.Body, in.maxBatch+1))
+	bufs := batchBufPool.Get().(*batchBuffers)
+	bodyHandedToWAL := false
+	defer func() {
+		if bodyHandedToWAL {
+			// The durable store's committer may still reference body
+			// slices after the handler returns (group commit); hand the
+			// buffer over instead of recycling it.
+			bufs.body = nil
+		}
+		batchBufPool.Put(bufs)
+	}()
+	body, err := readBodyInto(r.Body, in.maxBatch, bufs.body)
+	bufs.body = body
 	if err != nil {
 		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
@@ -664,11 +712,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	tag, reps, ends, err := encoding.UnmarshalBatchEnds(body, maxBatchReports)
+	tag, reps, ends, err := encoding.UnmarshalBatchEndsInto(body, maxBatchReports, bufs.reps, bufs.ends)
 	if err != nil {
 		http.Error(w, "malformed batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	bufs.reps, bufs.ends = reps, ends
 	if tag != s.tag {
 		http.Error(w, fmt.Sprintf("batch for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
@@ -695,6 +744,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		hi := min(lo+batchChunk, len(reps))
+		if in.st != nil {
+			bodyHandedToWAL = true
+		}
 		in.slots <- struct{}{}
 		// Re-check after the (possibly long) wait for a pool slot: a
 		// rejection may have landed while this chunk was queued.
@@ -951,8 +1003,26 @@ type ViewStatusResponse struct {
 	StalenessReports int `json:"staleness_reports"`
 	// AgeSeconds is how long the epoch has been serving.
 	AgeSeconds float64 `json:"age_seconds"`
-	// BuildMillis is how long the epoch took to build.
+	// BuildMillis is how long the epoch took to build (the nonlinear
+	// stage: reconstruction, consistency, projection, sub-cube).
 	BuildMillis float64 `json:"build_ms"`
+	// SnapshotMillis is how long cutting (full build) or delta-folding
+	// (incremental build) the epoch's source state took.
+	SnapshotMillis float64 `json:"snapshot_ms"`
+	// Incremental reports whether the serving epoch was built by folding
+	// a delta into the engine's cached linear sums rather than a cold
+	// rebuild.
+	Incremental bool `json:"incremental"`
+	// FoldedComponents is how many source components (shards, peers)
+	// were folded into the serving epoch's snapshot: only the changed
+	// ones on an incremental epoch, every component on an arena-backed
+	// full rebuild, and 0 when the source has no delta support.
+	FoldedComponents int `json:"folded_components,omitempty"`
+	// IncrementalBuilds and FullBuilds count the engine's builds by
+	// kind since startup; their ratio shows whether the refresh path is
+	// riding the delta fast path or falling back to cold rebuilds.
+	IncrementalBuilds int64 `json:"incremental_builds"`
+	FullBuilds        int64 `json:"full_builds"`
 	// Tables is the number of materialized k-way tables.
 	Tables int `json:"tables"`
 	// RecoveredReports is the number of reports restored from the
@@ -993,15 +1063,21 @@ func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
 	if s.ingest != nil {
 		recovered = s.ingest.recovered
 	}
+	stats := s.reads.engine.Stats()
 	resp := ViewStatusResponse{
-		Epoch:            v.Epoch,
-		ViewN:            v.N,
-		CurrentN:         n,
-		StalenessReports: v.Staleness(n),
-		AgeSeconds:       v.Age().Seconds(),
-		BuildMillis:      float64(v.BuildDuration.Nanoseconds()) / 1e6,
-		Tables:           v.Tables(),
-		RecoveredReports: recovered,
+		Epoch:             v.Epoch,
+		ViewN:             v.N,
+		CurrentN:          n,
+		StalenessReports:  v.Staleness(n),
+		AgeSeconds:        v.Age().Seconds(),
+		BuildMillis:       float64(v.BuildDuration.Nanoseconds()) / 1e6,
+		SnapshotMillis:    float64(v.SnapshotDuration.Nanoseconds()) / 1e6,
+		Incremental:       v.Incremental,
+		FoldedComponents:  v.FoldedComponents,
+		IncrementalBuilds: stats.IncrementalBuilds,
+		FullBuilds:        stats.FullBuilds,
+		Tables:            v.Tables(),
+		RecoveredReports:  recovered,
 		// Every epoch is built from an aggregator seeded with the
 		// recovered state, so any epoch of a recovered deployment
 		// contains it.

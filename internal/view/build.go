@@ -1,0 +1,262 @@
+package view
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/consistency"
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/marginal"
+)
+
+// The incremental build pipeline. Build's work splits into a *linear*
+// stage — the aggregated counter sums every estimator is a normalization
+// of — and a *nonlinear* stage (normalize by n, cross-marginal
+// consistency, simplex projection, sub-k cube) that must re-run per
+// epoch. The linear stage lives in a core.StateArena owned by the
+// engine and advances by folding per-shard (or per-peer) deltas, so its
+// cost tracks what changed; the nonlinear stage re-runs over reusable
+// reconstruction arenas, so the steady-state refresh allocates only the
+// immutable published view. buildPlan memoizes everything about the
+// (d, k) collection that is identical across epochs: mask lists, the
+// mask->table position map, the sub-cube's superset structure with
+// cell index maps, and the consistency plan.
+
+// buildPlan is the per-(d,k) epoch-invariant build structure. Immutable
+// and shared: one plan serves every engine (and every published view's
+// position lookups) of a deployment shape for the process lifetime.
+type buildPlan struct {
+	kway []uint64 // the C(d,k) collection masks (shared, read-only)
+	sub  []uint64 // the sub-k cube masks, |beta| in [1, k-1]
+	pos  map[uint64]int
+
+	// subSupers[si] lists the positions (into kway) of the supersets of
+	// sub[si], ascending; subIdx[si][j] maps superset j's cells onto
+	// sub[si]'s cells (the precomputed MarginalizeTo index map).
+	subSupers [][]int
+	subIdx    [][][]int
+
+	cons *consistency.Plan
+}
+
+var buildPlans sync.Map // uint64(d)<<8 | uint64(k) -> *buildPlan
+
+// planFor returns the memoized build plan of a deployment shape.
+func planFor(cfg core.Config) (*buildPlan, error) {
+	key := uint64(cfg.D)<<8 | uint64(cfg.K)
+	if p, ok := buildPlans.Load(key); ok {
+		return p.(*buildPlan), nil
+	}
+	kway := core.KWayMasks(cfg.D, cfg.K)
+	sub := bitops.MasksWithAtMostK(cfg.D, 1, cfg.K-1)
+	p := &buildPlan{
+		kway:      kway,
+		sub:       sub,
+		pos:       make(map[uint64]int, len(kway)+len(sub)),
+		subSupers: make([][]int, len(sub)),
+		subIdx:    make([][][]int, len(sub)),
+	}
+	for i, m := range kway {
+		p.pos[m] = i
+	}
+	for i, m := range sub {
+		p.pos[m] = len(kway) + i
+	}
+	for si, sb := range sub {
+		for pos, m := range kway {
+			if !bitops.IsSubset(sb, m) {
+				continue
+			}
+			idx := make([]int, 1<<uint(cfg.K))
+			for c := range idx {
+				idx[c] = int(bitops.Compress(bitops.Expand(uint64(c), m), sb))
+			}
+			p.subSupers[si] = append(p.subSupers[si], pos)
+			p.subIdx[si] = append(p.subIdx[si], idx)
+		}
+	}
+	cons, err := consistency.NewPlan(kway)
+	if err != nil {
+		return nil, err
+	}
+	p.cons = cons
+	actual, _ := buildPlans.LoadOrStore(key, p)
+	return actual.(*buildPlan), nil
+}
+
+// builder owns the reusable reconstruction arenas of one engine: the
+// k-way table arena, the sub-cube arena, the evidence vector, and the
+// marginalization scratch. A builder is single-threaded (the engine
+// serializes builds); publishing copies the finished values into a
+// fresh immutable View, so readers of older epochs are never touched by
+// the next build reusing the arena.
+type builder struct {
+	p    core.Protocol
+	cfg  core.Config
+	opts Options
+	plan *buildPlan
+
+	arena   *core.KWayArena
+	weights []float64         // per-kway-table evidence of the current build
+	sub     []*marginal.Table // sub-cube arena tables (slab-backed)
+	scratch []float64         // marginalization scratch, max 2^(k-1)
+}
+
+func newBuilder(p core.Protocol, opts Options) (*builder, error) {
+	cfg := p.Config()
+	plan, err := planFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	arena, err := core.NewKWayArena(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &builder{
+		p:       p,
+		cfg:     cfg,
+		opts:    opts,
+		plan:    plan,
+		arena:   arena,
+		weights: make([]float64, len(plan.kway)),
+		sub:     make([]*marginal.Table, len(plan.sub)),
+	}
+	var cells int
+	for _, m := range plan.sub {
+		cells += 1 << uint(bitops.OnesCount(m))
+	}
+	slab := make([]float64, cells)
+	tabs := make([]marginal.Table, len(plan.sub))
+	off := 0
+	maxSub := 0
+	for i, m := range plan.sub {
+		size := 1 << uint(bitops.OnesCount(m))
+		tabs[i] = marginal.Table{Beta: m, Cells: slab[off : off+size]}
+		b.sub[i] = &tabs[i]
+		off += size
+		if size > maxSub {
+			maxSub = size
+		}
+	}
+	b.scratch = make([]float64, maxSub)
+	return b, nil
+}
+
+// build runs the nonlinear stage over the cached linear state and
+// publishes a fresh immutable View. With fast set the input-view
+// protocols reconstruct through the single-transform linear kernel
+// (within ~1e-12 TV of the cold scan); every other stage is arithmetic-
+// identical to the cold Build, so for the remaining protocols the
+// result is bit-identical to Build over the same state.
+func (b *builder) build(state core.Aggregator, fast bool) (*View, error) {
+	start := time.Now()
+	if err := core.AllKWayTablesInto(state, b.arena, fast); err != nil {
+		return nil, fmt.Errorf("view: %w", err)
+	}
+	n := state.N()
+	for i, u := range b.arena.Users {
+		b.weights[i] = float64(u)
+	}
+	if b.opts.ConsistencyRounds >= 0 && len(b.arena.Tables) > 1 && n > 0 {
+		if err := b.plan.cons.Enforce(b.arena.Tables, b.weights, consistency.Options{
+			Rounds: b.opts.ConsistencyRounds,
+		}); err != nil {
+			return nil, fmt.Errorf("view: enforcing consistency: %w", err)
+		}
+	}
+	if !b.opts.RawCells {
+		for _, t := range b.arena.Tables {
+			t.ProjectToSimplex()
+		}
+	}
+	// Materialize the sub-k cube from the post-processed collection —
+	// the same evidence-weighted average, in the same superset and
+	// summation order, as View.averageFromSupersets.
+	for si := range b.plan.sub {
+		out := b.sub[si].Cells
+		for c := range out {
+			out[c] = 0
+		}
+		var weight float64
+		for j, pos := range b.plan.subSupers[si] {
+			w := b.weights[pos]
+			if w == 0 {
+				continue
+			}
+			imp := b.scratch[:len(out)]
+			for c := range imp {
+				imp[c] = 0
+			}
+			idx := b.plan.subIdx[si][j]
+			for c, v := range b.arena.Tables[pos].Cells {
+				imp[idx[c]] += v
+			}
+			for c := range out {
+				// Two statements (see consistency.Plan.Enforce): an FMA
+				// here would break bit-identity with the cold build's
+				// Scale-then-Add.
+				v := imp[c] * w
+				out[c] += v
+			}
+			weight += w
+		}
+		if weight == 0 {
+			u := 1 / float64(len(out))
+			for c := range out {
+				out[c] = u
+			}
+			continue
+		}
+		inv := 1 / weight
+		for c := range out {
+			out[c] *= inv
+		}
+	}
+	return b.publish(n, start), nil
+}
+
+// publish freezes the arena's finished values into a fresh immutable
+// View: one table-header slab, one cell slab, and the shared position
+// map. These are the only per-epoch allocations of an incremental
+// refresh — the arenas themselves never escape, so a reader holding any
+// older epoch is unaffected by later builds.
+func (b *builder) publish(n int, start time.Time) *View {
+	total := len(b.arena.Tables) + len(b.sub)
+	cells := len(b.arena.Tables) << uint(b.cfg.K)
+	for _, t := range b.sub {
+		cells += len(t.Cells)
+	}
+	slab := make([]float64, cells)
+	headers := make([]marginal.Table, total)
+	ptrs := make([]*marginal.Table, total)
+	off := 0
+	for i, t := range b.arena.Tables {
+		dst := slab[off : off+len(t.Cells)]
+		copy(dst, t.Cells)
+		headers[i] = marginal.Table{Beta: t.Beta, Cells: dst}
+		ptrs[i] = &headers[i]
+		off += len(t.Cells)
+	}
+	for i, t := range b.sub {
+		dst := slab[off : off+len(t.Cells)]
+		copy(dst, t.Cells)
+		headers[len(b.arena.Tables)+i] = marginal.Table{Beta: t.Beta, Cells: dst}
+		ptrs[len(b.arena.Tables)+i] = &headers[len(b.arena.Tables)+i]
+		off += len(t.Cells)
+	}
+	v := &View{
+		N:           n,
+		Protocol:    b.p.Name(),
+		Incremental: true,
+		cfg:         b.cfg,
+		kWay:        len(b.arena.Tables),
+		tables:      ptrs,
+		weights:     append([]float64(nil), b.weights...),
+		pos:         b.plan.pos,
+	}
+	v.BuildDuration = time.Since(start)
+	v.BuiltAt = time.Now()
+	return v
+}

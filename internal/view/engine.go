@@ -43,10 +43,29 @@ type Component struct {
 // Composed is optionally implemented by a Source assembled from multiple
 // constituents (e.g. a coordinator's fleet of edge states). Composition
 // must describe exactly the constituents of the most recent Snapshot
-// call; the engine copies it into the published View right after
-// snapshotting, under the same build lock.
+// (or SnapshotDeltaInto) call; the engine copies it into the published
+// View right after snapshotting, under the same build lock.
 type Composed interface {
 	Composition() []Component
+}
+
+// DeltaSource is optionally implemented by sources that support
+// delta-aware refresh: the engine keeps a core.StateArena holding the
+// source's cumulative state and advances it by folding only the
+// components that changed since the previous epoch, instead of cutting
+// a full O(components × state) snapshot per refresh.
+// core.ShardedAggregator and the coordinator's fleet implement it.
+type DeltaSource interface {
+	Source
+	// NewSnapshotArena returns a reusable arena over this source, or nil
+	// when the deployment's protocol cannot back exact delta folds (the
+	// engine then refreshes through plain Snapshot calls).
+	NewSnapshotArena() core.StateArena
+	// SnapshotDeltaInto advances the arena to the source's current
+	// state, folding only changed components, and returns how many were
+	// folded. On a Reset (or fresh) arena it re-derives the cumulative
+	// state from scratch, bit-identical to Snapshot.
+	SnapshotDeltaInto(core.StateArena) (int, error)
 }
 
 // Policy selects when the engine rebuilds the view on its own. The zero
@@ -113,19 +132,72 @@ type Engine struct {
 
 	cur atomic.Pointer[View]
 
-	mu    sync.Mutex // serializes builds and guards epoch
+	mu    sync.Mutex // serializes builds and guards epoch + incremental state
 	epoch int64      // last assigned build number; read the published View's Epoch instead
+
+	// Incremental refresh state, all guarded by mu. deltaSrc and arena
+	// are nil when the source (or its protocol) cannot back delta folds;
+	// the engine then refreshes through plain Snapshot + Build.
+	deltaSrc  DeltaSource
+	arena     core.StateArena
+	bld       *builder
+	sinceFull int // incremental builds since the last full rebuild
+	// arenaDirty marks folded-but-unpublished arena state (a build
+	// failed after its fold), so the zero-delta fast path below cannot
+	// skip the rebuild that would make that state visible.
+	arenaDirty bool
+
+	incBuilds  atomic.Int64
+	fullBuilds atomic.Int64
 
 	stop  chan struct{}
 	close sync.Once
 	done  sync.WaitGroup
 }
 
+// EngineStats counts the engine's builds by kind, for status endpoints.
+type EngineStats struct {
+	// IncrementalBuilds is the number of epochs built by folding deltas
+	// into the cached linear sums.
+	IncrementalBuilds int64
+	// FullBuilds is the number of epochs built by the cold path
+	// (including the initial epoch and every cadence-forced rebuild).
+	FullBuilds int64
+}
+
+// Stats returns the engine's build counters. Lock-free.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		IncrementalBuilds: e.incBuilds.Load(),
+		FullBuilds:        e.fullBuilds.Load(),
+	}
+}
+
+// Incremental reports whether the engine refreshes through delta folds
+// (a delta-capable source whose protocol supports exact unmerging, and
+// a cadence that allows incremental builds).
+func (e *Engine) Incremental() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.arena != nil
+}
+
 // NewEngine builds epoch 1 synchronously (so Current never returns nil)
 // and, if the policy asks for automatic refresh, starts the background
-// refresh loop. Close the engine to stop that loop.
+// refresh loop. Close the engine to stop that loop. When the source
+// supports delta snapshots the engine refreshes incrementally (see
+// Options.FullRebuildEvery); the initial epoch is always a full build.
 func NewEngine(src Source, p core.Protocol, opts EngineOptions) (*Engine, error) {
 	e := &Engine{src: src, p: p, opts: opts, stop: make(chan struct{})}
+	if ds, ok := src.(DeltaSource); ok && opts.Build.FullRebuildEvery != 1 {
+		if arena := ds.NewSnapshotArena(); arena != nil {
+			bld, err := newBuilder(p, opts.Build)
+			if err != nil {
+				return nil, fmt.Errorf("view: preparing incremental builder: %w", err)
+			}
+			e.deltaSrc, e.arena, e.bld = ds, arena, bld
+		}
+	}
 	if _, err := e.Refresh(); err != nil {
 		return nil, fmt.Errorf("view: building initial epoch: %w", err)
 	}
@@ -159,6 +231,14 @@ func (e *Engine) Epoch() int64 {
 // caller could have ingested beforehand, so rebuilding would burn a full
 // reconstruction on an indistinguishable answer. On error the previous
 // view stays published and keeps serving.
+//
+// Over a delta-capable source most refreshes are incremental: the
+// engine folds only the source components that changed since the last
+// epoch into its cached linear sums and re-runs the nonlinear stage
+// (normalization, consistency, projection, sub-cube) over reusable
+// arenas. Every Options.FullRebuildEvery-th build — and always the
+// first — re-derives the sums from scratch and runs the cold Build
+// path, bit-identical to a standalone Build over the same state.
 func (e *Engine) Refresh() (*View, error) {
 	entry := time.Now()
 	e.mu.Lock()
@@ -167,27 +247,104 @@ func (e *Engine) Refresh() (*View, error) {
 		return cur, nil
 	}
 	snapshotAt := time.Now()
-	snap, err := e.src.Snapshot()
-	if err != nil {
-		return nil, fmt.Errorf("view: snapshotting source: %w", err)
-	}
-	// Capture the snapshot's composition before the (long) build: the
-	// source pins it to its last Snapshot call, and builds are serialized
-	// under e.mu, so this is exactly the epoch's makeup.
-	var comp []Component
-	if c, ok := e.src.(Composed); ok {
-		comp = c.Composition()
-	}
-	v, err := Build(snap, e.p, e.opts.Build)
+	v, err := e.buildNext()
 	if err != nil {
 		return nil, err
 	}
+	if v == nil {
+		// Zero-delta fast path: nothing changed since the serving epoch
+		// was built, so the previous view already is the rebuild's
+		// answer. The epoch does not advance.
+		return e.cur.Load(), nil
+	}
 	v.snapshotAt = snapshotAt
-	v.Components = comp
 	e.epoch++
 	v.Epoch = e.epoch
 	e.cur.Store(v)
 	return v, nil
+}
+
+// buildNext runs one build — incremental when the cadence and the
+// source allow it, the cold full path otherwise. Called under e.mu.
+func (e *Engine) buildNext() (*View, error) {
+	every := e.opts.Build.FullRebuildEvery
+	if every == 0 {
+		every = DefaultFullRebuildEvery
+	}
+	incremental := e.arena != nil && e.epoch > 0 &&
+		(every < 0 || e.sinceFull+1 < every)
+
+	var (
+		v       *View
+		folded  int
+		snapDur time.Duration
+	)
+	if incremental {
+		t0 := time.Now()
+		touched, err := e.deltaSrc.SnapshotDeltaInto(e.arena)
+		if err != nil {
+			e.arenaDirty = true
+			return nil, fmt.Errorf("view: folding delta snapshot: %w", err)
+		}
+		snapDur = time.Since(t0)
+		folded = touched
+		if touched == 0 && !e.arenaDirty && e.cur.Load() != nil {
+			// No component moved since the last successful build: the
+			// serving epoch was built from exactly this state.
+			return nil, nil
+		}
+		comp := e.composition()
+		v, err = e.bld.build(e.arena.State(), true)
+		if err != nil {
+			e.arenaDirty = true
+			return nil, err
+		}
+		e.arenaDirty = false
+		v.Components = comp
+		e.sinceFull++
+		e.incBuilds.Add(1)
+	} else {
+		var (
+			snap core.Aggregator
+			err  error
+		)
+		t0 := time.Now()
+		if e.arena != nil {
+			// Re-derive the cached linear sums from scratch; the arena's
+			// cold capture is bit-identical to Snapshot, and later
+			// incremental folds advance from this re-anchored state.
+			e.arena.Reset()
+			if folded, err = e.deltaSrc.SnapshotDeltaInto(e.arena); err != nil {
+				return nil, fmt.Errorf("view: capturing snapshot: %w", err)
+			}
+			snap = e.arena.State()
+		} else if snap, err = e.src.Snapshot(); err != nil {
+			return nil, fmt.Errorf("view: snapshotting source: %w", err)
+		}
+		snapDur = time.Since(t0)
+		// Capture the snapshot's composition before the (long) build: the
+		// source pins it to its last snapshot call, and builds are
+		// serialized under e.mu, so this is exactly the epoch's makeup.
+		comp := e.composition()
+		v, err = Build(snap, e.p, e.opts.Build)
+		if err != nil {
+			return nil, err
+		}
+		v.Components = comp
+		e.arenaDirty = false
+		e.sinceFull = 0
+		e.fullBuilds.Add(1)
+	}
+	v.SnapshotDuration = snapDur
+	v.FoldedComponents = folded
+	return v, nil
+}
+
+func (e *Engine) composition() []Component {
+	if c, ok := e.src.(Composed); ok {
+		return c.Composition()
+	}
+	return nil
 }
 
 // Close stops the automatic refresh loop (if any) and waits for it to

@@ -124,7 +124,10 @@ func TestIntervalPolicyRefreshes(t *testing.T) {
 
 // TestIntervalPolicySustainsCadence pins the refresh period to roughly
 // the configured Interval: the due-check must not slip a whole period
-// (refreshing at 2x Interval) nor rebuild on every wake-up.
+// (refreshing at 2x Interval) nor rebuild on every wake-up. A feeder
+// keeps reports trickling in so every interval has a real delta — an
+// unchanged source no longer publishes epochs (the zero-delta fast
+// path republishes the serving view instead).
 func TestIntervalPolicySustainsCadence(t *testing.T) {
 	p := testProtocol(t)
 	agg := core.NewSharded(p, 0)
@@ -135,7 +138,24 @@ func TestIntervalPolicySustainsCadence(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer eng.Close()
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval / 8)
+		defer ticker.Stop()
+		for seed := uint64(100); ; seed++ {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				feed(t, p, agg, 1, seed)
+			}
+		}
+	}()
 	time.Sleep(15 * interval)
+	close(stop)
+	<-done
 	got := eng.Epoch()
 	elapsed := time.Since(start)
 	// A correctly paced loop publishes ~elapsed/interval epochs. The

@@ -1,0 +1,333 @@
+package view
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ldpmarginals/internal/bitops"
+	"ldpmarginals/internal/core"
+)
+
+// incCfg is the shared shape of the incremental equivalence tests.
+func incCfg() core.Config {
+	return core.Config{D: 6, K: 3, Epsilon: 1.1, OptimizedPRR: true}
+}
+
+func incReports(tb testing.TB, p core.Protocol, n int, seed uint64) []core.Report {
+	tb.Helper()
+	t, ok := tb.(*testing.T)
+	if !ok {
+		tb.Fatal("incReports needs a *testing.T")
+	}
+	return perturb(t, p, n, seed)
+}
+
+// maxViewTV returns the largest per-mask total variation distance
+// between two views across every in-contract marginal.
+func maxViewTV(tb testing.TB, a, b *View, cfg core.Config) float64 {
+	tb.Helper()
+	var worst float64
+	for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K) {
+		ta, err := a.Marginal(beta)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tBb, err := b.Marginal(beta)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tv, err := ta.TVDistance(tBb)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if tv > worst {
+			worst = tv
+		}
+	}
+	return worst
+}
+
+// assertViewsBitIdentical compares every in-contract marginal of two
+// views bit for bit.
+func assertViewsBitIdentical(tb testing.TB, label string, a, b *View, cfg core.Config) {
+	tb.Helper()
+	for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K) {
+		ta, err := a.Marginal(beta)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		tBb, err := b.Marginal(beta)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		for c := range ta.Cells {
+			if math.Float64bits(ta.Cells[c]) != math.Float64bits(tBb.Cells[c]) {
+				tb.Fatalf("%s: marginal %b cell %d: %v vs %v", label, beta, c, ta.Cells[c], tBb.Cells[c])
+			}
+		}
+	}
+}
+
+// TestIncrementalBuildsMatchColdBuild drives an engine through
+// randomized ingest/refresh interleavings for all six protocols with
+// full rebuilds pushed far out, asserting every incremental epoch stays
+// within 1e-9 TV of a cold Build over the same state — and bit-identical
+// for the four protocols whose incremental kernels are exact.
+func TestIncrementalBuildsMatchColdBuild(t *testing.T) {
+	cfg := incCfg()
+	for _, kind := range core.AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := core.New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := core.NewSharded(p, 4)
+			eng, err := NewEngine(sh, p, EngineOptions{
+				Build: Options{FullRebuildEvery: 1 << 20},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			if !eng.Incremental() {
+				t.Fatal("engine is not incremental over a core protocol")
+			}
+			reps := incReports(t, p, 5000, uint64(kind)+77)
+			r := rand.New(rand.NewSource(int64(kind) + 99))
+			exact := kind != core.InpRR && kind != core.InpPS
+			lo := 0
+			incrementals := 0
+			for lo < len(reps) {
+				hi := lo + 1 + r.Intn(700)
+				if hi > len(reps) {
+					hi = len(reps)
+				}
+				if err := sh.ConsumeBatch(reps[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+				lo = hi
+				v, err := eng.Refresh()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Epoch > 1 && !v.Incremental {
+					t.Fatalf("epoch %d was not incremental", v.Epoch)
+				}
+				if v.Epoch > 1 {
+					incrementals++
+				}
+				snap, err := sh.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Build(snap, p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.N != cold.N {
+					t.Fatalf("epoch %d N=%d, cold N=%d", v.Epoch, v.N, cold.N)
+				}
+				if exact {
+					assertViewsBitIdentical(t, kind.String(), v, cold, cfg)
+				} else if tv := maxViewTV(t, v, cold, cfg); tv > 1e-9 {
+					t.Fatalf("%s: incremental epoch %d diverges from cold Build by TV %g", kind, v.Epoch, tv)
+				}
+			}
+			if incrementals == 0 {
+				t.Fatal("no incremental epochs were exercised")
+			}
+			stats := eng.Stats()
+			if stats.IncrementalBuilds != int64(incrementals) || stats.FullBuilds != 1 {
+				t.Fatalf("stats %+v, want %d incremental and 1 full", stats, incrementals)
+			}
+		})
+	}
+}
+
+// TestFullRebuildsBitIdenticalToColdBuild pins the acceptance
+// criterion: with FullRebuildEvery = 1 every refresh runs the cold
+// path, and each published epoch is bit-identical to a standalone
+// Build over the same state, for all six protocols.
+func TestFullRebuildsBitIdenticalToColdBuild(t *testing.T) {
+	cfg := incCfg()
+	for _, kind := range core.AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := core.New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := core.NewSharded(p, 4)
+			eng, err := NewEngine(sh, p, EngineOptions{
+				Build: Options{FullRebuildEvery: 1},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			reps := incReports(t, p, 3000, uint64(kind)+13)
+			for lo := 0; lo < len(reps); lo += 1000 {
+				if err := sh.ConsumeBatch(reps[lo : lo+1000]); err != nil {
+					t.Fatal(err)
+				}
+				v, err := eng.Refresh()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.Incremental {
+					t.Fatalf("epoch %d incremental under FullRebuildEvery=1", v.Epoch)
+				}
+				snap, err := sh.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold, err := Build(snap, p, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertViewsBitIdentical(t, kind.String(), v, cold, cfg)
+			}
+		})
+	}
+}
+
+// TestFullRebuildCadence checks the cadence accounting: with
+// FullRebuildEvery = 4, epochs 1, 5, 9, ... are full and the rest
+// incremental, and a cadence-forced full rebuild re-anchors bit-identity
+// with the cold path for every protocol (including the fast-kernel
+// ones).
+func TestFullRebuildCadence(t *testing.T) {
+	cfg := incCfg()
+	for _, kind := range []core.Kind{core.InpRR, core.MargHT} {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := core.New(kind, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh := core.NewSharded(p, 4)
+			eng, err := NewEngine(sh, p, EngineOptions{Build: Options{FullRebuildEvery: 4}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer eng.Close()
+			reps := incReports(t, p, 6000, uint64(kind)+5)
+			for lo := 0; lo < len(reps); lo += 500 {
+				if err := sh.ConsumeBatch(reps[lo : lo+500]); err != nil {
+					t.Fatal(err)
+				}
+				v, err := eng.Refresh()
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantFull := (v.Epoch-1)%4 == 0
+				if v.Incremental == wantFull {
+					t.Fatalf("epoch %d incremental=%v, want full=%v", v.Epoch, v.Incremental, wantFull)
+				}
+				if wantFull {
+					snap, err := sh.Snapshot()
+					if err != nil {
+						t.Fatal(err)
+					}
+					cold, err := Build(snap, p, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					assertViewsBitIdentical(t, kind.String(), v, cold, cfg)
+				}
+			}
+		})
+	}
+}
+
+// TestZeroDeltaRefreshRepublishes: a refresh with nothing ingested since
+// the serving epoch keeps serving it instead of rebuilding.
+func TestZeroDeltaRefreshRepublishes(t *testing.T) {
+	cfg := incCfg()
+	p, err := core.New(core.InpHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := core.NewSharded(p, 4)
+	eng, err := NewEngine(sh, p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	if err := sh.ConsumeBatch(incReports(t, p, 100, 1)); err != nil {
+		t.Fatal(err)
+	}
+	v2, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Epoch != 2 {
+		t.Fatalf("epoch %d after ingest+refresh, want 2", v2.Epoch)
+	}
+	v3, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v3 != v2 {
+		t.Fatalf("zero-delta refresh rebuilt epoch %d", v3.Epoch)
+	}
+}
+
+// TestIncrementalRefreshStress interleaves concurrent batch ingestion
+// with engine refreshes — the assertions are the race detector plus the
+// final epoch's equivalence with a cold build.
+func TestIncrementalRefreshStress(t *testing.T) {
+	cfg := incCfg()
+	p, err := core.New(core.MargRR, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := core.NewSharded(p, 4)
+	eng, err := NewEngine(sh, p, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	reps := incReports(t, p, 8000, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for lo := w * 2000; lo < (w+1)*2000; lo += 200 {
+				if err := sh.ConsumeBatch(reps[lo : lo+200]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	refDone := make(chan struct{})
+	go func() {
+		defer close(refDone)
+		for i := 0; i < 30; i++ {
+			if _, err := eng.Refresh(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-refDone
+	if t.Failed() {
+		return
+	}
+	v, err := eng.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := sh.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Build(snap, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertViewsBitIdentical(t, "MargRR stress", v, cold, cfg)
+}

@@ -43,7 +43,8 @@ var ErrBadQuery = errors.New("invalid marginal query")
 
 // Options tunes Build's post-processing (the Engine embeds these in its
 // refresh options). The zero value is the production default: 3
-// consistency rounds, simplex projection on.
+// consistency rounds, simplex projection on, a full rebuild every 64
+// builds.
 type Options struct {
 	// ConsistencyRounds is the number of consistency-enforcement sweeps
 	// across the reconstructed tables; 0 selects the default (3),
@@ -52,7 +53,21 @@ type Options struct {
 	// RawCells skips the final simplex projection, leaving the unbiased
 	// (possibly negative) cell estimates in the view.
 	RawCells bool
+	// FullRebuildEvery is the engine's full-rebuild cadence over a
+	// delta-capable source: every FullRebuildEvery-th build re-derives
+	// the cached linear sums from scratch and runs the cold Build path
+	// (pinned bit-identical to a standalone Build over the same state),
+	// bounding any divergence of the incremental fast kernels. 0 selects
+	// the default (64), 1 makes every build a full rebuild (disabling
+	// incremental refresh), negative disables full rebuilds after the
+	// first epoch. Ignored by standalone Build calls and by sources
+	// without delta support.
+	FullRebuildEvery int
 }
+
+// DefaultFullRebuildEvery is the full-rebuild cadence selected by
+// Options.FullRebuildEvery = 0.
+const DefaultFullRebuildEvery = 64
 
 // View is one immutable materialized epoch: every k-way collection table
 // reconstructed from a single snapshot, post-processed, and frozen.
@@ -68,6 +83,19 @@ type View struct {
 	BuiltAt time.Time
 	// BuildDuration is how long the build took.
 	BuildDuration time.Duration
+	// SnapshotDuration is how long cutting (full path) or delta-folding
+	// (incremental path) the source state took, set by the Engine; zero
+	// for standalone Build calls.
+	SnapshotDuration time.Duration
+	// Incremental reports whether this epoch was built by advancing the
+	// engine's cached linear sums with a delta fold rather than a cold
+	// rebuild from a full snapshot.
+	Incremental bool
+	// FoldedComponents is how many source components (shards, and on a
+	// coordinator peers) were folded into this epoch's snapshot: only
+	// the changed ones on an incremental build, every component on an
+	// arena-backed full rebuild, 0 without delta support.
+	FoldedComponents int
 	// Protocol is the deployment's protocol name.
 	Protocol string
 	// Components describes the constituents of the epoch's snapshot when
@@ -93,6 +121,14 @@ type View struct {
 func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 	start := time.Now()
 	cfg := p.Config()
+	// The enforcement structure is a pure function of (d, k); the
+	// memoized plan is bit-identical to a from-scratch Enforce (pinned
+	// in internal/consistency) and saves re-deriving the O(T^2) overlap
+	// structure on every cold build.
+	plan, err := planFor(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("view: %w", err)
+	}
 	kway, err := core.AllKWayTables(snap, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("view: %w", err)
@@ -112,7 +148,7 @@ func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 		v.pos[kt.Beta] = i
 	}
 	if opts.ConsistencyRounds >= 0 && len(v.tables) > 1 && v.N > 0 {
-		if err := consistency.Enforce(v.tables, v.weights, consistency.Options{
+		if err := plan.cons.Enforce(v.tables, v.weights, consistency.Options{
 			Rounds: opts.ConsistencyRounds,
 		}); err != nil {
 			return nil, fmt.Errorf("view: enforcing consistency: %w", err)
