@@ -46,6 +46,19 @@
 // truncated. Without -data-dir the deployment lives in memory only, as
 // before.
 //
+// -window turns the deployment into a continual release: reports land
+// in a ring of time-bucketed sub-aggregators and every estimate covers
+// only the last -window of wall time. The live bucket seals every
+// -bucket (which must divide -window evenly); sealed state expires one
+// bucket at a time with a single unmerge fold, and with -data-dir the
+// WAL rotates a segment per bucket so expired buckets also prune their
+// disk footprint once a snapshot covers them. -round-eps additionally
+// caps each client's composed privacy loss per window: every report
+// spends the deployment epsilon against the client's X-LDP-Token, and
+// over-budget reports are rejected with 429 until the window slides.
+// Analysts can pin the expected span with window= on /marginal and
+// /query and read the ring's shape from GET /status and /view/status.
+//
 // -role selects the node's place in a cluster: "single" (default) runs
 // the whole pipeline in one process; "edge" ingests and WAL-logs
 // reports and exports its canonical aggregator state on GET /state;
@@ -105,6 +118,10 @@ func main() {
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
 		fsyncEvery = flag.Duration("fsync-interval", 100*time.Millisecond, "fsync timer period for -fsync interval")
 		snapEveryN = flag.Int("snapshot-every-n", 1_000_000, "compact the WAL into a counter snapshot after this many reports (0 = only on shutdown)")
+
+		windowSpan = flag.Duration("window", 0, "serve a sliding window of this span instead of the cumulative release (requires -bucket; single and edge roles)")
+		bucketSpan = flag.Duration("bucket", 0, "window rotation granularity; must divide -window evenly")
+		roundEps   = flag.Float64("round-eps", 0, "per-client epsilon budget per window (0 = no budget; requires -window; clients identify via the X-LDP-Token header)")
 
 		role         = flag.String("role", "single", "node role: single, edge, or coordinator")
 		nodeID       = flag.String("node-id", "", "cluster node id (empty = random); must be unique across the fleet")
@@ -179,11 +196,21 @@ func main() {
 		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
 		View:          view.Options{FullRebuildEvery: *fullEvery},
 		Store:         st,
+		Window:        *windowSpan,
+		Bucket:        *bucketSpan,
+		RoundEps:      *roundEps,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	if *windowSpan > 0 {
+		budget := "no per-round budget"
+		if *roundEps > 0 {
+			budget = fmt.Sprintf("round budget %.3g eps per client", *roundEps)
+		}
+		log.Printf("continual release: %v window in %v buckets, %s", *windowSpan, *bucketSpan, budget)
+	}
 	if nodeRole == server.RoleCoordinator {
 		extra := ""
 		if clusterDir != "" {

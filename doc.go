@@ -107,6 +107,45 @@
 // cmd/ldpserver exposes this as -data-dir, -fsync, and
 // -snapshot-every-n.
 //
+// # Continual release
+//
+// The cumulative model answers "marginals since the collection
+// started"; a deployment started with -window W -bucket B answers
+// "marginals over the last W of wall time" instead (internal/window).
+// Incoming reports land in a live bucket — still a sharded aggregator,
+// so ingestion keeps its lock-free fan-out — and every B the live
+// bucket is sealed: snapshotted once, merged into the window's
+// cumulative state, and frozen. When a sealed bucket slides out of the
+// window it is expired by a single Unmerge of that same frozen state,
+// the exact integer inverse of its seal-time Merge, so retiring a
+// bucket costs one O(state) fold rather than an O(window) rebuild —
+// at d=16 the fold publishes a fresh InpPS epoch ~50x faster than
+// re-merging the window (BENCH_window.json). Because the counters are
+// integers under a canonical codec, a window that still covers every
+// bucket is bit-identical to a cumulative deployment fed the same
+// reports, and the incremental view engine rides the same folds:
+// newly sealed buckets merge into its arena, expired buckets unmerge,
+// and the live bucket refolds only when its version moved.
+//
+// The WAL rotates at every bucket seal, so log segments line up with
+// bucket boundaries and expiry doubles as retention: when buckets
+// expire the store re-snapshots the shrunken window and prunes the
+// expired buckets' segments whole. A crash mid-window recovers
+// whatever the log retained and seeds it as one sealed bucket kept for
+// a full window — the conservative choice, since the recovered
+// reports' true arrival times are gone. Queries may pin the horizon
+// they assume: /marginal?window=W and /query?window=W are answered iff
+// W equals the deployment's configured span (400 otherwise), so an
+// analyst never silently reads a cumulative answer where a windowed
+// one was intended. -round-eps E adds a per-round privacy ledger on
+// top: each reporting round (one window span) grants every report
+// token E of budget, spends Epsilon per accepted report, rejects
+// over-budget submissions with 429 and a Retry-After hinting at the
+// next bucket rotation, and forgets spend as it slides out of the
+// window. /status and
+// /view/status describe the window shape (bucket counts, rotations,
+// expiries, budget spend) under "window".
+//
 // # Cluster topology
 //
 // Real LDP fleets ingest at the edge and aggregate centrally, and the

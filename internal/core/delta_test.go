@@ -236,6 +236,75 @@ func TestUnmergeInvertsMerge(t *testing.T) {
 	}
 }
 
+// TestUnmergeRejectsNeverMerged pins the underflow guard on every
+// protocol: unmerging state that was never merged into the receiver is
+// an error (not a silent wrap to negative counters) and leaves the
+// receiver bit-identical to before the call.
+func TestUnmergeRejectsNeverMerged(t *testing.T) {
+	for _, kind := range AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := New(kind, deltaTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The foreign state concentrates one report's contribution 399
+			// times on a single counter, so no 400-report receiver built
+			// from spread-out reports can contain it: the guard must fire
+			// on a counter even though n alone would pass.
+			one := deltaReports(t, p, 1, 51)
+			repeated := make([]Report, 399)
+			for i := range repeated {
+				repeated[i] = one[0]
+			}
+			foreign := p.NewAggregator()
+			if err := foreign.ConsumeBatch(repeated); err != nil {
+				t.Fatal(err)
+			}
+			// An empty receiver cannot contain any contribution.
+			empty := p.NewAggregator()
+			emptyBefore, err := empty.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := UnmergeAggregators(empty, foreign); err == nil {
+				t.Fatal("unmerging from an empty aggregator succeeded")
+			}
+			if got, _ := empty.MarshalState(); !bytes.Equal(got, emptyBefore) {
+				t.Fatal("failed unmerge mutated the empty receiver")
+			}
+			// A populated receiver holding different reports: the foreign
+			// counters exceed the receiver's somewhere (fixed seeds make
+			// this deterministic), so the guard must fire before any
+			// counter is touched.
+			base := p.NewAggregator()
+			if err := base.ConsumeBatch(deltaReports(t, p, 400, 52)); err != nil {
+				t.Fatal(err)
+			}
+			before, err := base.MarshalState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := UnmergeAggregators(base, foreign); err == nil {
+				t.Fatalf("%s: unmerging never-merged state succeeded", kind)
+			}
+			if got, _ := base.MarshalState(); !bytes.Equal(got, before) {
+				t.Fatalf("%s: failed unmerge mutated the receiver", kind)
+			}
+			// The receiver is still fully functional: the legitimate
+			// merge+unmerge round trip remains the exact identity.
+			if err := base.Merge(foreign); err != nil {
+				t.Fatal(err)
+			}
+			if err := UnmergeAggregators(base, foreign); err != nil {
+				t.Fatalf("%s: legitimate unmerge after rejection: %v", kind, err)
+			}
+			if got, _ := base.MarshalState(); !bytes.Equal(got, before) {
+				t.Fatalf("%s: merge+unmerge after rejection is not the identity", kind)
+			}
+		})
+	}
+}
+
 // TestSnapshotDeltaRaceClean hammers concurrent batch writers against a
 // folding reader; the assertions are in the race detector plus a final
 // exactness check once the writers quiesce.

@@ -136,6 +136,21 @@ func (a *inpHTAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from InpHT aggregator", other)
 	}
+	// Validate before mutating: every report contributes one ±1 sum
+	// with one +1 count, so any legitimate remainder keeps counts
+	// non-negative and |sum| <= count per coefficient. Unmerging state
+	// that was never merged here breaks that invariant; reject it and
+	// leave the receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging InpHT state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i := range a.sums {
+		c := a.counts[i] - o.counts[i]
+		s := a.sums[i] - o.sums[i]
+		if c < 0 || s > c || -s > c {
+			return fmt.Errorf("core: unmerging InpHT state never merged here: coefficient %d would be left with count %d, sum %d", i, c, s)
+		}
+	}
 	for i := range a.sums {
 		a.sums[i] -= o.sums[i]
 		a.counts[i] -= o.counts[i]

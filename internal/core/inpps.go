@@ -106,6 +106,17 @@ func (a *inpPSAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from InpPS aggregator", other)
 	}
+	// Validate before mutating: unmerging state that was never merged
+	// would wrap the unsigned counters; reject it and leave the
+	// receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging InpPS state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i, c := range o.counts {
+		if c > a.counts[i] {
+			return fmt.Errorf("core: unmerging InpPS state never merged here: cell %d would underflow (%d > %d)", i, c, a.counts[i])
+		}
+	}
 	for i, c := range o.counts {
 		a.counts[i] -= c
 	}

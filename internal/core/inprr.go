@@ -114,6 +114,17 @@ func (a *inpRRAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from InpRR aggregator", other)
 	}
+	// Validate before mutating: unmerging state that was never merged
+	// would wrap the unsigned counters; reject it and leave the
+	// receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging InpRR state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i, c := range o.ones {
+		if c > a.ones[i] {
+			return fmt.Errorf("core: unmerging InpRR state never merged here: bit %d would underflow (%d > %d)", i, c, a.ones[i])
+		}
+	}
 	for i, c := range o.ones {
 		a.ones[i] -= c
 	}

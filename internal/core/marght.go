@@ -140,6 +140,26 @@ func (a *margHTAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from MargHT aggregator", other)
 	}
+	// Validate before mutating: every report contributes one ±1 sum
+	// with one +1 count per sampled marginal, so a legitimate
+	// remainder keeps counts non-negative and |sum| <= count per
+	// cell. Unmerging state that was never merged here breaks that
+	// invariant; reject it and leave the receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging MargHT state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i := range a.sums {
+		if o.users[i] > a.users[i] {
+			return fmt.Errorf("core: unmerging MargHT state never merged here: marginal %d would be left with %d users", i, a.users[i]-o.users[i])
+		}
+		for c := range a.sums[i] {
+			cnt := a.counts[i][c] - o.counts[i][c]
+			s := a.sums[i][c] - o.sums[i][c]
+			if cnt < 0 || s > cnt || -s > cnt {
+				return fmt.Errorf("core: unmerging MargHT state never merged here: marginal %d cell %d would be left with count %d, sum %d", i, c, cnt, s)
+			}
+		}
+	}
 	for i := range a.sums {
 		for c := range a.sums[i] {
 			a.sums[i][c] -= o.sums[i][c]

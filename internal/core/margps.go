@@ -118,6 +118,22 @@ func (a *margPSAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from MargPS aggregator", other)
 	}
+	// Validate before mutating: unmerging state that was never merged
+	// would wrap the unsigned counters; reject it and leave the
+	// receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging MargPS state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i := range a.counts {
+		if o.users[i] > a.users[i] {
+			return fmt.Errorf("core: unmerging MargPS state never merged here: marginal %d would be left with %d users", i, a.users[i]-o.users[i])
+		}
+		for c := range a.counts[i] {
+			if o.counts[i][c] > a.counts[i][c] {
+				return fmt.Errorf("core: unmerging MargPS state never merged here: marginal %d cell %d would underflow", i, c)
+			}
+		}
+	}
 	for i := range a.counts {
 		for c := range a.counts[i] {
 			a.counts[i][c] -= o.counts[i][c]

@@ -130,6 +130,22 @@ func (a *margRRAgg) Unmerge(other Aggregator) error {
 	if !ok {
 		return fmt.Errorf("core: unmerging %T from MargRR aggregator", other)
 	}
+	// Validate before mutating: unmerging state that was never merged
+	// would wrap the unsigned counters; reject it and leave the
+	// receiver unchanged.
+	if o.n > a.n {
+		return fmt.Errorf("core: unmerging MargRR state with n=%d from aggregator holding n=%d", o.n, a.n)
+	}
+	for i := range a.ones {
+		if o.users[i] > a.users[i] {
+			return fmt.Errorf("core: unmerging MargRR state never merged here: marginal %d would be left with %d users", i, a.users[i]-o.users[i])
+		}
+		for c := range a.ones[i] {
+			if o.ones[i][c] > a.ones[i][c] {
+				return fmt.Errorf("core: unmerging MargRR state never merged here: marginal %d cell %d would underflow", i, c)
+			}
+		}
+	}
 	for i := range a.ones {
 		for c := range a.ones[i] {
 			a.ones[i][c] -= o.ones[i][c]

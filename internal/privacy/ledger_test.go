@@ -1,0 +1,98 @@
+package privacy
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLedgerChargeUntilSpent(t *testing.T) {
+	l, err := NewLedger(3.0, 1.0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.Charge("alice", 1); err != nil {
+			t.Fatalf("report %d within budget rejected: %v", i, err)
+		}
+	}
+	if err := l.Charge("alice", 1); !errors.Is(err, ErrBudgetSpent) {
+		t.Fatalf("over-budget charge: %v, want ErrBudgetSpent", err)
+	}
+	// Another token has its own budget.
+	if err := l.Charge("bob", 3); err != nil {
+		t.Fatalf("fresh token rejected: %v", err)
+	}
+	st := l.Stats()
+	if st.Tokens != 2 || st.Rejected != 1 {
+		t.Fatalf("stats = %+v, want 2 tokens and 1 rejection", st)
+	}
+}
+
+func TestLedgerChargeIsAllOrNothing(t *testing.T) {
+	l, err := NewLedger(3.0, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("alice", 4); !errors.Is(err, ErrBudgetSpent) {
+		t.Fatalf("oversized batch: %v", err)
+	}
+	// The rejected batch must not have recorded partial spend.
+	if err := l.Charge("alice", 3); err != nil {
+		t.Fatalf("full budget unavailable after rejected batch: %v", err)
+	}
+}
+
+func TestLedgerRotateRecoversBudget(t *testing.T) {
+	l, err := NewLedger(2.0, 1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Charge("alice", 2); err != nil {
+		t.Fatal(err)
+	}
+	// Spend stays inside the window across rotations short of it.
+	l.Rotate(1)
+	l.Rotate(1)
+	if err := l.Charge("alice", 1); !errors.Is(err, ErrBudgetSpent) {
+		t.Fatalf("spend forgot early: %v", err)
+	}
+	// The third rotation slides the spend out of the window.
+	l.Rotate(1)
+	if err := l.Charge("alice", 2); err != nil {
+		t.Fatalf("budget not recovered after window slid past the spend: %v", err)
+	}
+	// Overshoot rotation clears everything at once.
+	l.Rotate(100)
+	if err := l.Charge("alice", 2); err != nil {
+		t.Fatalf("budget not recovered after overshoot rotation: %v", err)
+	}
+}
+
+func TestLedgerExactBudgetNoFloatTrip(t *testing.T) {
+	// budget = 4 reports at eps=1.1: the sum 4*1.1 must not trip on
+	// float accumulation.
+	l, err := NewLedger(4.4, 1.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := l.Charge("alice", 1); err != nil {
+			t.Fatalf("exact-budget report %d rejected: %v", i, err)
+		}
+	}
+	if err := l.Charge("alice", 1); !errors.Is(err, ErrBudgetSpent) {
+		t.Fatalf("fifth report: %v", err)
+	}
+}
+
+func TestLedgerRejectsMisconfiguration(t *testing.T) {
+	if _, err := NewLedger(0.5, 1.0, 2); err == nil {
+		t.Fatal("budget below one report's epsilon accepted")
+	}
+	if _, err := NewLedger(2.0, 0, 2); err == nil {
+		t.Fatal("zero per-report epsilon accepted")
+	}
+	if _, err := NewLedger(2.0, 1.0, 0); err == nil {
+		t.Fatal("zero buckets accepted")
+	}
+}

@@ -383,10 +383,11 @@ func (f *fleet) persist() {
 // puller drives the periodic state pulls of a coordinator with per-peer
 // exponential backoff.
 type puller struct {
-	f        *fleet
-	client   *http.Client
-	interval time.Duration
-	maxState int64
+	f         *fleet
+	client    *http.Client
+	transport *http.Transport // dedicated; idle conns dropped on Close
+	interval  time.Duration
+	maxState  int64
 
 	stop  chan struct{}
 	close sync.Once
@@ -404,12 +405,24 @@ type puller struct {
 const maxBackoffShift = 5
 
 func newPuller(f *fleet, interval, timeout time.Duration, maxState int64) *puller {
+	// A dedicated transport, not http.DefaultTransport: the puller's
+	// keep-alive connections to its peers must die with the puller.
+	// Shared-transport idle connections (two goroutines each) outlive
+	// Server.Close by the transport's idle timeout — a connection (and
+	// goroutine) leak for every coordinator opened and closed in one
+	// process, and for rolling peer replacement in a long-lived one.
+	transport := &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConnsPerHost: 2,
+		IdleConnTimeout:     90 * time.Second,
+	}
 	return &puller{
-		f:        f,
-		client:   &http.Client{Timeout: timeout},
-		interval: interval,
-		maxState: maxState,
-		stop:     make(chan struct{}),
+		f:         f,
+		client:    &http.Client{Timeout: timeout, Transport: transport},
+		transport: transport,
+		interval:  interval,
+		maxState:  maxState,
+		stop:      make(chan struct{}),
 	}
 }
 
@@ -421,6 +434,10 @@ func (pl *puller) start() {
 func (pl *puller) Close() {
 	pl.close.Do(func() { close(pl.stop) })
 	pl.done.Wait()
+	// With the loop joined no new pulls can start; drop the keep-alive
+	// connections so their read loops exit now rather than at the idle
+	// timeout.
+	pl.transport.CloseIdleConnections()
 }
 
 // loop wakes at a fraction of the pull interval and pulls every due
@@ -611,7 +628,16 @@ func (f *fleet) status() (peers []PeerStatus, saveErr string) {
 			LastError:           pe.lastErr,
 		}
 		if !pe.pulledAt.IsZero() {
-			ps.LastPullAgeSeconds = time.Since(pe.pulledAt).Seconds()
+			// Clamp at zero: a pulledAt stamp whose monotonic reading was
+			// stripped (marshaled status, or a Round(0) anywhere upstream)
+			// falls back to wall-clock arithmetic, and a wall clock
+			// stepped backwards would otherwise report a negative age —
+			// indistinguishable from the "never pulled" -1 sentinel.
+			if age := time.Since(pe.pulledAt).Seconds(); age > 0 {
+				ps.LastPullAgeSeconds = age
+			} else {
+				ps.LastPullAgeSeconds = 0
+			}
 		}
 		peers = append(peers, ps)
 	}

@@ -147,6 +147,159 @@ func TestCrashRecoveryE2E(t *testing.T) {
 	}
 }
 
+// TestWindowedCrashRecoveryE2E is the continual-release durability
+// proof: a windowed deployment whose WAL is spread across bucket-
+// rotated segments is SIGKILLed mid-ingest and restarted from the same
+// -data-dir. Every acked report must be recovered into the window
+// (seeded as a sealed bucket, retained a full window), the deployment
+// must report its windowed shape, and a windowed marginal must be
+// servable over the recovered state.
+func TestWindowedCrashRecoveryE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ldpserver")
+	build := exec.Command("go", "build", "-o", bin, "ldpmarginals/cmd/ldpserver")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ldpserver: %v\n%s", err, out)
+	}
+
+	dataDir := t.TempDir()
+	addr := freeAddr(t)
+	start := func() *exec.Cmd {
+		cmd := exec.Command(bin,
+			"-addr", addr,
+			"-protocol", "InpHT", "-d", "8", "-k", "2", "-eps", "1.1",
+			"-data-dir", dataDir, "-fsync", "always",
+			"-window", "30s", "-bucket", "500ms",
+			"-refresh-interval", "0", "-refresh-every-n", "0",
+		)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting ldpserver: %v", err)
+		}
+		waitHealthy(t, addr)
+		return cmd
+	}
+	srv := start()
+	defer func() { _ = srv.Process.Kill() }()
+
+	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 1.1, OptimizedPRR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(101)
+	makeBatch := func(n int) []byte {
+		reps := make([]core.Report, n)
+		for i := range reps {
+			rep, err := client.Perturb(uint64(i%256), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		body, err := encoding.MarshalBatch(p.Name(), reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	var acked atomic.Int64
+	post := func(body []byte) bool {
+		resp, err := http.Post("http://"+addr+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		var br BatchResponse
+		if err := json.NewDecoder(resp.Body).Decode(&br); err != nil || resp.StatusCode != http.StatusOK {
+			return false
+		}
+		acked.Add(int64(br.Accepted))
+		return true
+	}
+
+	// Phase 1: ingest across several bucket boundaries so the WAL
+	// rotates into multiple bucket-aligned segments before the kill.
+	for i := 0; i < 4; i++ {
+		if !post(makeBatch(500)) {
+			t.Fatal("pre-kill batch not acked")
+		}
+		time.Sleep(600 * time.Millisecond) // crosses a 500ms bucket boundary
+	}
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mid StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&mid); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if mid.Window == nil || mid.Window.Rotations == 0 {
+		t.Fatalf("window block before kill = %+v, want rotations", mid.Window)
+	}
+	if mid.Durability == nil || mid.Durability.WALSegments < 2 {
+		t.Fatalf("durability before kill = %+v, want bucket-rotated segments", mid.Durability)
+	}
+
+	// Phase 2: SIGKILL mid-ingest; only acked batches count.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if !post(makeBatch(100)) {
+				return
+			}
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := srv.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	_ = srv.Wait()
+	mustAcked := acked.Load()
+
+	// Phase 3: restart; the recovered state seeds the window as a sealed
+	// bucket and every acked report is inside it.
+	srv2 := start()
+	defer func() {
+		_ = srv2.Process.Kill()
+		_, _ = srv2.Process.Wait()
+	}()
+	resp, err = http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr StatusResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if int64(sr.N) < mustAcked {
+		t.Fatalf("recovered %d reports in the window, but %d were acked before the kill", sr.N, mustAcked)
+	}
+	if sr.Durability == nil || sr.Durability.RecoveredReports != sr.N {
+		t.Fatalf("durability status = %+v (n=%d)", sr.Durability, sr.N)
+	}
+	if sr.Window == nil || sr.Window.SealedReports < int(mustAcked) {
+		t.Fatalf("window status = %+v, want the recovered reports sealed into the window", sr.Window)
+	}
+	mresp, err := http.Get("http://" + addr + "/marginal?beta=3&window=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr MarginalResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("windowed marginal after recovery: status %d err %v", mresp.StatusCode, err)
+	}
+	if len(mr.Cells) != 4 || mr.N != sr.N {
+		t.Fatalf("marginal response = %+v", mr)
+	}
+}
+
 func freeAddr(t *testing.T) string {
 	t.Helper()
 	l, err := net.Listen("tcp", "127.0.0.1:0")

@@ -108,11 +108,17 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/privacy"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
+	"ldpmarginals/internal/window"
 	"ldpmarginals/internal/wire"
 )
+
+// budgetTokenHeader carries the stable client token a windowed
+// deployment with a per-round budget charges reports against.
+const budgetTokenHeader = "X-LDP-Token"
 
 // maxReportBytes bounds a single report upload, matching the largest
 // frame the batch format accepts.
@@ -202,13 +208,40 @@ type Options struct {
 	// Server.Close closes it. Rejected for RoleCoordinator, which does
 	// not ingest.
 	Store *store.Store
+
+	// Window, with Bucket, turns the deployment into a continual
+	// release: reports land in a time-bucketed ring (internal/window)
+	// and estimates cover the last Window of wall time instead of the
+	// whole collection. Window must be a positive multiple of Bucket.
+	// Rejected for RoleCoordinator — buckets are sealed edge-side and a
+	// coordinator composes its peers' windowed /state exports unchanged.
+	Window time.Duration
+	// Bucket is the window's rotation granularity: the live bucket
+	// seals (and, with a Store, the WAL segment rotates) every Bucket,
+	// and state expires one Bucket at a time.
+	Bucket time.Duration
+	// RoundEps, when positive, enforces a per-client epsilon budget per
+	// window: each accepted report spends the deployment's epsilon
+	// against the token in its X-LDP-Token header, and reports from
+	// tokens whose window spend would exceed RoundEps are rejected with
+	// 429. Requires Window.
+	RoundEps float64
 }
 
-// ingestPipeline is the write side of a deployment: the sharded
-// aggregator, the optional durable store wired in front of it, and the
-// bounded batch worker pool. Roles that ingest (single, edge) run one.
+// ingestTarget is the write destination of the ingest pipeline: the
+// sharded aggregator directly for a cumulative deployment, the window
+// ring (whose live bucket is a sharded aggregator) for a windowed one.
+type ingestTarget interface {
+	Consume(core.Report) error
+	ConsumeBatch([]core.Report) error
+	N() int
+}
+
+// ingestPipeline is the write side of a deployment: the ingest target,
+// the optional durable store wired in front of it, and the bounded
+// batch worker pool. Roles that ingest (single, edge) run one.
 type ingestPipeline struct {
-	agg       *core.ShardedAggregator
+	sink      ingestTarget
 	st        *store.Store  // nil for a memory-only deployment
 	recovered int           // reports restored from the store at startup
 	slots     chan struct{} // bounded worker-pool slots for batch chunks
@@ -216,35 +249,37 @@ type ingestPipeline struct {
 	maxBatch  int64
 }
 
-// newIngestPipeline wires the store (seeding recovered state,
-// registering the snapshot source) and sizes the worker pools.
-func newIngestPipeline(agg *core.ShardedAggregator, opts Options) (*ingestPipeline, error) {
+// newIngestPipeline wires the store (seeding recovered state through
+// seed, registering src as the snapshot source) and sizes the worker
+// pools. shards is the resolved aggregation width the worker defaults
+// scale with.
+func newIngestPipeline(sink ingestTarget, seed func(core.Aggregator) error, src func() (core.Aggregator, error), shards int, opts Options) (*ingestPipeline, error) {
 	recovered := 0
 	if opts.Store != nil {
 		rec, _ := opts.Store.Recovered()
 		if rec != nil && rec.N() > 0 {
 			// Seed the live pipeline before the engine builds its first
 			// epoch, so recovered reports are served immediately.
-			if err := agg.Merge(rec); err != nil {
+			if err := seed(rec); err != nil {
 				return nil, fmt.Errorf("server: seeding recovered state: %w", err)
 			}
 			recovered = rec.N()
 		}
-		// The recovered state now lives in the sharded aggregator; let
-		// the store drop its copy.
+		// The recovered state now lives in the live pipeline; let the
+		// store drop its copy.
 		opts.Store.ReleaseRecovered()
-		opts.Store.SetSource(agg.Snapshot)
+		opts.Store.SetSource(src)
 	}
 	workers := opts.IngestWorkers
 	if workers <= 0 {
-		workers = agg.Shards()
+		workers = shards
 	}
 	maxBatch := opts.MaxBatchBytes
 	if maxBatch <= 0 {
 		maxBatch = defaultMaxBatchBytes
 	}
 	return &ingestPipeline{
-		agg:       agg,
+		sink:      sink,
 		st:        opts.Store,
 		recovered: recovered,
 		slots:     make(chan struct{}, workers),
@@ -271,7 +306,10 @@ type Server struct {
 	role     Role
 	nodeID   string
 
-	agg *core.ShardedAggregator // local aggregation state (all roles)
+	agg    *core.ShardedAggregator // local aggregation state (all roles)
+	win    *window.Ring            // windowed deployments only
+	ledger *privacy.Ledger         // windowed deployments with a RoundEps budget
+	rotor  *rotator                // drives bucket seal/expiry for windowed deployments
 
 	// verSalt offsets the exported state version with a per-process
 	// random value. The in-memory mutation counters restart at zero with
@@ -337,12 +375,40 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		return fail(fmt.Errorf("server: generating version salt: %w", err))
 	}
 	s.verSalt = binary.LittleEndian.Uint64(salt[:])
+	if opts.Window > 0 {
+		win, err := window.NewRing(p, window.Options{
+			Window: opts.Window,
+			Bucket: opts.Bucket,
+			Shards: s.agg.Shards(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		s.win = win
+		if opts.RoundEps > 0 {
+			ledger, err := privacy.NewLedger(opts.RoundEps, p.Config().Epsilon, int(opts.Window/opts.Bucket))
+			if err != nil {
+				return fail(err)
+			}
+			s.ledger = ledger
+		}
+	}
 	if s.role.ingests() {
-		if s.ingest, err = newIngestPipeline(s.agg, opts); err != nil {
+		// The windowed ring replaces the bare sharded aggregator as the
+		// ingest target, recovery seed, and snapshot source; the
+		// cumulative path is unchanged.
+		sink, seed, src := ingestTarget(s.agg), s.agg.Merge, s.agg.Snapshot
+		if s.win != nil {
+			sink, seed, src = s.win, s.win.SeedRecovered, s.win.Snapshot
+		}
+		if s.ingest, err = newIngestPipeline(sink, seed, src, s.agg.Shards(), opts); err != nil {
 			return fail(err)
 		}
 	}
 	var src view.Source = s.agg
+	if s.win != nil {
+		src = s.win
+	}
 	if s.role == RoleCoordinator {
 		if s.fleet, err = newFleet(s.agg, p, opts.Peers, opts.ClusterDir, nodeID); err != nil {
 			return fail(err)
@@ -378,6 +444,13 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		// engine never races fleet mutations during construction.
 		s.puller.start()
 	}
+	if s.win != nil {
+		// Rotation starts after the store's recovered state is seeded and
+		// the initial epoch is built, so the first Advance never races
+		// construction.
+		s.rotor = newRotator(s)
+		s.rotor.start()
+	}
 	return s, nil
 }
 
@@ -385,7 +458,16 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 // boundaries, so a misconfigured node fails at startup instead of
 // silently dropping a pipeline stage.
 func validateRoleOptions(opts Options) error {
+	if (opts.Window > 0) != (opts.Bucket > 0) {
+		return errors.New("server: Window and Bucket must be set together (a window needs a rotation granularity)")
+	}
+	if opts.RoundEps > 0 && opts.Window <= 0 {
+		return errors.New("server: RoundEps budgets reports per window round; set Window and Bucket")
+	}
 	if opts.Role == RoleCoordinator {
+		if opts.Window > 0 {
+			return errors.New("server: role coordinator does not ingest and takes no window; buckets are sealed edge-side and compose through the /state pulls unchanged")
+		}
 		if len(opts.Peers) == 0 {
 			return errors.New("server: role coordinator requires at least one peer URL")
 		}
@@ -419,6 +501,11 @@ func randomNodeID() (string, error) {
 // peer states instead). The server's handlers remain usable (serving
 // the last published epoch, rejecting ingestion); Close is idempotent.
 func (s *Server) Close() error {
+	if s.rotor != nil {
+		// Stop rotations before the store goes away: an Advance mid-close
+		// would try to rotate a closed WAL.
+		s.rotor.Close()
+	}
 	if s.puller != nil {
 		s.puller.Close()
 	}
@@ -465,8 +552,15 @@ func (s *Server) N() int {
 	if s.fleet != nil {
 		return s.fleet.N()
 	}
+	if s.win != nil {
+		return s.win.N()
+	}
 	return s.agg.N()
 }
+
+// Window returns the sliding-window ring of a windowed deployment, or
+// nil for a cumulative one.
+func (s *Server) Window() *window.Ring { return s.win }
 
 // Shards returns the number of aggregation shards of the deployment.
 func (s *Server) Shards() int { return s.agg.Shards() }
@@ -543,6 +637,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
+	if !s.chargeBudget(w, r, 1) {
+		return
+	}
 	in := s.ingest
 	var rejected error
 	var err2 error
@@ -551,13 +648,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// before the ack below; a single report logs as a one-frame batch.
 		batch := encoding.AppendFrame(nil, frame)
 		err2 = in.st.Ingest(batch, func() (int, int, error) {
-			if err := in.agg.Consume(rep); err != nil {
+			if err := in.sink.Consume(rep); err != nil {
 				rejected = err
 				return 0, 0, err
 			}
 			return 1, len(batch), nil
 		})
-	} else if err := in.agg.Consume(rep); err != nil {
+	} else if err := in.sink.Consume(rep); err != nil {
 		rejected = err
 	}
 	if rejected != nil {
@@ -589,7 +686,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 func (in *ingestPipeline) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
 	chunk := reps[lo:hi]
 	if in.st == nil {
-		err := in.agg.ConsumeBatch(chunk)
+		err := in.sink.ConsumeBatch(chunk)
 		if err == nil {
 			return len(chunk), nil
 		}
@@ -602,7 +699,7 @@ func (in *ingestPipeline) ingestChunk(reps []core.Report, body []byte, ends []in
 	start := startOf(ends, lo)
 	applied := 0
 	err := in.st.Ingest(body[start:ends[hi-1]], func() (int, int, error) {
-		err := in.agg.ConsumeBatch(chunk)
+		err := in.sink.ConsumeBatch(chunk)
 		if err == nil {
 			applied = len(chunk)
 			return applied, ends[hi-1] - start, nil
@@ -722,6 +819,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("batch for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
+	if s.ledger != nil {
+		// The whole batch is charged atomically before any chunk is
+		// dispatched: a batch the budget cannot cover is rejected in
+		// full, never partially ingested.
+		token := r.Header.Get(budgetTokenHeader)
+		if token == "" {
+			http.Error(w, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
+			return
+		}
+		if err := s.ledger.Charge(token, len(reps)); err != nil {
+			s.setRetryAfter(w)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(BatchResponse{Error: err.Error()})
+			return
+		}
+	}
 
 	// Fan the decoded reports out in chunks through the bounded pool;
 	// each chunk takes one shard lock. The handler blocks until its
@@ -812,6 +926,59 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, BatchResponse{Accepted: int(accepted.Load())})
 }
 
+// chargeBudget spends count reports against the caller's windowed
+// privacy budget when one is configured: 400 without a token header,
+// 429 when the token's window budget cannot cover the spend. Returns
+// true when ingestion may proceed (including on deployments without a
+// budget).
+func (s *Server) chargeBudget(w http.ResponseWriter, r *http.Request, count int) bool {
+	if s.ledger == nil {
+		return true
+	}
+	token := r.Header.Get(budgetTokenHeader)
+	if token == "" {
+		http.Error(w, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
+		return false
+	}
+	if err := s.ledger.Charge(token, count); err != nil {
+		s.setRetryAfter(w)
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return false
+	}
+	return true
+}
+
+// setRetryAfter hints a budget-rejected client at the next bucket
+// rotation, when the oldest recorded spend can slide out of the window.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(s.win.Bucket().Seconds())+1))
+}
+
+// checkWindowParam validates an optional window= query parameter on the
+// read endpoints: an analyst can pin the window span an answer must
+// cover, and gets a 400 instead of a silently mismatched estimate when
+// the deployment serves a different span (or a cumulative release).
+func (s *Server) checkWindowParam(w http.ResponseWriter, r *http.Request) bool {
+	raw := r.URL.Query().Get("window")
+	if raw == "" {
+		return true
+	}
+	want, err := time.ParseDuration(raw)
+	if err != nil {
+		http.Error(w, "window must be a duration like 10m: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if s.win == nil {
+		http.Error(w, "deployment serves a cumulative release; no sliding window is configured", http.StatusBadRequest)
+		return false
+	}
+	if got := s.win.Window(); want != got {
+		http.Error(w, fmt.Sprintf("deployment serves a %v window; cannot answer window=%v", got, want), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 // MarginalResponse is the JSON shape of a /marginal reply.
 type MarginalResponse struct {
 	// Beta is the queried attribute mask.
@@ -830,6 +997,9 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.reads == nil {
 		s.rejectRole(w, "marginal estimates", "single or coordinator")
+		return
+	}
+	if !s.checkWindowParam(w, r) {
 		return
 	}
 	betaStr := r.URL.Query().Get("beta")
@@ -897,6 +1067,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.rejectRole(w, "conjunction queries", "single or coordinator")
 		return
 	}
+	if !s.checkWindowParam(w, r) {
+		return
+	}
 	var req QueryRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, s.reads.maxQuery)).Decode(&req); err != nil {
 		http.Error(w, "malformed query body: "+err.Error(), http.StatusBadRequest)
@@ -948,6 +1121,11 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		// record the fleet composition a published epoch is labeled
 		// with.
 		snap, err = s.fleet.export()
+	} else if s.win != nil {
+		// A windowed node exports its current window, so a coordinator
+		// composes per-peer windowed state through the unchanged pull
+		// path: buckets seal and expire edge-side.
+		snap, err = s.win.Snapshot()
 	} else {
 		snap, err = s.agg.Snapshot()
 	}
@@ -1035,6 +1213,9 @@ type ViewStatusResponse struct {
 	// state the serving epoch contains versus what the fleet holds now
 	// (coordinator only).
 	Peers []PeerViewStatus `json:"peers,omitempty"`
+	// Window describes the sliding-window ring behind the serving view
+	// (windowed deployments only).
+	Window *WindowStatus `json:"window,omitempty"`
 }
 
 // PeerViewStatus is one peer's per-epoch staleness entry in a
@@ -1086,6 +1267,7 @@ func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
 	if s.fleet != nil {
 		resp.Peers = s.peerViewStatus(v)
 	}
+	resp.Window = s.windowStatus()
 	return resp
 }
 
@@ -1201,6 +1383,7 @@ type StatusResponse struct {
 	Shards     int               `json:"shards"`
 	Durability *DurabilityStatus `json:"durability,omitempty"`
 	Cluster    *ClusterStatus    `json:"cluster,omitempty"`
+	Window     *WindowStatus     `json:"window,omitempty"`
 }
 
 // clusterStatus assembles the /status cluster block.
@@ -1226,6 +1409,9 @@ func (s *Server) stateVersion() uint64 {
 	if s.fleet != nil {
 		return s.verSalt + s.fleet.version()
 	}
+	if s.win != nil {
+		return s.verSalt + s.win.Version()
+	}
 	return s.verSalt + s.agg.Version()
 }
 
@@ -1243,6 +1429,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		ReportBits: s.protocol.CommunicationBits(),
 		Shards:     s.agg.Shards(),
 		Cluster:    s.clusterStatus(),
+		Window:     s.windowStatus(),
 	}
 	if st := s.Store(); st != nil {
 		stat := st.Status()

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The continual-release driver. A windowed deployment's bucket
+// lifecycle — sealing the live bucket, expiring state that slid out of
+// the window, recovering ledger budget, and keeping the WAL's segment
+// boundaries aligned with bucket boundaries — is advanced by one
+// background goroutine per server, ticking at a fraction of the bucket
+// span so boundaries are honored promptly without per-bucket timers.
+
+// rotator drives Ring.Advance (and its store/ledger side effects) on a
+// ticker for the server's lifetime.
+type rotator struct {
+	s *Server
+
+	stop      chan struct{}
+	closeOnce sync.Once
+	done      sync.WaitGroup
+
+	lastErr atomic.Value // string: most recent advance failure, for /status
+}
+
+func newRotator(s *Server) *rotator {
+	return &rotator{s: s, stop: make(chan struct{})}
+}
+
+func (ro *rotator) start() {
+	ro.done.Add(1)
+	go ro.loop()
+}
+
+// Close stops the rotation loop and joins it; idempotent.
+func (ro *rotator) Close() {
+	ro.closeOnce.Do(func() { close(ro.stop) })
+	ro.done.Wait()
+}
+
+// loop wakes at a quarter of the bucket span, so a bucket boundary is
+// acted on within ~bucket/4 of passing. A late tick only defers
+// rotation — the ring seals by elapsed time, never by tick count.
+func (ro *rotator) loop() {
+	defer ro.done.Done()
+	tick := ro.s.win.Bucket() / 4
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ro.stop:
+			return
+		case <-ticker.C:
+			if err := ro.s.advanceWindow(time.Now()); err != nil {
+				ro.lastErr.Store(err.Error())
+			}
+		}
+	}
+}
+
+// advanceWindow rotates the ring up to now and propagates the
+// lifecycle: sealed buckets recover ledger budget and close the active
+// WAL segment (so segments stay bucket-aligned), and expired buckets
+// trigger a store compaction — the forced snapshot of the shrunken
+// window is what lets the store prune the expired buckets' segments,
+// making window expiry double as disk retention.
+func (s *Server) advanceWindow(now time.Time) error {
+	rotated, expired, err := s.win.Advance(now)
+	if err != nil {
+		return err
+	}
+	if rotated > 0 && s.ledger != nil {
+		s.ledger.Rotate(rotated)
+	}
+	st := s.Store()
+	if st == nil {
+		return nil
+	}
+	if rotated > 0 {
+		if _, err := st.Rotate(); err != nil {
+			return fmt.Errorf("rotating WAL segment at bucket seal: %w", err)
+		}
+	}
+	if expired > 0 {
+		if err := st.Compact(); err != nil {
+			return fmt.Errorf("compacting store after bucket expiry: %w", err)
+		}
+	}
+	return nil
+}
+
+// WindowStatus is the continual-release section of a /status and
+// /view/status reply (windowed deployments only).
+type WindowStatus struct {
+	// WindowSeconds and BucketSeconds echo the configured spans.
+	WindowSeconds float64 `json:"window_seconds"`
+	BucketSeconds float64 `json:"bucket_seconds"`
+	// Buckets is the window capacity in buckets, including the live one.
+	Buckets int `json:"buckets"`
+	// SealedBuckets is the number of retained non-empty sealed buckets.
+	SealedBuckets int `json:"sealed_buckets"`
+	// SealedReports and LiveReports split the window's report count
+	// between sealed buckets and the live one.
+	SealedReports int `json:"sealed_reports"`
+	LiveReports   int `json:"live_reports"`
+	// Rotations counts bucket boundaries crossed since startup; Expired
+	// counts buckets retired from the window.
+	Rotations uint64 `json:"rotations"`
+	Expired   uint64 `json:"expired_buckets"`
+	// RoundEps is the per-token epsilon budget per window (0 when no
+	// budget is enforced); BudgetTokens and BudgetRejected describe the
+	// ledger.
+	RoundEps       float64 `json:"round_eps,omitempty"`
+	BudgetTokens   int     `json:"budget_tokens,omitempty"`
+	BudgetRejected uint64  `json:"budget_rejected,omitempty"`
+	// LastRotateError is the most recent background rotation failure, if
+	// any.
+	LastRotateError string `json:"last_rotate_error,omitempty"`
+}
+
+// windowStatus assembles the window block, or nil for a cumulative
+// deployment.
+func (s *Server) windowStatus() *WindowStatus {
+	if s.win == nil {
+		return nil
+	}
+	rs := s.win.Status()
+	ws := &WindowStatus{
+		WindowSeconds: rs.Window.Seconds(),
+		BucketSeconds: rs.Bucket.Seconds(),
+		Buckets:       rs.Buckets,
+		SealedBuckets: rs.SealedBuckets,
+		SealedReports: rs.SealedN,
+		LiveReports:   rs.LiveN,
+		Rotations:     rs.Rotations,
+		Expired:       rs.Expired,
+	}
+	if s.ledger != nil {
+		ls := s.ledger.Stats()
+		ws.RoundEps = ls.Budget
+		ws.BudgetTokens = ls.Tokens
+		ws.BudgetRejected = ls.Rejected
+	}
+	if s.rotor != nil {
+		if e, ok := s.rotor.lastErr.Load().(string); ok {
+			ws.LastRotateError = e
+		}
+	}
+	return ws
+}

@@ -7,10 +7,14 @@
 //
 //   - A write-ahead log of report frames: append-only segments of
 //     CRC-checked, length-prefixed records (the same framing as the
-//     /report/batch wire format), rotated by size. The fsync policy
-//     trades durability window against throughput: FsyncAlways group-
-//     commits every ingest, FsyncInterval batches fsyncs on a timer,
-//     FsyncOff leaves flushing to the OS.
+//     /report/batch wire format), rotated by size — or by time, via
+//     Rotate: a windowed deployment rotates on every bucket seal so
+//     segments line up with its time buckets, and Compact after a
+//     bucket expiry re-snapshots the shrunken window so the expired
+//     buckets' segments become prunable. The fsync policy trades
+//     durability window against throughput: FsyncAlways group-commits
+//     every ingest, FsyncInterval batches fsyncs on a timer, FsyncOff
+//     leaves flushing to the OS.
 //
 //   - Counter snapshots: the aggregator's MarshalState blob plus the
 //     WAL segment index it covers, written atomically. A snapshot
@@ -486,14 +490,51 @@ func (s *Store) Snapshot() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.snapshotLocked()
+	return s.snapshotLocked(false)
 }
 
-func (s *Store) snapshotLocked() error {
+// Compact is Snapshot without the nothing-new skip: it snapshots even
+// when no reports arrived since the last one. A windowed deployment's
+// source state *shrinks* when buckets expire, and only a fresh
+// snapshot makes the expired buckets' segments redundant so prune can
+// drop them — expiry doubles as retention.
+func (s *Store) Compact() error {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked(true)
+}
+
+// Rotate closes the active WAL segment (synced) and opens the next
+// one, returning the closed segment's index. A windowed deployment
+// rotates on every bucket seal, so segment boundaries line up with
+// bucket boundaries: the log becomes time-bucketed, and expiry-time
+// compaction prunes whole buckets from disk at once.
+func (s *Store) Rotate() (uint64, error) {
+	s.barrier.RLock()
+	defer s.barrier.RUnlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if err := s.walFailure(); err != nil {
+		return 0, fmt.Errorf("store: rotating segment: %w", err)
+	}
+	req := &walReq{rotate: true, done: make(chan walRes, 1)}
+	s.reqs <- req
+	res := <-req.done
+	if res.err != nil {
+		return 0, fmt.Errorf("store: rotating segment: %w", res.err)
+	}
+	return res.seg, nil
+}
+
+func (s *Store) snapshotLocked(force bool) error {
 	if s.source == nil {
 		return fmt.Errorf("store: no state source registered")
 	}
-	if s.sinceSnap.Load() == 0 && len(s.snapsCopy()) > 0 {
+	if !force && s.sinceSnap.Load() == 0 && len(s.snapsCopy()) > 0 {
 		// Nothing arrived since the last snapshot: it is still exact.
 		return nil
 	}
@@ -665,7 +706,7 @@ func (s *Store) Close() error {
 	}
 	var err error
 	if s.source != nil {
-		err = s.snapshotLocked()
+		err = s.snapshotLocked(false)
 	}
 	s.closed = true
 	s.barrier.Unlock()
@@ -676,6 +717,12 @@ func (s *Store) Close() error {
 	<-s.tickDone
 	close(s.commitStop)
 	<-s.commitDone
+	// The committer's final flush runs during the drain above; a
+	// failure there (or any earlier sticky WAL failure) means acked
+	// writes may not be durable, which Close must not hide.
+	if werr := s.walFailure(); err == nil && werr != nil {
+		err = werr
+	}
 	return err
 }
 

@@ -270,17 +270,8 @@ type walRes struct {
 func (s *Store) committer(f *os.File, idx uint64, size int64) {
 	defer close(s.commitDone)
 	cur, curIdx, curSize := f, idx, size
+	headerLen := int64(len(segHeader(s.tag, s.cfg)))
 	dirty := false
-	finish := func() {
-		if cur == nil {
-			return
-		}
-		// Clean shutdown always syncs: a process exit with fsync=interval
-		// or off must still leave the tail durable.
-		_ = cur.Sync()
-		_ = cur.Close()
-		cur = nil
-	}
 	// A write, sync, or rotation failure kills the committer's file for
 	// good: after a failed fsync the kernel may have dropped the dirty
 	// pages, so "retry and report success" would be a durability lie.
@@ -295,6 +286,24 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 			cur = nil
 		}
 		return err
+	}
+	finish := func() {
+		if cur == nil {
+			return
+		}
+		// Clean shutdown always syncs: a process exit with fsync=interval
+		// or off must still leave the tail durable. A failure here is the
+		// last chance to learn the tail never landed, so it is recorded
+		// like any other flush failure (Close surfaces it) rather than
+		// dropped on the floor.
+		if err := cur.Sync(); err != nil {
+			_ = kill(err)
+			return
+		}
+		if err := cur.Close(); err != nil {
+			s.setWALFailure(err)
+		}
+		cur = nil
 	}
 	var (
 		pending  = make([]*walReq, 0, 64)
@@ -367,6 +376,14 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 				flush()
 				if dead != nil {
 					results[i] = walRes{err: dead}
+					continue
+				}
+				if r.rotate && curSize == headerLen {
+					// The active segment holds nothing but its header: rotating
+					// would just litter the directory with empty files (a
+					// windowed deployment rotates on every bucket seal, ingest
+					// or not). Report the active segment as already current.
+					results[i] = walRes{seg: curIdx}
 					continue
 				}
 				old := curIdx

@@ -262,8 +262,17 @@ func (v *View) Answer(c query.Conjunction) (float64, error) {
 	return query.Evaluate(v, c, v.cfg.D)
 }
 
-// Age returns how long ago the view was built.
-func (v *View) Age() time.Duration { return time.Since(v.BuiltAt) }
+// Age returns how long ago the view was built, clamped at zero: a
+// BuiltAt stamp whose monotonic reading was stripped (serialized views,
+// or a Round(0) anywhere upstream) falls back to wall-clock arithmetic,
+// and a wall clock stepped backwards would otherwise yield a negative
+// age that consumers feed into staleness alerts and refresh decisions.
+func (v *View) Age() time.Duration {
+	if d := time.Since(v.BuiltAt); d > 0 {
+		return d
+	}
+	return 0
+}
 
 // Staleness returns how many reports have arrived since the view was
 // built, given the aggregator's current count.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"ldpmarginals/internal/bitops"
 	"ldpmarginals/internal/core"
@@ -303,5 +304,32 @@ func TestViewIsImmutable(t *testing.T) {
 		if math.IsNaN(c) {
 			t.Fatal("mutating a served table corrupted the view")
 		}
+	}
+}
+
+// TestViewAgeClampsAtZero: a BuiltAt stamp stripped of its monotonic
+// reading (Round(0)) and sitting in the wall-clock future — the shape a
+// stepped-back system clock produces — must report a zero age, never a
+// negative one that downstream staleness math would misread.
+func TestViewAgeClampsAtZero(t *testing.T) {
+	cfg := core.Config{D: 6, K: 2, Epsilon: 1.1}
+	p, err := core.New(core.InpHT, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	if err := agg.ConsumeBatch(perturb(t, p, 50, 9)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := Build(agg, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Age() < 0 {
+		t.Fatalf("fresh view age %v is negative", v.Age())
+	}
+	v.BuiltAt = time.Now().Add(time.Hour).Round(0)
+	if got := v.Age(); got != 0 {
+		t.Fatalf("future BuiltAt reported age %v, want 0", got)
 	}
 }

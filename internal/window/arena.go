@@ -1,0 +1,174 @@
+package window
+
+import (
+	"errors"
+
+	"ldpmarginals/internal/core"
+)
+
+// ringArena is the window's core.StateArena: a cumulative window
+// aggregator advanced by folding only what moved since the last call.
+// Sealed buckets are immutable, so the arena holds references to the
+// very aggregators the ring sealed — expiring one later is an Unmerge
+// of the identical object, the exact integer inverse of its merge. The
+// live bucket is held as a private snapshot labeled by (aggregator
+// identity, version): it refolds — one Unmerge plus one Merge — only
+// when new reports landed or the bucket rotated.
+type ringArena struct {
+	owner  *Ring
+	cum    core.Aggregator
+	primed bool
+
+	held map[uint64]core.Aggregator // bucket id -> sealed state folded into cum
+
+	live      core.Aggregator // live-bucket snapshot folded into cum
+	liveHeld  bool
+	liveOwner *core.ShardedAggregator
+	liveVer   uint64
+}
+
+// NewSnapshotArena returns a reusable delta arena over the ring, or nil
+// when the protocol cannot back exact folds (the view engine then falls
+// back to full snapshots). It implements view.DeltaSource.
+func (r *Ring) NewSnapshotArena() core.StateArena {
+	if !r.cur.Load().SupportsDeltaSnapshots() {
+		return nil
+	}
+	return &ringArena{owner: r, cum: r.p.NewAggregator()}
+}
+
+func (a *ringArena) State() core.Aggregator { return a.cum }
+func (a *ringArena) Primed() bool           { return a.primed }
+func (a *ringArena) Reset()                 { a.primed = false }
+
+// SnapshotDeltaInto advances the arena to the ring's current window
+// state and returns how many components (buckets) were folded. On a
+// fresh or Reset arena it re-derives the window from scratch,
+// bit-identical to Snapshot. Any fold error un-primes the arena, so
+// the next call recaptures cold instead of folding onto suspect state.
+// It implements view.DeltaSource.
+func (r *Ring) SnapshotDeltaInto(sa core.StateArena) (int, error) {
+	a, ok := sa.(*ringArena)
+	if !ok || a.owner != r {
+		return 0, errors.New("window: arena does not belong to this ring")
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if !a.primed {
+		return a.cold(r)
+	}
+	touched := 0
+	fail := func(err error) (int, error) {
+		a.primed = false
+		return touched, err
+	}
+	// Sealed-set diff: unmerge buckets that expired, merge buckets
+	// sealed since the last fold. Bucket ids are unique for the ring's
+	// lifetime, so membership is exact.
+	if len(a.held) != len(r.sealed) || touchedSetDiffers(a.held, r.sealed) {
+		inWindow := make(map[uint64]bool, len(r.sealed))
+		for _, b := range r.sealed {
+			inWindow[b.id] = true
+		}
+		for id, contrib := range a.held {
+			if inWindow[id] {
+				continue
+			}
+			if err := core.UnmergeAggregators(a.cum, contrib); err != nil {
+				return fail(err)
+			}
+			delete(a.held, id)
+			touched++
+		}
+		for _, b := range r.sealed {
+			if _, ok := a.held[b.id]; ok {
+				continue
+			}
+			if err := core.MergeAggregators(a.cum, b.agg); err != nil {
+				return fail(err)
+			}
+			a.held[b.id] = b.agg
+			touched++
+		}
+	}
+	// Live bucket: refold only when the aggregator was replaced (a
+	// rotation) or its version moved (new reports). The version label
+	// is read before the snapshot, so it can only trail — a report
+	// racing the fold is picked up by the next one.
+	cur := r.cur.Load()
+	ver := cur.Version()
+	if a.liveOwner == cur && a.liveVer == ver {
+		return touched, nil
+	}
+	changed := false
+	if a.liveHeld {
+		if err := core.UnmergeAggregators(a.cum, a.live); err != nil {
+			return fail(err)
+		}
+		a.liveHeld = false
+		changed = true
+	}
+	if cur.N() > 0 {
+		snap, err := cur.Snapshot()
+		if err != nil {
+			return fail(err)
+		}
+		if err := core.MergeAggregators(a.cum, snap); err != nil {
+			return fail(err)
+		}
+		a.live = snap
+		a.liveHeld = true
+		changed = true
+	}
+	a.liveOwner, a.liveVer = cur, ver
+	if changed {
+		touched++
+	}
+	return touched, nil
+}
+
+// touchedSetDiffers reports whether held and sealed cover different
+// bucket-id sets, assuming equal length (the caller checks length
+// first, so one containment test suffices).
+func touchedSetDiffers(held map[uint64]core.Aggregator, sealed []*bucket) bool {
+	for _, b := range sealed {
+		if _, ok := held[b.id]; !ok {
+			return true
+		}
+	}
+	return false
+}
+
+// cold re-derives the whole window into a fresh cumulative aggregator:
+// every sealed bucket merged in seq order, then the live snapshot —
+// the same integer sums as Snapshot, hence bit-identical state.
+func (a *ringArena) cold(r *Ring) (int, error) {
+	a.cum = r.p.NewAggregator()
+	a.held = make(map[uint64]core.Aggregator, len(r.sealed))
+	a.liveHeld = false
+	touched := 0
+	for _, b := range r.sealed {
+		if err := core.MergeAggregators(a.cum, b.agg); err != nil {
+			return touched, err
+		}
+		a.held[b.id] = b.agg
+		touched++
+	}
+	cur := r.cur.Load()
+	ver := cur.Version()
+	if cur.N() > 0 {
+		snap, err := cur.Snapshot()
+		if err != nil {
+			return touched, err
+		}
+		if err := core.MergeAggregators(a.cum, snap); err != nil {
+			return touched, err
+		}
+		a.live = snap
+		a.liveHeld = true
+		touched++
+	}
+	a.liveOwner, a.liveVer = cur, ver
+	a.primed = true
+	return touched, nil
+}

@@ -1,0 +1,357 @@
+// Package window turns the cumulative aggregation core into a continual
+// release: a ring of time-bucketed sub-aggregators in front of
+// core.ShardedAggregator, answering "marginals over the last W of wall
+// time" instead of "marginals since the collection started".
+//
+// Incoming reports land in the live bucket (a ShardedAggregator, so
+// ingestion keeps its lock-free fan-out). When the live bucket's time
+// span ends it is sealed: snapshotted once, merged into the ring's
+// cumulative sealed-window aggregator, and frozen — sealed bucket state
+// is immutable for the rest of its life. When a sealed bucket slides
+// out of the window it is expired by a single Unmerge fold of that same
+// frozen state, the exact integer inverse of its seal-time Merge. A
+// bucket's whole retire path therefore costs one fold of O(state), not
+// a rebuild of O(window), and because every protocol aggregator is an
+// integer counter vector with a canonical codec, a window that still
+// covers every bucket is bit-identical to a single cumulative
+// aggregator fed the same reports.
+//
+// The ring is a view.Source and view.DeltaSource: the engine's
+// incremental refresh advances a window arena by folding only what
+// changed — newly sealed buckets merge, expired buckets unmerge, and
+// the live bucket refolds only when its version moved — so a
+// sliding-window epoch publish after a bucket expiry costs one Unmerge
+// fold plus the nonlinear build stage.
+//
+// Windowed mode requires a protocol whose aggregators support exact
+// unmerge folds (all six core protocols do); NewRing rejects the rest.
+package window
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ldpmarginals/internal/core"
+)
+
+// Options configures a Ring.
+type Options struct {
+	// Window is the sliding window span; must be a positive multiple of
+	// Bucket. The ring retains Window/Bucket buckets including the live
+	// one, so coverage slides between Window-Bucket and Window of wall
+	// time as the live bucket fills.
+	Window time.Duration
+	// Bucket is the rotation granularity: the live bucket seals every
+	// Bucket of wall time, and expiry retires state one Bucket at a
+	// time.
+	Bucket time.Duration
+	// Shards is the live bucket's ShardedAggregator width; values < 1
+	// select 1.
+	Shards int
+	// Start anchors the first bucket's span; the zero value selects
+	// time.Now().
+	Start time.Time
+}
+
+// bucket is one sealed time slot: an immutable sequential snapshot of
+// the reports that landed in its span. id is unique for the ring's
+// lifetime (seq alone is not: a recovery-seeded bucket shares the seq
+// of the bucket sealed in the same slot).
+type bucket struct {
+	id    uint64
+	seq   uint64
+	n     int
+	agg   core.Aggregator
+	start time.Time
+	end   time.Time
+}
+
+// Ring is the time-bucketed sliding-window aggregator. Ingestion and
+// reads share a read lock (the live ShardedAggregator serializes
+// internally); rotation takes the write lock, so a report never lands
+// in a bucket that is already sealed.
+type Ring struct {
+	p       core.Protocol
+	opts    Options
+	buckets uint64 // window capacity in buckets, including the live one
+
+	mu       sync.RWMutex
+	cur      atomic.Pointer[core.ShardedAggregator] // live bucket; replaced on seal
+	curSeq   uint64
+	curStart time.Time
+	nextID   uint64
+	sealed   []*bucket       // retained sealed buckets, seq-ascending
+	cum      core.Aggregator // merge of every retained sealed bucket
+
+	sealedN atomic.Int64
+	ver     atomic.Uint64 // bumps after every state change; read-before-snapshot label
+	rotated atomic.Uint64 // total bucket boundaries crossed
+	expired atomic.Uint64 // total buckets retired from the window
+}
+
+// NewRing builds a ring over p. The protocol must support exact delta
+// folds (Unmerge + state copy): expiry is an Unmerge of sealed state.
+func NewRing(p core.Protocol, opts Options) (*Ring, error) {
+	if opts.Bucket <= 0 {
+		return nil, errors.New("window: bucket span must be positive")
+	}
+	if opts.Window <= 0 || opts.Window%opts.Bucket != 0 {
+		return nil, fmt.Errorf("window: window %v must be a positive multiple of bucket %v", opts.Window, opts.Bucket)
+	}
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Start.IsZero() {
+		opts.Start = time.Now()
+	}
+	r := &Ring{
+		p:       p,
+		opts:    opts,
+		buckets: uint64(opts.Window / opts.Bucket),
+		cum:     p.NewAggregator(),
+	}
+	// curSeq starts at the window capacity so seq arithmetic never
+	// underflows; the slot index is relative, only differences matter.
+	r.curSeq = r.buckets
+	r.curStart = opts.Start
+	live := core.NewSharded(p, opts.Shards)
+	if !live.SupportsDeltaSnapshots() {
+		return nil, fmt.Errorf("window: protocol %s does not support exact unmerge folds; windowed release needs one of the core protocols", p.Name())
+	}
+	r.cur.Store(live)
+	return r, nil
+}
+
+// Window returns the configured window span.
+func (r *Ring) Window() time.Duration { return r.opts.Window }
+
+// Bucket returns the configured bucket span.
+func (r *Ring) Bucket() time.Duration { return r.opts.Bucket }
+
+// Consume routes one report into the live bucket.
+func (r *Ring) Consume(rep core.Report) error {
+	r.mu.RLock()
+	err := r.cur.Load().Consume(rep)
+	r.mu.RUnlock()
+	if err == nil {
+		r.ver.Add(1)
+	}
+	return err
+}
+
+// ConsumeBatch routes a batch into the live bucket. Partial
+// consumption surfaces as core.BatchError, exactly like the sharded
+// aggregator's contract.
+func (r *Ring) ConsumeBatch(reps []core.Report) error {
+	r.mu.RLock()
+	err := r.cur.Load().ConsumeBatch(reps)
+	r.mu.RUnlock()
+	r.ver.Add(1)
+	return err
+}
+
+// N returns the report count inside the window: sealed buckets plus the
+// live one. Lock-free; during a rotation the two terms may be one
+// report apart for the duration of the swap.
+func (r *Ring) N() int {
+	return int(r.sealedN.Load()) + r.cur.Load().N()
+}
+
+// Version is a monotonic state-change label with the read-before-
+// snapshot guarantee: it is bumped after a mutation lands, so a label
+// read before a snapshot can only trail the snapshot's state.
+func (r *Ring) Version() uint64 { return r.ver.Load() }
+
+// Advance rotates the ring up to now: seals every live bucket whose
+// span has ended and expires every sealed bucket that slid out of the
+// window. It returns how many bucket boundaries were crossed and how
+// many retained buckets were retired. Callers drive it from a ticker;
+// between calls the ring simply keeps filling the live bucket, so a
+// late Advance only defers (never loses) rotation.
+func (r *Ring) Advance(now time.Time) (rotated, expired int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	elapsed := now.Sub(r.curStart)
+	if elapsed < r.opts.Bucket {
+		return 0, 0, nil
+	}
+	steps := uint64(elapsed / r.opts.Bucket)
+	if steps > r.buckets {
+		// The whole window passed while nobody rotated: every retained
+		// bucket and the live contents are out of the window. Reset
+		// wholesale instead of folding bucket by bucket.
+		expired = r.dropAllLocked()
+		r.curSeq += steps
+		r.curStart = r.curStart.Add(time.Duration(steps) * r.opts.Bucket)
+		rotated = int(r.buckets)
+		r.rotated.Add(steps)
+		r.ver.Add(1)
+		return rotated, expired, nil
+	}
+	for i := uint64(0); i < steps; i++ {
+		if err := r.sealLocked(); err != nil {
+			return rotated, expired, err
+		}
+		rotated++
+	}
+	n, err := r.expireLocked()
+	expired += n
+	if err != nil {
+		return rotated, expired, err
+	}
+	if rotated+expired > 0 {
+		r.ver.Add(1)
+	}
+	return rotated, expired, nil
+}
+
+// sealLocked closes the live bucket's time slot. A non-empty bucket is
+// snapshotted once, merged into the sealed-window cumulative state, and
+// frozen; an empty slot just advances the sequence, keeping the same
+// live aggregator.
+func (r *Ring) sealLocked() error {
+	live := r.cur.Load()
+	if live.N() > 0 {
+		snap, err := live.Snapshot()
+		if err != nil {
+			return fmt.Errorf("window: sealing bucket %d: %w", r.curSeq, err)
+		}
+		if err := r.cum.Merge(snap); err != nil {
+			return fmt.Errorf("window: sealing bucket %d: %w", r.curSeq, err)
+		}
+		r.sealed = append(r.sealed, &bucket{
+			id:    r.nextID,
+			seq:   r.curSeq,
+			n:     snap.N(),
+			agg:   snap,
+			start: r.curStart,
+			end:   r.curStart.Add(r.opts.Bucket),
+		})
+		r.nextID++
+		r.sealedN.Add(int64(snap.N()))
+		r.cur.Store(core.NewSharded(r.p, r.opts.Shards))
+	}
+	r.curSeq++
+	r.rotated.Add(1)
+	r.curStart = r.curStart.Add(r.opts.Bucket)
+	return nil
+}
+
+// expireLocked retires every sealed bucket that slid out of the window:
+// one Unmerge fold per bucket, the exact inverse of its seal-time
+// Merge.
+func (r *Ring) expireLocked() (int, error) {
+	n := 0
+	for len(r.sealed) > 0 && r.sealed[0].seq+r.buckets <= r.curSeq {
+		b := r.sealed[0]
+		if err := core.UnmergeAggregators(r.cum, b.agg); err != nil {
+			return n, fmt.Errorf("window: expiring bucket %d: %w", b.seq, err)
+		}
+		r.sealed[0] = nil
+		r.sealed = r.sealed[1:]
+		r.sealedN.Add(-int64(b.n))
+		r.expired.Add(1)
+		n++
+	}
+	return n, nil
+}
+
+// dropAllLocked discards every retained bucket and the live contents.
+func (r *Ring) dropAllLocked() int {
+	n := len(r.sealed)
+	for i := range r.sealed {
+		r.sealed[i] = nil
+	}
+	r.sealed = r.sealed[:0]
+	r.expired.Add(uint64(n))
+	r.sealedN.Store(0)
+	r.cum = r.p.NewAggregator()
+	if r.cur.Load().N() > 0 {
+		r.cur.Store(core.NewSharded(r.p, r.opts.Shards))
+		n++
+		r.expired.Add(1)
+	}
+	return n
+}
+
+// SeedRecovered folds crash-recovered state into the ring as one sealed
+// bucket sharing the live slot's sequence, so it is retained for a full
+// window after restart — the recovered reports' true arrival times are
+// gone, and keeping them the maximum plausible span is the conservative
+// choice (a window covering every bucket stays bit-identical to the
+// cumulative state across the restart). The ring takes ownership of
+// state; call before serving, ahead of the first Advance.
+func (r *Ring) SeedRecovered(state core.Aggregator) error {
+	if state == nil || state.N() == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.cum.Merge(state); err != nil {
+		return fmt.Errorf("window: seeding recovered state: %w", err)
+	}
+	r.sealed = append(r.sealed, &bucket{
+		id:    r.nextID,
+		seq:   r.curSeq,
+		n:     state.N(),
+		agg:   state,
+		start: r.curStart,
+		end:   r.curStart,
+	})
+	r.nextID++
+	r.sealedN.Add(int64(state.N()))
+	r.ver.Add(1)
+	return nil
+}
+
+// Snapshot cuts a private aggregator holding the whole window: the
+// sealed cumulative state plus a live-bucket snapshot. It implements
+// view.Source.
+func (r *Ring) Snapshot() (core.Aggregator, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := r.p.NewAggregator()
+	if err := out.Merge(r.cum); err != nil {
+		return nil, fmt.Errorf("window: snapshot: %w", err)
+	}
+	live, err := r.cur.Load().Snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("window: snapshot: %w", err)
+	}
+	if err := out.Merge(live); err != nil {
+		return nil, fmt.Errorf("window: snapshot: %w", err)
+	}
+	return out, nil
+}
+
+// Status is a point-in-time description of the ring for /status and
+// /view/status reporting.
+type Status struct {
+	Window        time.Duration
+	Bucket        time.Duration
+	Buckets       int // window capacity in buckets, including the live one
+	SealedBuckets int // retained non-empty sealed buckets
+	SealedN       int
+	LiveN         int
+	Rotations     uint64 // bucket boundaries crossed since start
+	Expired       uint64 // buckets retired from the window since start
+}
+
+// Status reports the ring's current shape.
+func (r *Ring) Status() Status {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return Status{
+		Window:        r.opts.Window,
+		Bucket:        r.opts.Bucket,
+		Buckets:       int(r.buckets),
+		SealedBuckets: len(r.sealed),
+		SealedN:       int(r.sealedN.Load()),
+		LiveN:         r.cur.Load().N(),
+		Rotations:     r.rotated.Load(),
+		Expired:       r.expired.Load(),
+	}
+}

@@ -1,0 +1,461 @@
+package window
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/rng"
+)
+
+func windowTestConfig() core.Config {
+	return core.Config{D: 6, K: 2, Epsilon: 1.1, OptimizedPRR: true}
+}
+
+func windowReports(tb testing.TB, p core.Protocol, n int, seed uint64) []core.Report {
+	tb.Helper()
+	client := p.NewClient()
+	r := rng.New(seed)
+	reps := make([]core.Report, n)
+	for i := range reps {
+		rep, err := client.Perturb(uint64(i)%(1<<uint(p.Config().D)), r)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		reps[i] = rep
+	}
+	return reps
+}
+
+func marshal(tb testing.TB, a core.Aggregator) []byte {
+	tb.Helper()
+	b, err := a.MarshalState()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return b
+}
+
+var testStart = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestWindowAllBucketsBitIdentical is the continual-release exactness
+// pin for every protocol: a window still covering all of its buckets —
+// through rotations, both the Snapshot path and the delta-fold arena
+// path — is byte-identical to a single cumulative aggregator fed the
+// same reports.
+func TestWindowAllBucketsBitIdentical(t *testing.T) {
+	for _, kind := range core.AllKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			p, err := core.New(kind, windowTestConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := NewRing(p, Options{
+				Window: 10 * time.Minute,
+				Bucket: time.Minute,
+				Shards: 3,
+				Start:  testStart,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			arena := r.NewSnapshotArena()
+			if arena == nil {
+				t.Fatal("no snapshot arena for a core protocol")
+			}
+			direct := p.NewAggregator()
+			reps := windowReports(t, p, 1200, uint64(kind)+7)
+			now := testStart
+			for chunk := 0; chunk < 4; chunk++ {
+				part := reps[chunk*300 : (chunk+1)*300]
+				if err := r.ConsumeBatch(part); err != nil {
+					t.Fatal(err)
+				}
+				if err := core.ConsumeAll(direct, part); err != nil {
+					t.Fatal(err)
+				}
+				now = now.Add(time.Minute)
+				if _, _, err := r.Advance(now); err != nil {
+					t.Fatal(err)
+				}
+				snap, err := r.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(marshal(t, snap), marshal(t, direct)) {
+					t.Fatalf("%s: window snapshot diverges from cumulative after chunk %d", kind, chunk)
+				}
+				if _, err := r.SnapshotDeltaInto(arena); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(marshal(t, arena.State()), marshal(t, direct)) {
+					t.Fatalf("%s: arena state diverges from cumulative after chunk %d", kind, chunk)
+				}
+				if r.N() != direct.N() {
+					t.Fatalf("%s: window N %d, cumulative N %d", kind, r.N(), direct.N())
+				}
+			}
+			st := r.Status()
+			if st.Expired != 0 || st.SealedBuckets != 4 {
+				t.Fatalf("all-buckets window expired state: %+v", st)
+			}
+		})
+	}
+}
+
+// TestWindowExpiryRetiresBuckets pins the sliding semantics: once a
+// bucket leaves the window, the state equals — byte for byte — a
+// cumulative aggregator over only the surviving buckets' reports.
+func TestWindowExpiryRetiresBuckets(t *testing.T) {
+	p, err := core.New(core.InpHT, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(p, Options{
+		Window: 3 * time.Minute,
+		Bucket: time.Minute,
+		Shards: 2,
+		Start:  testStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := [][]core.Report{
+		windowReports(t, p, 200, 61),
+		windowReports(t, p, 250, 62),
+		windowReports(t, p, 300, 63),
+	}
+	now := testStart
+	for _, c := range chunks {
+		if err := r.ConsumeBatch(c); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+		if _, _, err := r.Advance(now); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Three rotations over a three-bucket window: the first chunk's
+	// bucket has slid out.
+	want := p.NewAggregator()
+	for _, c := range chunks[1:] {
+		if err := core.ConsumeAll(want, c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, snap), marshal(t, want)) {
+		t.Fatal("window after expiry diverges from the surviving buckets' cumulative state")
+	}
+	if r.N() != want.N() {
+		t.Fatalf("window N %d, want %d", r.N(), want.N())
+	}
+	st := r.Status()
+	if st.Expired != 1 || st.SealedBuckets != 2 {
+		t.Fatalf("status after one expiry: %+v", st)
+	}
+	// Let the rest of the window turn over with no ingestion: the
+	// window drains to empty, equal to a fresh aggregator.
+	if _, _, err := r.Advance(testStart.Add(6 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	snap, err = r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, snap), marshal(t, p.NewAggregator())) || r.N() != 0 {
+		t.Fatalf("drained window not empty: n=%d", r.N())
+	}
+	// An Advance that overshoots the whole window resets wholesale.
+	if err := r.ConsumeBatch(chunks[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Advance(testStart.Add(30 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 0 {
+		t.Fatalf("overshoot advance left n=%d", r.N())
+	}
+}
+
+// TestWindowDeltaFoldCost pins the tentpole's cost model: after the
+// arena is primed, retiring a bucket is a constant number of folds —
+// one Unmerge for the expired bucket, one Merge for the newly sealed
+// one, one refold of the live bucket — never a rebuild over the whole
+// window, and an idle fold touches nothing.
+func TestWindowDeltaFoldCost(t *testing.T) {
+	p, err := core.New(core.MargPS, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(p, Options{
+		Window: 2 * time.Minute,
+		Bucket: time.Minute,
+		Start:  testStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arena := r.NewSnapshotArena()
+	now := testStart
+	for round := 0; round < 6; round++ {
+		if err := r.ConsumeBatch(windowReports(t, p, 100, uint64(round)+80)); err != nil {
+			t.Fatal(err)
+		}
+		now = now.Add(time.Minute)
+		if _, _, err := r.Advance(now); err != nil {
+			t.Fatal(err)
+		}
+		touched, err := r.SnapshotDeltaInto(arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if round > 0 && touched > 3 {
+			t.Fatalf("round %d: fold touched %d components, want <= 3", round, touched)
+		}
+		snap, err := r.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(marshal(t, arena.State()), marshal(t, snap)) {
+			t.Fatalf("round %d: arena diverges from Snapshot", round)
+		}
+	}
+	// Idle fold: nothing moved, nothing folded.
+	touched, err := r.SnapshotDeltaInto(arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 0 {
+		t.Fatalf("idle fold touched %d components", touched)
+	}
+}
+
+// TestWindowArenaSurfacesFoldErrors pins satellite behavior across the
+// layers: a fold that would produce garbage (here, an expiry unmerge
+// against tampered arena state) errors out via the Unmerge underflow
+// guard, un-primes the arena instead of publishing negative counters,
+// and the next fold recaptures cold and correct.
+func TestWindowArenaSurfacesFoldErrors(t *testing.T) {
+	p, err := core.New(core.InpPS, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(p, Options{
+		Window: 2 * time.Minute,
+		Bucket: time.Minute,
+		Start:  testStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := windowReports(t, p, 150, 91)
+	if err := r.ConsumeBatch(reps); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Advance(testStart.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	arena := r.NewSnapshotArena()
+	if _, err := r.SnapshotDeltaInto(arena); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: drain the arena's cumulative state behind its back, so
+	// the held bucket's eventual expiry unmerge has nothing to
+	// subtract from.
+	drained := p.NewAggregator()
+	if err := core.ConsumeAll(drained, reps); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.UnmergeAggregators(arena.State(), drained); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Advance(testStart.Add(3 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.SnapshotDeltaInto(arena); err == nil {
+		t.Fatal("fold over tampered arena state succeeded")
+	}
+	if arena.Primed() {
+		t.Fatal("arena still primed after a failed fold")
+	}
+	if _, err := r.SnapshotDeltaInto(arena); err != nil {
+		t.Fatalf("cold recapture after failed fold: %v", err)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, arena.State()), marshal(t, snap)) {
+		t.Fatal("cold recapture diverges from Snapshot")
+	}
+}
+
+// TestWindowSeedRecovered: recovered state is retained for a full
+// window after restart, then retired like any sealed bucket.
+func TestWindowSeedRecovered(t *testing.T) {
+	p, err := core.New(core.MargHT, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := p.NewAggregator()
+	recReps := windowReports(t, p, 400, 71)
+	if err := core.ConsumeAll(rec, recReps); err != nil {
+		t.Fatal(err)
+	}
+	recBytes := marshal(t, rec)
+	r, err := NewRing(p, Options{
+		Window: 3 * time.Minute,
+		Bucket: time.Minute,
+		Start:  testStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.SeedRecovered(rec); err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 400 {
+		t.Fatalf("seeded N %d, want 400", r.N())
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, snap), recBytes) {
+		t.Fatal("seeded window diverges from the recovered state")
+	}
+	// Two rotations: still inside the window.
+	if _, _, err := r.Advance(testStart.Add(2 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 400 {
+		t.Fatalf("recovered state dropped early: n=%d", r.N())
+	}
+	// The third rotation completes a full window: recovered state
+	// retires.
+	if _, _, err := r.Advance(testStart.Add(3 * time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	if r.N() != 0 {
+		t.Fatalf("recovered state retained past the window: n=%d", r.N())
+	}
+}
+
+// noDeltaAgg hides Unmerge and CopyStateFrom from a protocol
+// aggregator; noDeltaProto builds such aggregators.
+type noDeltaAgg struct{ core.Aggregator }
+
+type noDeltaProto struct{ core.Protocol }
+
+func (p noDeltaProto) NewAggregator() core.Aggregator {
+	return noDeltaAgg{p.Protocol.NewAggregator()}
+}
+
+// TestWindowRejectsNonDeltaProtocol: expiry is an Unmerge, so a
+// protocol without exact folds cannot be windowed.
+func TestWindowRejectsNonDeltaProtocol(t *testing.T) {
+	p, err := core.New(core.InpRR, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRing(noDeltaProto{p}, Options{Window: time.Minute, Bucket: time.Minute}); err == nil {
+		t.Fatal("ring accepted a protocol without unmerge support")
+	}
+	// Config validation.
+	if _, err := NewRing(p, Options{Window: time.Minute, Bucket: 0}); err == nil {
+		t.Fatal("zero bucket accepted")
+	}
+	if _, err := NewRing(p, Options{Window: 90 * time.Second, Bucket: time.Minute}); err == nil {
+		t.Fatal("window not a multiple of bucket accepted")
+	}
+}
+
+// TestWindowConcurrentRotation hammers concurrent batch ingestion,
+// rotation, snapshots, and delta folds; the assertions are in the race
+// detector plus an exactness check after the writers quiesce.
+func TestWindowConcurrentRotation(t *testing.T) {
+	p, err := core.New(core.InpHT, windowTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(p, Options{
+		Window: 4 * time.Minute,
+		Bucket: time.Minute,
+		Shards: 4,
+		Start:  testStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := windowReports(t, p, 6000, 17)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for lo := w * 2000; lo < (w+1)*2000; lo += 200 {
+				if err := r.ConsumeBatch(reps[lo : lo+200]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		now := testStart
+		for i := 0; i < 40; i++ {
+			now = now.Add(20 * time.Second)
+			if _, _, err := r.Advance(now); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		arena := r.NewSnapshotArena()
+		for i := 0; i < 30; i++ {
+			if _, err := r.SnapshotDeltaInto(arena); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, err := r.Snapshot(); err != nil {
+				t.Error(err)
+				return
+			}
+			_ = r.N()
+			_ = r.Status()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// Quiesced: the arena fold and the full snapshot must agree.
+	arena := r.NewSnapshotArena()
+	if _, err := r.SnapshotDeltaInto(arena); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := r.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshal(t, arena.State()), marshal(t, snap)) {
+		t.Fatal("arena diverged from Snapshot after concurrent rotation")
+	}
+}
