@@ -15,6 +15,17 @@
 // scheduling jitter. Benchmarks without a recorded baseline are listed
 // and skipped, so adding a bench never breaks CI until its baseline is
 // recorded.
+//
+// With -load-baseline the guard instead compares a cmd/ldpload result
+// against the checked-in BENCH_load.json (stdin is not read):
+//
+//	benchguard -load-baseline BENCH_load.json -load-result load.json \
+//	    -load-threshold 4
+//
+// The load gate fails when throughput drops below baseline divided by
+// the threshold, when p99 latency exceeds the baseline p99 times the
+// threshold, or when the run saw any 5xx reply or transport error —
+// a soak that errors is a failure no matter how fast it went.
 package main
 
 import (
@@ -45,7 +56,18 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
 func main() {
 	dir := flag.String("dir", ".", "directory holding the BENCH_*.json baseline files")
 	threshold := flag.Float64("threshold", 3, "fail when ns/op exceeds baseline by this factor")
+	loadBaseline := flag.String("load-baseline", "", "checked-in cmd/ldpload baseline JSON; selects load mode (stdin is not read)")
+	loadResult := flag.String("load-result", "", "cmd/ldpload result JSON to check against -load-baseline")
+	loadThreshold := flag.Float64("load-threshold", 4, "load mode: fail when throughput falls below baseline/threshold or p99 exceeds baseline*threshold")
 	flag.Parse()
+
+	if *loadBaseline != "" {
+		if err := guardLoad(*loadBaseline, *loadResult, *loadThreshold); err != nil {
+			fmt.Fprintln(os.Stderr, "benchguard:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	baselines, err := loadBaselines(*dir)
 	if err != nil {
@@ -104,6 +126,66 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// loadFile is the subset of cmd/ldpload's LoadReport the guard reads.
+type loadFile struct {
+	ReportsSec float64 `json:"reports_per_sec"`
+	Requests   uint64  `json:"requests"`
+	Latency    struct {
+		P99 float64 `json:"p99"`
+	} `json:"latency_seconds"`
+	Status struct {
+		Err5xx      uint64 `json:"5xx"`
+		Transport   uint64 `json:"errors"`
+		SampleError string `json:"sample_error"`
+	} `json:"status"`
+}
+
+// guardLoad compares one ldpload run against the checked-in baseline.
+func guardLoad(basePath, resultPath string, threshold float64) error {
+	if resultPath == "" {
+		return fmt.Errorf("load mode needs -load-result")
+	}
+	read := func(path string) (loadFile, error) {
+		var lf loadFile
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return lf, err
+		}
+		if err := json.Unmarshal(data, &lf); err != nil {
+			return lf, fmt.Errorf("%s: %w", path, err)
+		}
+		return lf, nil
+	}
+	base, err := read(basePath)
+	if err != nil {
+		return err
+	}
+	got, err := read(resultPath)
+	if err != nil {
+		return err
+	}
+	if got.Requests == 0 {
+		return fmt.Errorf("load result completed zero requests")
+	}
+	if got.Status.Err5xx > 0 || got.Status.Transport > 0 {
+		return fmt.Errorf("load run saw %d 5xx replies and %d transport errors (first: %s)",
+			got.Status.Err5xx, got.Status.Transport, got.Status.SampleError)
+	}
+	fmt.Printf("load: %.0f reports/s (baseline %.0f, floor %.0f), p99 %.2fms (baseline %.2fms, ceiling %.2fms)\n",
+		got.ReportsSec, base.ReportsSec, base.ReportsSec/threshold,
+		got.Latency.P99*1e3, base.Latency.P99*1e3, base.Latency.P99*threshold*1e3)
+	if base.ReportsSec > 0 && got.ReportsSec < base.ReportsSec/threshold {
+		return fmt.Errorf("throughput %.0f reports/s is below the %.0f floor (baseline %.0f / %.1fx)",
+			got.ReportsSec, base.ReportsSec/threshold, base.ReportsSec, threshold)
+	}
+	if base.Latency.P99 > 0 && got.Latency.P99 > base.Latency.P99*threshold {
+		return fmt.Errorf("p99 latency %.2fms exceeds the %.2fms ceiling (baseline %.2fms * %.1fx)",
+			got.Latency.P99*1e3, base.Latency.P99*threshold*1e3, base.Latency.P99*1e3, threshold)
+	}
+	fmt.Println("benchguard: load within bounds")
+	return nil
 }
 
 // loadBaselines merges the benchmark entries of every BENCH_*.json in

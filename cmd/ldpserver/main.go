@@ -18,6 +18,8 @@
 //	GET  /view/status       serving epoch, staleness, build time
 //	GET  /status            deployment metadata and report count
 //	GET  /healthz           liveness probe
+//	GET  /readyz            readiness probe (503 until ready to serve)
+//	GET  /metrics           Prometheus text exposition
 //
 // Ingestion is sharded across -shards per-shard accumulators (0 selects
 // GOMAXPROCS) so multi-core hardware ingests reports in parallel. Reads
@@ -34,7 +36,16 @@
 //
 // -pprof-addr serves net/http/pprof on a separate listener (disabled by
 // default), so hot-path regressions can be profiled in place without
-// exposing the debug handlers on the service port.
+// exposing the debug handlers on the service port. The side listener
+// also serves GET /metrics, so a scraper keeps working when the
+// service listener is saturated by ingest.
+//
+// Ingest admission control bounds how many /report and /report/batch
+// requests are processed at once (-max-inflight-ingest) and how many
+// may queue behind them (-max-ingest-queue); arrivals beyond both are
+// shed with 429 + Retry-After and counted in ldp_ingest_shed_total on
+// /metrics, so overload degrades into visible, retryable refusals
+// instead of unbounded goroutine and memory growth.
 //
 // With -data-dir set the deployment is durable: accepted reports are
 // appended to a write-ahead log before the ack (fsynced per -fsync:
@@ -112,7 +123,11 @@ func main() {
 		fullEvery = flag.Int("full-rebuild-every", 0,
 			"make every Nth view build a full (cold) rebuild instead of an incremental delta fold (0 = default 64, 1 = always full, negative = never)")
 		pprofAddr = flag.String("pprof-addr", "",
-			"serve net/http/pprof on this separate address (e.g. 127.0.0.1:6060; empty = disabled)")
+			"serve net/http/pprof and /metrics on this separate address (e.g. 127.0.0.1:6060; empty = disabled)")
+		maxInflight = flag.Int("max-inflight-ingest", 0,
+			"ingest requests processed concurrently before new arrivals queue (0 = 4x ingest workers, negative = no admission control)")
+		maxQueue = flag.Int("max-ingest-queue", 0,
+			"ingest requests allowed to queue for an in-flight slot before arrivals are shed with 429 (0 = 16x the in-flight cap)")
 
 		dataDir    = flag.String("data-dir", "", "durable directory: WAL+snapshots for single/edge, peer-state snapshot for coordinator (empty = memory-only)")
 		fsyncMode  = flag.String("fsync", "interval", "WAL fsync policy: always, interval, or off")
@@ -186,19 +201,21 @@ func main() {
 		}
 	}
 	srv, err := server.NewWithOptions(p, server.Options{
-		Role:          nodeRole,
-		NodeID:        *nodeID,
-		Peers:         peerList,
-		PullInterval:  *pullInterval,
-		ClusterDir:    clusterDir,
-		Shards:        *shards,
-		IngestWorkers: *workers,
-		Refresh:       view.Policy{Interval: *interval, EveryN: *everyN},
-		View:          view.Options{FullRebuildEvery: *fullEvery},
-		Store:         st,
-		Window:        *windowSpan,
-		Bucket:        *bucketSpan,
-		RoundEps:      *roundEps,
+		Role:              nodeRole,
+		NodeID:            *nodeID,
+		Peers:             peerList,
+		PullInterval:      *pullInterval,
+		ClusterDir:        clusterDir,
+		Shards:            *shards,
+		IngestWorkers:     *workers,
+		MaxInflightIngest: *maxInflight,
+		MaxIngestQueue:    *maxQueue,
+		Refresh:           view.Policy{Interval: *interval, EveryN: *everyN},
+		View:              view.Options{FullRebuildEvery: *fullEvery},
+		Store:             st,
+		Window:            *windowSpan,
+		Bucket:            *bucketSpan,
+		RoundEps:          *roundEps,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -225,6 +242,9 @@ func main() {
 		// the deployment mux never touches, and bind to their own —
 		// typically loopback-only — address. Hot-path regressions can
 		// then be profiled in place without exposing /debug to clients.
+		// /metrics rides along so scrapes survive a saturated (or
+		// admission-shedding) service listener.
+		http.Handle("/metrics", srv.Metrics().Handler())
 		go func() {
 			log.Printf("pprof listening on %s", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {

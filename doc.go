@@ -173,4 +173,27 @@
 // merged fleet, so tiers stack into deeper aggregation trees. See
 // examples/http_deployment/README.md for a two-edge walkthrough and the
 // failure/staleness semantics.
+//
+// # Observability
+//
+// Every role serves GET /metrics in the Prometheus text exposition
+// format, rendered by a zero-dependency registry (internal/metrics)
+// whose hot-path instruments are single atomics — cheap enough to live
+// on the ingest path. The scrape covers every layer the role runs:
+// per-endpoint request latency histograms and status-class counters,
+// ingest and shed totals, WAL append/fsync latency and segment counts,
+// view build timings split incremental vs full, epoch age, window
+// occupancy and rotations, ledger charges, per-peer pull latency and
+// outcomes on a coordinator, and Go runtime stats. The same registry is
+// mounted on the -pprof-addr side listener, so operators can scrape
+// without touching the serving port. /healthz stays a pure liveness
+// probe while GET /readyz reports readiness — a node is ready once WAL
+// recovery finished and the first epoch serves (a coordinator, once it
+// holds at least one peer's state) — and ingestion is guarded by
+// bounded admission control (-max-inflight-ingest, -max-ingest-queue):
+// excess load is shed with 429 + Retry-After and counted rather than
+// queued without bound. cmd/ldpload load-tests a deployment in closed-
+// or open-loop (coordinated-omission-aware) mode and emits the latency
+// percentiles recorded in BENCH_load.json; CI soaks a real server with
+// it and gates regressions via cmd/benchguard's load mode.
 package ldpmarginals

@@ -1,0 +1,51 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memReader caches runtime.ReadMemStats between scrapes: the read stops
+// the world briefly, and one /metrics scrape asks for half a dozen heap
+// figures that should all come from the same snapshot anyway.
+type memReader struct {
+	mu   sync.Mutex
+	at   time.Time
+	ms   runtime.MemStats
+	once bool
+}
+
+func (m *memReader) get() *runtime.MemStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.once || time.Since(m.at) > 500*time.Millisecond {
+		runtime.ReadMemStats(&m.ms)
+		m.at = time.Now()
+		m.once = true
+	}
+	return &m.ms
+}
+
+// RegisterGoRuntime registers process-level Go runtime health under the
+// conventional go_* names: goroutine count, heap occupancy and
+// allocation throughput, and GC cycle/pause totals.
+func (r *Registry) RegisterGoRuntime() {
+	mem := new(memReader)
+	r.MustGaugeFunc("go_goroutines", "Number of live goroutines.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.MustGaugeFunc("go_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(mem.get().HeapAlloc) })
+	r.MustGaugeFunc("go_heap_objects", "Number of allocated heap objects.", nil,
+		func() float64 { return float64(mem.get().HeapObjects) })
+	r.MustGaugeFunc("go_sys_bytes", "Total bytes obtained from the OS.", nil,
+		func() float64 { return float64(mem.get().Sys) })
+	r.MustGaugeFunc("go_next_gc_bytes", "Heap size at which the next GC cycle triggers.", nil,
+		func() float64 { return float64(mem.get().NextGC) })
+	r.MustCounterFunc("go_alloc_bytes_total", "Cumulative bytes allocated for heap objects.", nil,
+		func() float64 { return float64(mem.get().TotalAlloc) })
+	r.MustCounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(mem.get().NumGC) })
+	r.MustCounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.", nil,
+		func() float64 { return float64(mem.get().PauseTotalNs) / 1e9 })
+}

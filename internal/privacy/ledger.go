@@ -30,6 +30,7 @@ type Ledger struct {
 	mu       sync.Mutex
 	buckets  []map[string]float64 // per-round spend by token; last is live
 	rejected uint64
+	charges  uint64 // accepted charges since startup
 }
 
 // NewLedger builds a ledger granting each token `budget` epsilon per
@@ -82,6 +83,7 @@ func (l *Ledger) Charge(token string, count int) error {
 		l.buckets[len(l.buckets)-1] = live
 	}
 	live[token] += cost
+	l.charges++
 	return nil
 }
 

@@ -1,0 +1,28 @@
+package privacy
+
+import (
+	"ldpmarginals/internal/metrics"
+)
+
+// RegisterMetrics attaches the ledger's budget accounting to r. The
+// token gauge walks the spend buckets under the ledger's mutex at scrape
+// time; charges and rejections are plain counters the Charge path
+// already maintains.
+func (l *Ledger) RegisterMetrics(r *metrics.Registry) {
+	r.MustCounterFunc("ldp_ledger_charges_total", "Accepted budget charges (one per charged report or batch).", nil,
+		func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.charges)
+		})
+	r.MustCounterFunc("ldp_ledger_rejected_total", "Charges refused because the token's window budget was spent (served as 429).", nil,
+		func() float64 {
+			l.mu.Lock()
+			defer l.mu.Unlock()
+			return float64(l.rejected)
+		})
+	r.MustGaugeFunc("ldp_ledger_tokens", "Distinct tokens with live spend inside the current window.", nil,
+		func() float64 { return float64(l.Stats().Tokens) })
+	r.MustGaugeFunc("ldp_ledger_budget_eps", "Configured per-token window budget (epsilon).", nil,
+		func() float64 { return l.budget })
+}

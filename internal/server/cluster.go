@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
 	"ldpmarginals/internal/wire"
@@ -380,6 +381,31 @@ func (f *fleet) persist() {
 	f.mu.Unlock()
 }
 
+// peersWithState counts configured peers whose state is held — pulled
+// this run or recovered from the cluster directory. The readiness probe
+// gates on it: a coordinator with zero peer states has nothing real to
+// serve.
+func (f *fleet) peersWithState() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, pe := range f.peers {
+		if pe.state != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// peerInstruments is one peer's pull metrics, maintained by the puller.
+type peerInstruments struct {
+	latency   *metrics.Histogram // one pull's wall time
+	bytes     *metrics.Counter   // state bytes fetched
+	changed   *metrics.Counter   // pulls that installed a new state
+	unchanged *metrics.Counter   // idempotent re-pulls (same version label)
+	failed    *metrics.Counter   // pulls that errored
+}
+
 // puller drives the periodic state pulls of a coordinator with per-peer
 // exponential backoff.
 type puller struct {
@@ -388,6 +414,11 @@ type puller struct {
 	transport *http.Transport // dedicated; idle conns dropped on Close
 	interval  time.Duration
 	maxState  int64
+
+	// ins is keyed by peer URL; the peer set is fixed at construction so
+	// the map is read-only after newPuller.
+	ins    map[string]*peerInstruments
+	rounds *metrics.Counter
 
 	stop  chan struct{}
 	close sync.Once
@@ -416,12 +447,24 @@ func newPuller(f *fleet, interval, timeout time.Duration, maxState int64) *pulle
 		MaxIdleConnsPerHost: 2,
 		IdleConnTimeout:     90 * time.Second,
 	}
+	ins := make(map[string]*peerInstruments, len(f.peers))
+	for _, pe := range f.peers {
+		ins[pe.url] = &peerInstruments{
+			latency:   metrics.NewHistogram(metrics.DurationBuckets()),
+			bytes:     metrics.NewCounter(),
+			changed:   metrics.NewCounter(),
+			unchanged: metrics.NewCounter(),
+			failed:    metrics.NewCounter(),
+		}
+	}
 	return &puller{
 		f:         f,
 		client:    &http.Client{Timeout: timeout, Transport: transport},
 		transport: transport,
 		interval:  interval,
 		maxState:  maxState,
+		ins:       ins,
+		rounds:    metrics.NewCounter(),
 		stop:      make(chan struct{}),
 	}
 }
@@ -493,6 +536,7 @@ func (pl *puller) round(force bool) {
 		}(url)
 	}
 	wg.Wait()
+	pl.rounds.Inc()
 	if anyChanged.Load() {
 		pl.f.persist()
 	}
@@ -502,7 +546,19 @@ func (pl *puller) round(force bool) {
 // peer's schedule: success re-arms the regular interval, failure backs
 // off exponentially.
 func (pl *puller) pull(url string) (changed bool) {
+	t0 := time.Now()
 	changed, err := pl.fetch(url)
+	if ins := pl.ins[url]; ins != nil {
+		ins.latency.Observe(time.Since(t0).Seconds())
+		switch {
+		case err != nil:
+			ins.failed.Inc()
+		case changed:
+			ins.changed.Inc()
+		default:
+			ins.unchanged.Inc()
+		}
+	}
 	pl.f.mu.Lock()
 	defer pl.f.mu.Unlock()
 	for _, pe := range pl.f.peers {
@@ -538,6 +594,9 @@ func (pl *puller) fetch(url string) (changed bool, err error) {
 		return false, fmt.Errorf("GET /state: status %d", resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, pl.maxState+1))
+	if ins := pl.ins[url]; ins != nil {
+		ins.bytes.Add(uint64(len(body)))
+	}
 	if err != nil {
 		return false, fmt.Errorf("GET /state: reading body: %w", err)
 	}

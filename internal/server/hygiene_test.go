@@ -57,6 +57,8 @@ func TestHandlerHTTPHygiene(t *testing.T) {
 		{"/state", http.MethodGet, nil, "application/octet-stream", []string{http.MethodPost, http.MethodPut}},
 		{"/status", http.MethodGet, nil, "application/json", []string{http.MethodPost}},
 		{"/healthz", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
+		{"/readyz", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
+		{"/metrics", http.MethodGet, nil, "text/plain", []string{http.MethodPost, http.MethodDelete}},
 	}
 	do := func(method, url string, body []byte) *http.Response {
 		t.Helper()

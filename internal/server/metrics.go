@@ -1,0 +1,319 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"ldpmarginals/internal/metrics"
+)
+
+// The observability layer. Every server assembles its own
+// metrics.Registry at construction: the HTTP middleware's per-endpoint
+// latency histograms and status-class counters, the ingest pipeline's
+// throughput and shed counters, and the per-layer instrumentation that
+// store, view, window, privacy, and the cluster tier register
+// themselves. GET /metrics renders it in Prometheus text format on
+// every role; all hot-path updates are single atomic operations (see
+// internal/metrics).
+
+// codeClasses are the status classes counted per endpoint (1xx is not
+// worth a series; 429s additionally surface through the shed and ledger
+// counters).
+var codeClasses = [4]string{"2xx", "3xx", "4xx", "5xx"}
+
+// pathInstruments is one route's request metrics.
+type pathInstruments struct {
+	latency *metrics.Histogram
+	codes   [4]*metrics.Counter // indexed by class-2
+}
+
+// httpInstruments is the middleware's instrument table: one entry per
+// registered route plus a catch-all, built once at construction so the
+// per-request path is a read-only map lookup.
+type httpInstruments struct {
+	paths    map[string]*pathInstruments
+	other    *pathInstruments
+	inflight *metrics.Gauge
+}
+
+// serverInstruments is the server's own always-on instrumentation.
+type serverInstruments struct {
+	http *httpInstruments
+
+	ingestReports   *metrics.Counter // reports accepted into the aggregator
+	ingestBatches   *metrics.Counter // /report/batch requests fully accepted
+	rejectedReports *metrics.Counter // reports refused by protocol validation
+	shedReport      *metrics.Counter // /report requests shed by admission control
+	shedBatch       *metrics.Counter // /report/batch requests shed by admission control
+}
+
+// metricRoutes is the fixed set of endpoint paths instrumented
+// per-route; anything else (typos, probes) lands in the "other" bucket
+// so request cardinality cannot grow unboundedly.
+var metricRoutes = []string{
+	"/report", "/report/batch", "/marginal", "/query", "/refresh",
+	"/view/status", "/state", "/pull", "/status", "/healthz", "/readyz",
+	"/metrics",
+}
+
+func newServerInstruments() *serverInstruments {
+	h := &httpInstruments{
+		paths:    make(map[string]*pathInstruments, len(metricRoutes)),
+		inflight: metrics.NewGauge(),
+	}
+	newPath := func() *pathInstruments {
+		pi := &pathInstruments{latency: metrics.NewHistogram(metrics.DurationBuckets())}
+		for i := range pi.codes {
+			pi.codes[i] = metrics.NewCounter()
+		}
+		return pi
+	}
+	for _, p := range metricRoutes {
+		h.paths[p] = newPath()
+	}
+	h.other = newPath()
+	return &serverInstruments{
+		http:            h,
+		ingestReports:   metrics.NewCounter(),
+		ingestBatches:   metrics.NewCounter(),
+		rejectedReports: metrics.NewCounter(),
+		shedReport:      metrics.NewCounter(),
+		shedBatch:       metrics.NewCounter(),
+	}
+}
+
+// buildRegistry assembles the server's registry: its own HTTP/ingest
+// instruments plus every constructed layer's RegisterMetrics. Called
+// once at the end of construction, when all layers exist.
+func (s *Server) buildRegistry() *metrics.Registry {
+	r := metrics.NewRegistry()
+	r.RegisterGoRuntime()
+
+	register := func(path string, pi *pathInstruments) {
+		r.MustRegister("ldp_http_request_seconds", "Request latency by endpoint.", metrics.Labels{"path": path}, pi.latency)
+		for i, class := range codeClasses {
+			r.MustRegister("ldp_http_requests_total", "Requests by endpoint and status class.", metrics.Labels{"path": path, "code": class}, pi.codes[i])
+		}
+	}
+	for _, p := range metricRoutes {
+		register(p, s.ins.http.paths[p])
+	}
+	register("other", s.ins.http.other)
+	r.MustRegister("ldp_http_inflight_requests", "Requests currently being served.", nil, s.ins.http.inflight)
+
+	r.MustRegister("ldp_ingest_reports_total", "Reports accepted into the aggregation state.", nil, s.ins.ingestReports)
+	r.MustRegister("ldp_ingest_batches_total", "Batch requests fully accepted.", nil, s.ins.ingestBatches)
+	r.MustRegister("ldp_ingest_rejected_reports_total", "Reports not ingested from rejected requests (validation failures and the undispatched remainder of a failed batch).", nil, s.ins.rejectedReports)
+	r.MustRegister("ldp_ingest_shed_total", "Ingest requests shed by admission control (429).", metrics.Labels{"path": "/report"}, s.ins.shedReport)
+	r.MustRegister("ldp_ingest_shed_total", "Ingest requests shed by admission control (429).", metrics.Labels{"path": "/report/batch"}, s.ins.shedBatch)
+	r.MustGaugeFunc("ldp_reports", "Reports behind this node (fleet-wide on a coordinator, in-window on a windowed deployment).", nil,
+		func() float64 { return float64(s.N()) })
+	if s.adm != nil {
+		r.MustGaugeFunc("ldp_ingest_queued_requests", "Ingest requests waiting for an admission slot.", nil,
+			func() float64 { return float64(s.adm.queued.Load()) })
+	}
+
+	if st := s.Store(); st != nil {
+		st.RegisterMetrics(r)
+	}
+	if s.reads != nil {
+		s.reads.engine.RegisterMetrics(r)
+	}
+	if s.win != nil {
+		s.win.RegisterMetrics(r)
+	}
+	if s.ledger != nil {
+		s.ledger.RegisterMetrics(r)
+	}
+	if s.fleet != nil {
+		s.registerClusterMetrics(r)
+	}
+	return r
+}
+
+// registerClusterMetrics attaches the coordinator's per-peer pull
+// instrumentation: latency/bytes/result counters the puller maintains,
+// and scrape-time gauges over the fleet's accepted states.
+func (s *Server) registerClusterMetrics(r *metrics.Registry) {
+	r.MustCounterFunc("ldp_cluster_pull_rounds_total", "Completed pull rounds (scheduled and forced).", nil,
+		func() float64 { return float64(s.puller.rounds.Value()) })
+	r.MustGaugeFunc("ldp_cluster_fleet_reports", "Fleet-wide report count (local plus every accepted peer state).", nil,
+		func() float64 { return float64(s.fleet.N()) })
+	r.MustGaugeFunc("ldp_cluster_peers_with_state", "Configured peers whose state has been accepted (pulled or recovered).", nil,
+		func() float64 { return float64(s.fleet.peersWithState()) })
+
+	for _, pe := range s.fleet.peers {
+		pe := pe
+		labels := metrics.Labels{"peer": pe.url}
+		ins := s.puller.ins[pe.url]
+		r.MustRegister("ldp_cluster_pull_seconds", "One peer pull's wall time (fetch + validate + accept).", labels, ins.latency)
+		r.MustRegister("ldp_cluster_pull_bytes_total", "State bytes fetched from the peer.", labels, ins.bytes)
+		r.MustRegister("ldp_cluster_pulls_total", "Pulls by outcome.", metrics.Labels{"peer": pe.url, "result": "changed"}, ins.changed)
+		r.MustRegister("ldp_cluster_pulls_total", "Pulls by outcome.", metrics.Labels{"peer": pe.url, "result": "unchanged"}, ins.unchanged)
+		r.MustRegister("ldp_cluster_pulls_total", "Pulls by outcome.", metrics.Labels{"peer": pe.url, "result": "error"}, ins.failed)
+		r.MustGaugeFunc("ldp_cluster_peer_reports", "Reports in the peer's latest accepted state.", labels,
+			func() float64 {
+				s.fleet.mu.Lock()
+				defer s.fleet.mu.Unlock()
+				return float64(pe.n)
+			})
+		r.MustGaugeFunc("ldp_cluster_peer_pull_age_seconds", "Seconds since the peer's last successful pull (-1 before the first).", labels,
+			func() float64 {
+				s.fleet.mu.Lock()
+				pulledAt := pe.pulledAt
+				s.fleet.mu.Unlock()
+				if pulledAt.IsZero() {
+					return -1
+				}
+				if age := time.Since(pulledAt).Seconds(); age > 0 {
+					return age
+				}
+				return 0
+			})
+		r.MustGaugeFunc("ldp_cluster_peer_failures", "Consecutive pull failures (drives exponential backoff).", labels,
+			func() float64 {
+				s.fleet.mu.Lock()
+				defer s.fleet.mu.Unlock()
+				return float64(pe.fails)
+			})
+	}
+}
+
+// statusRecorder captures the response status for the middleware.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps the route mux with the request middleware: in-flight
+// gauge, per-endpoint latency histogram, and status-class counters. The
+// per-request cost is one map lookup on a read-only map and three atomic
+// updates.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	h := s.ins.http
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		pi := h.paths[r.URL.Path]
+		if pi == nil {
+			pi = h.other
+		}
+		h.inflight.Inc()
+		rec := statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		next.ServeHTTP(&rec, r)
+		pi.latency.Observe(time.Since(start).Seconds())
+		if class := rec.code/100 - 2; class >= 0 && class < len(pi.codes) {
+			pi.codes[class].Inc()
+		}
+		h.inflight.Dec()
+	})
+}
+
+// Metrics returns the server's metric registry, so an operator can
+// additionally mount it on a side listener (the pprof port) that stays
+// reachable when the serving listener is saturated.
+func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// admission is the ingest endpoints' load-shedding gate: a bounded
+// in-flight slot pool with a bounded wait queue in front of it. A
+// request beyond both bounds is shed immediately with 429 +
+// Retry-After instead of piling up another goroutine — under
+// overload the server degrades by refusing work it could not finish
+// anyway, and the shed counter makes the refusal observable.
+type admission struct {
+	slots    chan struct{} // capacity = max in-flight ingest requests
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+func newAdmission(inflight, queue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, inflight),
+		maxQueue: int64(queue),
+	}
+}
+
+// acquire claims an in-flight slot, waiting in the bounded queue when
+// the pool is full. It returns false when the queue is full too (shed)
+// or the client gave up while queued.
+func (a *admission) acquire(r *http.Request) bool {
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return false
+	}
+	defer a.queued.Add(-1)
+	select {
+	case a.slots <- struct{}{}:
+		return true
+	case <-r.Context().Done():
+		// The client disconnected while queued; nothing to admit.
+		return false
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// shed answers a request refused by admission control: 429 with an
+// explicit Retry-After, counted per endpoint.
+func (s *Server) shed(w http.ResponseWriter, counter *metrics.Counter) {
+	counter.Inc()
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "ingest at capacity; retry with backoff", http.StatusTooManyRequests)
+}
+
+// ReadyResponse is the JSON shape of a /readyz reply.
+type ReadyResponse struct {
+	Ready bool   `json:"ready"`
+	Role  string `json:"role"`
+	// Reasons lists what is not ready; empty when Ready.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// readiness computes the node's readiness. Liveness (/healthz) answers
+// "is the process serving"; readiness answers "should a load balancer
+// route traffic here": an ingesting role must have completed WAL
+// recovery (implied by construction) and kept the log healthy, a
+// serving role must have a published epoch, and a coordinator must hold
+// at least one peer's state (pulled this run or recovered from its
+// cluster directory) so it has something real to serve.
+func (s *Server) readiness() ReadyResponse {
+	resp := ReadyResponse{Ready: true, Role: s.role.String()}
+	fail := func(reason string) {
+		resp.Ready = false
+		resp.Reasons = append(resp.Reasons, reason)
+	}
+	if st := s.Store(); st != nil {
+		if err := st.WALErr(); err != nil {
+			fail("wal_failed: " + err.Error())
+		}
+	}
+	if s.reads != nil && s.reads.engine.Current() == nil {
+		fail("no_epoch")
+	}
+	if s.fleet != nil && s.fleet.peersWithState() == 0 {
+		fail("no_peer_state")
+	}
+	return resp
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	resp := s.readiness()
+	w.Header().Set("Content-Type", "application/json")
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, resp)
+}

@@ -108,6 +108,7 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/privacy"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/store"
@@ -193,6 +194,16 @@ type Options struct {
 	IngestWorkers int
 	// MaxBatchBytes bounds a /report/batch body; <= 0 selects 16 MiB.
 	MaxBatchBytes int64
+	// MaxInflightIngest bounds how many /report and /report/batch
+	// requests are processed concurrently; arrivals beyond it wait in a
+	// bounded queue (MaxIngestQueue) and are shed with 429 + Retry-After
+	// once that fills. Zero selects 4x the ingest workers; negative
+	// disables admission control entirely.
+	MaxInflightIngest int
+	// MaxIngestQueue bounds how many ingest requests may wait for an
+	// in-flight slot before new arrivals are shed; <= 0 selects 16x the
+	// in-flight cap.
+	MaxIngestQueue int
 	// MaxQueryBytes bounds a /query JSON body; <= 0 selects 1 MiB.
 	MaxQueryBytes int64
 	// Refresh is the automatic view-refresh policy; the zero value means
@@ -325,6 +336,10 @@ type Server struct {
 	reads  *readPipeline   // nil when the role doesn't serve (edge)
 	fleet  *fleet          // coordinator only
 	puller *puller         // coordinator only
+
+	ins *serverInstruments // always non-nil; hot paths update unconditionally
+	adm *admission         // ingest load shedding; nil when disabled or not ingesting
+	reg *metrics.Registry  // the /metrics registry, assembled at construction
 }
 
 // New builds a single-role server around a protocol with default
@@ -369,6 +384,7 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		role:     opts.Role,
 		nodeID:   nodeID,
 		agg:      core.NewSharded(p, opts.Shards),
+		ins:      newServerInstruments(),
 	}
 	var salt [8]byte
 	if _, err := rand.Read(salt[:]); err != nil {
@@ -403,6 +419,17 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		}
 		if s.ingest, err = newIngestPipeline(sink, seed, src, s.agg.Shards(), opts); err != nil {
 			return fail(err)
+		}
+		if opts.MaxInflightIngest >= 0 {
+			inflight := opts.MaxInflightIngest
+			if inflight == 0 {
+				inflight = 4 * cap(s.ingest.slots)
+			}
+			queue := opts.MaxIngestQueue
+			if queue <= 0 {
+				queue = 16 * inflight
+			}
+			s.adm = newAdmission(inflight, queue)
 		}
 	}
 	var src view.Source = s.agg
@@ -451,6 +478,8 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		s.rotor = newRotator(s)
 		s.rotor.start()
 	}
+	// Every layer now exists; assemble the /metrics registry over them.
+	s.reg = s.buildRegistry()
 	return s, nil
 }
 
@@ -577,8 +606,12 @@ func (s *Server) Shards() int { return s.agg.Shards() }
 //	POST /pull          pull every peer now                    -> JSON cluster status (coordinator)
 //	GET  /status        deployment metadata + cluster block    -> JSON
 //	GET  /healthz       liveness probe                         -> JSON ok
+//	GET  /readyz        readiness probe (503 until ready)      -> JSON
+//	GET  /metrics       Prometheus text exposition             -> text/plain
 //
-// Endpoints outside the node's role answer 403 naming the role.
+// Endpoints outside the node's role answer 403 naming the role. Every
+// request passes through the instrumentation middleware (per-endpoint
+// latency and status-class counters, visible on /metrics).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
@@ -591,7 +624,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/pull", s.handlePull)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.Handle("/metrics", s.reg.Handler())
+	return s.instrument(mux)
 }
 
 // allow guards a handler's method, answering 405 with the Allow header
@@ -618,6 +653,13 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if s.ingest == nil {
 		s.rejectRole(w, "report ingestion", "single or edge")
 		return
+	}
+	if s.adm != nil {
+		if !s.adm.acquire(r) {
+			s.shed(w, s.ins.shedReport)
+			return
+		}
+		defer s.adm.release()
 	}
 	frame, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
 	if err != nil {
@@ -658,9 +700,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		rejected = err
 	}
 	if rejected != nil {
+		s.ins.rejectedReports.Inc()
 		http.Error(w, "rejected: "+rejected.Error(), http.StatusBadRequest)
 		return
 	}
+	s.ins.ingestReports.Inc()
 	if err2 != nil {
 		// Consumed but not durably logged: a server fault, not a client
 		// one. The report is in memory and the next snapshot captures
@@ -780,6 +824,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.ingest == nil {
 		s.rejectRole(w, "report ingestion", "single or edge")
 		return
+	}
+	if s.adm != nil {
+		if !s.adm.acquire(r) {
+			s.shed(w, s.ins.shedBatch)
+			return
+		}
+		defer s.adm.release()
 	}
 	in := s.ingest
 	// Bound whole batch requests in flight, not just the shard writes:
@@ -904,7 +955,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}(lo, hi)
 	}
 	wg.Wait()
+	s.ins.ingestReports.Add(uint64(accepted.Load()))
 	if firstErr != nil {
+		s.ins.rejectedReports.Add(uint64(len(reps)) - uint64(accepted.Load()))
 		// The failure reply still carries the exact accepted count so
 		// the client knows how much of the batch is in the estimate.
 		// Report rejections are the client's fault (400); persistence
@@ -923,6 +976,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+	s.ins.ingestBatches.Inc()
 	writeJSON(w, BatchResponse{Accepted: int(accepted.Load())})
 }
 

@@ -175,6 +175,8 @@ type Store struct {
 
 	walErr atomic.Pointer[error] // first committer write/sync failure, sticky
 
+	ins *storeInstruments
+
 	recovered core.Aggregator
 	recStats  RecoveryStats
 }
@@ -201,6 +203,7 @@ func Open(dir string, p core.Protocol, opts Options) (*Store, error) {
 		commitDone: make(chan struct{}),
 		tickStop:   make(chan struct{}),
 		tickDone:   make(chan struct{}),
+		ins:        newStoreInstruments(),
 	}
 	maxSeg, err := s.recover()
 	if err != nil {
@@ -433,6 +436,7 @@ func (s *Store) Ingest(batch []byte, apply func() (reports, bytes int, err error
 		// The committer frames batch[:nbytes] into records itself; the
 		// caller must not modify the bytes after this point (the server
 		// hands over per-request bodies, which nothing reuses).
+		t0 := time.Now()
 		if s.opts.Fsync == FsyncAlways {
 			req := &walReq{buf: batch[:nbytes], sync: true, done: make(chan walRes, 1)}
 			s.reqs <- req
@@ -442,6 +446,7 @@ func (s *Store) Ingest(batch []byte, apply func() (reports, bytes int, err error
 		} else {
 			s.reqs <- &walReq{buf: batch[:nbytes]}
 		}
+		s.ins.appendWait.Observe(time.Since(t0).Seconds())
 		if n := s.sinceSnap.Add(int64(consumed)); s.opts.SnapshotEveryN > 0 && n >= int64(s.opts.SnapshotEveryN) {
 			s.triggerSnapshot()
 		}
@@ -538,6 +543,7 @@ func (s *Store) snapshotLocked(force bool) error {
 		// Nothing arrived since the last snapshot: it is still exact.
 		return nil
 	}
+	t0 := time.Now()
 	agg, err := s.source()
 	if err != nil {
 		return fmt.Errorf("store: reading state source: %w", err)
@@ -574,6 +580,11 @@ func (s *Store) snapshotLocked(force bool) error {
 	s.statsMu.Unlock()
 	s.sinceSnap.Store(0)
 	s.prune()
+	s.ins.snapshotDur.Observe(time.Since(t0).Seconds())
+	s.ins.snapshots.Inc()
+	if force {
+		s.ins.compactions.Inc()
+	}
 	return nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
@@ -316,7 +317,10 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 		if len(scratch) == 0 {
 			return
 		}
+		t0 := time.Now()
 		n, err := cur.Write(scratch)
+		s.ins.walWrite.Observe(time.Since(t0).Seconds())
+		s.ins.walAppended.Add(uint64(n))
 		curSize += int64(n)
 		if err != nil {
 			_ = kill(err)
@@ -327,6 +331,14 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 			dirty = true
 		}
 		scratch, inFlight = scratch[:0], inFlight[:0]
+	}
+	// timedSync is cur.Sync with its latency observed — the figure that
+	// explains ingest tail latency under fsync=always.
+	timedSync := func() error {
+		t0 := time.Now()
+		err := cur.Sync()
+		s.ins.walFsync.Observe(time.Since(t0).Seconds())
+		return err
 	}
 	stopping := false
 	for {
@@ -387,7 +399,7 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 					continue
 				}
 				old := curIdx
-				if err := cur.Sync(); err != nil {
+				if err := timedSync(); err != nil {
 					results[i] = walRes{err: kill(err)}
 					continue
 				}
@@ -403,6 +415,7 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 					continue
 				}
 				cur, curIdx, curSize, dirty = next, curIdx+1, nsize, false
+				s.ins.walRotations.Inc()
 				if r.rotate {
 					results[i] = walRes{seg: old}
 					continue
@@ -419,7 +432,7 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 		}
 		flush()
 		if needSync && dirty && dead == nil {
-			if err := cur.Sync(); err != nil {
+			if err := timedSync(); err != nil {
 				// An fsync failure poisons every durability claim in the
 				// batch: report it to all callers still awaiting success.
 				_ = kill(err)

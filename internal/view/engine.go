@@ -149,6 +149,7 @@ type Engine struct {
 
 	incBuilds  atomic.Int64
 	fullBuilds atomic.Int64
+	ins        *viewInstruments
 
 	stop  chan struct{}
 	close sync.Once
@@ -188,7 +189,7 @@ func (e *Engine) Incremental() bool {
 // supports delta snapshots the engine refreshes incrementally (see
 // Options.FullRebuildEvery); the initial epoch is always a full build.
 func NewEngine(src Source, p core.Protocol, opts EngineOptions) (*Engine, error) {
-	e := &Engine{src: src, p: p, opts: opts, stop: make(chan struct{})}
+	e := &Engine{src: src, p: p, opts: opts, stop: make(chan struct{}), ins: newViewInstruments()}
 	if ds, ok := src.(DeltaSource); ok && opts.Build.FullRebuildEvery != 1 {
 		if arena := ds.NewSnapshotArena(); arena != nil {
 			bld, err := newBuilder(p, opts.Build)
@@ -294,11 +295,13 @@ func (e *Engine) buildNext() (*View, error) {
 			return nil, nil
 		}
 		comp := e.composition()
+		t1 := time.Now()
 		v, err = e.bld.build(e.arena.State(), true)
 		if err != nil {
 			e.arenaDirty = true
 			return nil, err
 		}
+		e.ins.buildInc.Observe(time.Since(t1).Seconds())
 		e.arenaDirty = false
 		v.Components = comp
 		e.sinceFull++
@@ -326,16 +329,19 @@ func (e *Engine) buildNext() (*View, error) {
 		// source pins it to its last snapshot call, and builds are
 		// serialized under e.mu, so this is exactly the epoch's makeup.
 		comp := e.composition()
+		t1 := time.Now()
 		v, err = Build(snap, e.p, e.opts.Build)
 		if err != nil {
 			return nil, err
 		}
+		e.ins.buildFull.Observe(time.Since(t1).Seconds())
 		v.Components = comp
 		e.arenaDirty = false
 		e.sinceFull = 0
 		e.fullBuilds.Add(1)
 	}
 	v.SnapshotDuration = snapDur
+	e.ins.snapshotDur.Observe(snapDur.Seconds())
 	v.FoldedComponents = folded
 	return v, nil
 }

@@ -1,0 +1,65 @@
+package view
+
+import (
+	"ldpmarginals/internal/metrics"
+)
+
+// viewInstruments is the engine's always-on instrumentation: build-stage
+// latency histograms by build kind, updated inside buildNext. Allocated
+// at NewEngine so the build path never nil-checks.
+type viewInstruments struct {
+	buildFull   *metrics.Histogram // cold Build latency
+	buildInc    *metrics.Histogram // incremental (delta-fold + nonlinear stage) latency
+	snapshotDur *metrics.Histogram // snapshot/fold stage latency
+}
+
+func newViewInstruments() *viewInstruments {
+	return &viewInstruments{
+		buildFull:   metrics.NewHistogram(metrics.DurationBuckets()),
+		buildInc:    metrics.NewHistogram(metrics.DurationBuckets()),
+		snapshotDur: metrics.NewHistogram(metrics.DurationBuckets()),
+	}
+}
+
+// RegisterMetrics attaches the engine's instrumentation to r under the
+// ldp_view_* families. The epoch/age/staleness gauges read the published
+// view through the engine's atomic pointer — no locks at scrape time.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (post-snapshot stage).", metrics.Labels{"kind": "full"}, e.ins.buildFull)
+	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (post-snapshot stage).", metrics.Labels{"kind": "incremental"}, e.ins.buildInc)
+	r.MustRegister("ldp_view_snapshot_seconds", "Snapshot/delta-fold stage latency of epoch builds.", nil, e.ins.snapshotDur)
+	r.MustCounterFunc("ldp_view_builds_total", "Epoch builds by kind.", metrics.Labels{"kind": "full"},
+		func() float64 { return float64(e.fullBuilds.Load()) })
+	r.MustCounterFunc("ldp_view_builds_total", "Epoch builds by kind.", metrics.Labels{"kind": "incremental"},
+		func() float64 { return float64(e.incBuilds.Load()) })
+	r.MustGaugeFunc("ldp_view_epoch", "Serving epoch number.", nil,
+		func() float64 { return float64(e.Epoch()) })
+	r.MustGaugeFunc("ldp_view_age_seconds", "Age of the serving epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return v.Age().Seconds()
+			}
+			return -1
+		})
+	r.MustGaugeFunc("ldp_view_staleness_reports", "Reports ingested since the serving epoch was built.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return float64(v.Staleness(e.src.N()))
+			}
+			return -1
+		})
+	r.MustGaugeFunc("ldp_view_tables", "Materialized k-way tables in the serving epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return float64(v.Tables())
+			}
+			return 0
+		})
+	r.MustGaugeFunc("ldp_view_reports", "Reports contained in the serving epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return float64(v.N)
+			}
+			return 0
+		})
+}
