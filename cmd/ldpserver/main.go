@@ -16,10 +16,12 @@
 //	POST /query             JSON conjunction batch against the cached epoch
 //	POST /refresh           build and publish the next epoch now
 //	GET  /view/status       serving epoch, staleness, build time
+//	GET  /view/diagnostics  accuracy diagnostics: theoretical TV bound, consistency correction, drift
 //	GET  /status            deployment metadata and report count
 //	GET  /healthz           liveness probe
 //	GET  /readyz            readiness probe (503 until ready to serve)
 //	GET  /metrics           Prometheus text exposition
+//	GET  /debug/traces      completed request and lifecycle traces (JSON)
 //
 // Ingestion is sharded across -shards per-shard accumulators (0 selects
 // GOMAXPROCS) so multi-core hardware ingests reports in parallel. Reads
@@ -37,8 +39,16 @@
 // -pprof-addr serves net/http/pprof on a separate listener (disabled by
 // default), so hot-path regressions can be profiled in place without
 // exposing the debug handlers on the service port. The side listener
-// also serves GET /metrics, so a scraper keeps working when the
-// service listener is saturated by ingest.
+// also serves GET /metrics and GET /debug/traces, so scraping and trace
+// inspection keep working when the service listener is saturated by
+// ingest.
+//
+// Every request is traced: the middleware roots a span (joining the
+// caller's W3C traceparent when present — a coordinator's pull and the
+// edge's /state handler share one trace id), echoes the id as
+// X-LDP-Trace-Id, and completed traces land in the bounded ring behind
+// GET /debug/traces. -log-level tunes the leveled key=value logging on
+// stderr; debug adds one line per request carrying its trace id.
 //
 // Ingest admission control bounds how many /report and /report/batch
 // requests are processed at once (-max-inflight-ingest) and how many
@@ -91,25 +101,23 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux for -pprof-addr
+	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
 	"ldpmarginals"
+	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/server"
 	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/view"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ldpserver: ")
-
 	var (
 		addr      = flag.String("addr", ":8080", "listen address")
 		protocol  = flag.String("protocol", "InpHT", "protocol name")
@@ -142,12 +150,25 @@ func main() {
 		nodeID       = flag.String("node-id", "", "cluster node id (empty = random); must be unique across the fleet")
 		peers        = flag.String("peers", "", "comma-separated peer base URLs a coordinator pulls state from")
 		pullInterval = flag.Duration("pull-interval", 5*time.Second, "coordinator state-pull cadence (failing peers back off exponentially)")
+
+		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error, or off (debug adds one line per request, carrying its trace id)")
 	)
 	flag.Parse()
 
+	level, err := logx.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ldpserver:", err)
+		os.Exit(1)
+	}
+	logger := logx.New(logx.Options{Writer: os.Stderr, Min: level, Timestamps: true})
+	die := func(err error) {
+		logger.Error(err.Error())
+		os.Exit(1)
+	}
+
 	nodeRole, err := server.ParseRole(*role)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	var peerList []string
 	if *peers != "" {
@@ -161,13 +182,13 @@ func main() {
 	cfg := ldpmarginals.Config{D: *d, K: *k, Epsilon: *eps, OptimizedPRR: true}
 	p, err := makeProtocol(*protocol, cfg)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	// Validate the WAL flags for every role, so a typo fails identically
 	// whether or not this node opens a store.
 	policy, err := store.ParseFsync(*fsyncMode)
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	clusterDir := ""
 	if nodeRole == server.RoleCoordinator && *dataDir != "" {
@@ -177,7 +198,7 @@ func main() {
 		clusterDir = *dataDir
 		*dataDir = ""
 		if *fsyncMode != "interval" || *snapEveryN != 1_000_000 {
-			log.Printf("note: -fsync and -snapshot-every-n tune the WAL and have no effect on a coordinator")
+			logger.Info("-fsync and -snapshot-every-n tune the WAL and have no effect on a coordinator")
 		}
 	}
 	var st *store.Store
@@ -188,16 +209,17 @@ func main() {
 			SnapshotEveryN: *snapEveryN,
 		})
 		if err != nil {
-			log.Fatal(err)
+			die(err)
 		}
 		_, rec := st.Recovered()
-		log.Printf("recovered %d reports from %s (snapshot %d with %d reports, %d replayed from %d WAL segments)",
-			rec.Reports, *dataDir, rec.SnapshotSeq, rec.SnapshotReports, rec.ReportsReplayed, rec.SegmentsReplayed)
+		logger.Info("recovered reports", "reports", rec.Reports, "dir", *dataDir,
+			"snapshot_seq", rec.SnapshotSeq, "snapshot_reports", rec.SnapshotReports,
+			"replayed", rec.ReportsReplayed, "segments", rec.SegmentsReplayed)
 		if rec.TornTailTruncations > 0 {
-			log.Printf("truncated %d torn WAL tail record(s) from the previous crash", rec.TornTailTruncations)
+			logger.Warn("truncated torn WAL tail records from the previous crash", "records", rec.TornTailTruncations)
 		}
 		if rec.SnapshotsDiscarded > 0 {
-			log.Printf("discarded %d corrupt snapshot(s) during recovery", rec.SnapshotsDiscarded)
+			logger.Warn("discarded corrupt snapshots during recovery", "snapshots", rec.SnapshotsDiscarded)
 		}
 	}
 	srv, err := server.NewWithOptions(p, server.Options{
@@ -216,24 +238,25 @@ func main() {
 		Window:            *windowSpan,
 		Bucket:            *bucketSpan,
 		RoundEps:          *roundEps,
+		Log:               logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		die(err)
 	}
 	defer srv.Close()
 	if *windowSpan > 0 {
-		budget := "no per-round budget"
+		budget := "none"
 		if *roundEps > 0 {
-			budget = fmt.Sprintf("round budget %.3g eps per client", *roundEps)
+			budget = fmt.Sprintf("%.3g eps per client", *roundEps)
 		}
-		log.Printf("continual release: %v window in %v buckets, %s", *windowSpan, *bucketSpan, budget)
+		logger.Info("continual release", "window", *windowSpan, "bucket", *bucketSpan, "round_budget", budget)
 	}
 	if nodeRole == server.RoleCoordinator {
-		extra := ""
 		if clusterDir != "" {
-			extra = fmt.Sprintf(", resumed %d fleet reports from %s", srv.N(), clusterDir)
+			logger.Info("coordinator pulling peers", "node", srv.NodeID(), "peers", len(peerList), "interval", *pullInterval, "resumed_reports", srv.N(), "cluster_dir", clusterDir)
+		} else {
+			logger.Info("coordinator pulling peers", "node", srv.NodeID(), "peers", len(peerList), "interval", *pullInterval)
 		}
-		log.Printf("coordinator %s pulling %d peer(s) every %v%s", srv.NodeID(), len(peerList), *pullInterval, extra)
 	}
 
 	if *pprofAddr != "" {
@@ -242,13 +265,15 @@ func main() {
 		// the deployment mux never touches, and bind to their own —
 		// typically loopback-only — address. Hot-path regressions can
 		// then be profiled in place without exposing /debug to clients.
-		// /metrics rides along so scrapes survive a saturated (or
-		// admission-shedding) service listener.
+		// /metrics and /debug/traces ride along so scrapes and trace
+		// inspection survive a saturated (or admission-shedding) service
+		// listener.
 		http.Handle("/metrics", srv.Metrics().Handler())
+		http.Handle("/debug/traces", srv.TraceHandler())
 		go func() {
-			log.Printf("pprof listening on %s", *pprofAddr)
+			logger.Info("pprof listening", "addr", *pprofAddr)
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("pprof listener: %v", err)
+				logger.Error("pprof listener failed", "err", err)
 			}
 		}()
 	}
@@ -280,24 +305,24 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		die(err)
 	case <-ctx.Done():
 		stop()
-		log.Printf("shutting down: draining in-flight requests")
+		logger.Info("shutting down: draining in-flight requests")
 		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
-			log.Printf("shutdown: %v", err)
+			logger.Warn("shutdown incomplete", "err", err)
 		}
 		if err := srv.Close(); err != nil {
-			log.Printf("closing store: %v", err)
+			logger.Error("closing store failed", "err", err)
 		} else if st != nil {
-			log.Printf("flushed WAL and wrote final snapshot to %s", *dataDir)
+			logger.Info("flushed WAL and wrote final snapshot", "dir", *dataDir)
 		}
 		if v := srv.View(); v != nil {
-			log.Printf("served %d reports across %d epochs", srv.N(), v.Epoch())
+			logger.Info("served", "reports", srv.N(), "epochs", v.Epoch())
 		} else {
-			log.Printf("ingested %d reports", srv.N())
+			logger.Info("ingested", "reports", srv.N())
 		}
 	}
 }

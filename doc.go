@@ -196,4 +196,35 @@
 // or open-loop (coordinated-omission-aware) mode and emits the latency
 // percentiles recorded in BENCH_load.json; CI soaks a real server with
 // it and gates regressions via cmd/benchguard's load mode.
+//
+// # Tracing and accuracy diagnostics
+//
+// Metrics aggregate; traces explain. Every request is rooted in a span
+// by the server middleware (internal/trace, zero dependencies), its
+// trace id echoed back as X-LDP-Trace-Id and stamped into every JSON
+// error body, and the request's context threads the trace through the
+// layers it crosses: admission waits, ledger charges, WAL appends,
+// window seals and expiries, and each stage of an epoch build. The
+// fleet is one trace too — a coordinator injects a W3C traceparent
+// header on its GET /state pulls and an edge joins the propagated
+// trace id, so a single pull round reads as one tree across processes.
+// Completed traces land in a bounded in-memory ring served as JSON on
+// GET /debug/traces (also mounted on the -pprof-addr side listener);
+// slow traces are logged, and background no-op work (idle pull rounds,
+// no-boundary window ticks) is discarded rather than allowed to flood
+// the ring. -log-level selects the leveled key=value logger's floor;
+// debug adds one line per request carrying its trace id.
+//
+// The same spirit — observability grounded in the paper, not just in
+// the process — drives GET /view/diagnostics: per serving epoch it
+// reports the theoretical per-marginal total-variation error bound at
+// the deployment's exact parameters (Theorem 4.5's sqrt(|T|) 2^{k/2} /
+// (eps sqrt(n)) family, internal/bounds), the L1 cell mass the
+// consistency-enforcement and simplex-projection stages moved, and the
+// max/mean TV drift of the epoch's k-way tables against the previous
+// epoch. The bound says how wrong the marginals may be; the correction
+// magnitude says how inconsistent the raw reconstruction was; the
+// drift says how fast the population is moving — together they answer
+// "can I trust this epoch" without ground truth. All three are also
+// exported as ldp_view_* gauges and stamped onto the build's span.
 package ldpmarginals

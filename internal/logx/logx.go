@@ -1,0 +1,208 @@
+// Package logx is the deployment's leveled key=value logger: a thin,
+// zero-dependency replacement for ad-hoc log.Printf lines that makes
+// log output greppable (level=warn component=server msg=...) and lets
+// request logging carry the trace id so log lines and traces
+// correlate.
+//
+// It deliberately stays small: four levels, key=value formatting with
+// quoting only when needed, a mutex-serialized writer, and child
+// loggers that pre-bind context fields (component=..., node=...).
+// Anything fancier belongs in the metrics and tracing layers.
+package logx
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+const (
+	// Debug is per-request noise: one line per HTTP request, per pull
+	// round, per epoch build. Off by default.
+	Debug Level = iota
+	// Info is lifecycle news: startup, shutdown, recovery, rotation.
+	Info
+	// Warn is degraded-but-running: a failed peer pull, a slow trace,
+	// a 5xx served.
+	Warn
+	// Error is broken: WAL failure, listener error.
+	Error
+	// Off disables all output.
+	Off
+)
+
+// ParseLevel maps a -log-level flag value to a Level. Unknown values
+// return an error naming the accepted set.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return Debug, nil
+	case "info", "":
+		return Info, nil
+	case "warn", "warning":
+		return Warn, nil
+	case "error":
+		return Error, nil
+	case "off", "none":
+		return Off, nil
+	}
+	return Info, fmt.Errorf("unknown log level %q (want debug, info, warn, error, or off)", s)
+}
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "debug"
+	case Info:
+		return "info"
+	case Warn:
+		return "warn"
+	case Error:
+		return "error"
+	case Off:
+		return "off"
+	}
+	return "unknown"
+}
+
+// Logger writes leveled key=value lines. A nil *Logger is valid and
+// discards everything, so components can hold one unconditionally.
+type Logger struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	min    Level
+	bound  string // pre-rendered "k=v k=v " context fields
+	stamps bool
+}
+
+// Options configures New.
+type Options struct {
+	// Writer receives the log lines; required.
+	Writer io.Writer
+	// Min is the lowest level that is emitted.
+	Min Level
+	// Timestamps prefixes each line with ts=RFC3339; off in tests
+	// keeps golden output stable.
+	Timestamps bool
+}
+
+// New builds a logger.
+func New(opts Options) *Logger {
+	return &Logger{
+		mu:     &sync.Mutex{},
+		w:      opts.Writer,
+		min:    opts.Min,
+		stamps: opts.Timestamps,
+	}
+}
+
+// With returns a child logger whose lines all carry the given
+// key=value pairs (args alternate key, value). The child shares the
+// parent's writer and level.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	var b strings.Builder
+	appendPairs(&b, args)
+	child := *l
+	// appendPairs renders " k=v k=v"; the bound prefix wants
+	// "k=v k=v " so log() can splice it before msg=.
+	if pairs := b.String(); pairs != "" {
+		child.bound = l.bound + pairs[1:] + " "
+	}
+	return &child
+}
+
+// Enabled reports whether lines at lv would be emitted — a cheap guard
+// for callers that build expensive values only when logging.
+func (l *Logger) Enabled(lv Level) bool {
+	return l != nil && l.w != nil && lv >= l.min
+}
+
+// Debugf and friends emit one line: `level=<lv> <bound> msg=<msg> k=v...`.
+// args alternate key, value; a trailing odd arg is rendered under the
+// key "arg".
+func (l *Logger) Debug(msg string, args ...any) { l.log(Debug, msg, args) }
+func (l *Logger) Info(msg string, args ...any)  { l.log(Info, msg, args) }
+func (l *Logger) Warn(msg string, args ...any)  { l.log(Warn, msg, args) }
+func (l *Logger) Error(msg string, args ...any) { l.log(Error, msg, args) }
+
+func (l *Logger) log(lv Level, msg string, args []any) {
+	if !l.Enabled(lv) {
+		return
+	}
+	var b strings.Builder
+	if l.stamps {
+		b.WriteString("ts=")
+		b.WriteString(time.Now().UTC().Format(time.RFC3339))
+		b.WriteByte(' ')
+	}
+	b.WriteString("level=")
+	b.WriteString(lv.String())
+	b.WriteByte(' ')
+	b.WriteString(l.bound)
+	b.WriteString("msg=")
+	b.WriteString(quote(msg))
+	appendPairs(&b, args)
+	b.WriteByte('\n')
+	l.mu.Lock()
+	_, _ = io.WriteString(l.w, b.String())
+	l.mu.Unlock()
+}
+
+// appendPairs renders alternating key/value args as " k=v" pairs.
+func appendPairs(b *strings.Builder, args []any) {
+	for i := 0; i < len(args); i += 2 {
+		b.WriteByte(' ')
+		if i+1 >= len(args) {
+			b.WriteString("arg=")
+			b.WriteString(quote(render(args[i])))
+			break
+		}
+		key, ok := args[i].(string)
+		if !ok {
+			key = render(args[i])
+		}
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(quote(render(args[i+1])))
+	}
+	// With() binds pairs into the prefix, which needs a trailing space
+	// instead of a leading one; the caller fixes that up.
+}
+
+func render(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case error:
+		return x.Error()
+	case time.Duration:
+		return x.String()
+	case fmt.Stringer:
+		return x.String()
+	}
+	return fmt.Sprint(v)
+}
+
+// quote wraps v in Go quoting only when it contains whitespace,
+// quotes, or control characters — bare tokens stay grep-friendly.
+func quote(v string) string {
+	if v == "" {
+		return `""`
+	}
+	for i := 0; i < len(v); i++ {
+		c := v[i]
+		if c <= ' ' || c == '"' || c == '=' || c == 0x7f {
+			return strconv.Quote(v)
+		}
+	}
+	return v
+}

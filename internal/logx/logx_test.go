@@ -1,0 +1,160 @@
+package logx
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLevelsAndFormat pins the line format — level=<lv> <bound>
+// msg=<msg> k=v — and the level gate.
+func TestLevelsAndFormat(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Writer: &buf, Min: Info})
+
+	l.Debug("dropped")
+	l.Info("starting", "addr", "127.0.0.1:8080", "protocol", "InpHT")
+	l.Warn("pull failed", "peer", "http://edge-1", "err", errors.New("connection refused"))
+	l.Error("wal broken", "dur", 1500*time.Millisecond)
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	want := []string{
+		`level=info msg=starting addr=127.0.0.1:8080 protocol=InpHT`,
+		`level=warn msg="pull failed" peer=http://edge-1 err="connection refused"`,
+		`level=error msg="wal broken" dur=1.5s`,
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("got %d lines %q, want %d", len(lines), lines, len(want))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i, lines[i], want[i])
+		}
+	}
+}
+
+// TestWithBindsContext pins child loggers: bound pairs appear on every
+// line, before the message, and chain across With calls.
+func TestWithBindsContext(t *testing.T) {
+	var buf bytes.Buffer
+	root := New(Options{Writer: &buf, Min: Debug})
+	child := root.With("component", "server", "node", "edge-1")
+	grand := child.With("role", "edge")
+
+	grand.Debug("request", "path", "/report", "status", 204)
+	got := strings.TrimRight(buf.String(), "\n")
+	want := `level=debug component=server node=edge-1 role=edge msg=request path=/report status=204`
+	if got != want {
+		t.Fatalf("\n got %q\nwant %q", got, want)
+	}
+	// The parent stays unpolluted.
+	buf.Reset()
+	root.Info("plain")
+	if got := strings.TrimRight(buf.String(), "\n"); got != "level=info msg=plain" {
+		t.Fatalf("parent line %q gained bound fields", got)
+	}
+}
+
+// TestNilLoggerSafety pins the nil contract: every method on a nil
+// *Logger, including With, is a safe no-op.
+func TestNilLoggerSafety(t *testing.T) {
+	var l *Logger
+	l.Debug("a")
+	l.Info("b", "k", "v")
+	l.Warn("c")
+	l.Error("d")
+	if l.With("k", "v") != nil {
+		t.Fatal("With on nil returned non-nil")
+	}
+	if l.Enabled(Error) {
+		t.Fatal("nil logger claims enabled")
+	}
+}
+
+// TestParseLevel pins the flag mapping, including the error naming
+// unknown values.
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": Debug, "info": Info, "": Info, "warn": Warn,
+		"warning": Warn, "error": Error, "off": Off, "NONE": Off,
+		" Info ": Info,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil || !strings.Contains(err.Error(), "loud") {
+		t.Errorf("ParseLevel(loud) err = %v, want error naming the value", err)
+	}
+}
+
+// TestQuoting pins when values get quoted: whitespace, '=', quotes,
+// and empties do; bare tokens don't.
+func TestQuoting(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Writer: &buf, Min: Debug})
+	l.Info("m", "a", "bare", "b", "two words", "c", "", "d", `has"quote`, "e", "k=v")
+	got := strings.TrimRight(buf.String(), "\n")
+	want := `level=info msg=m a=bare b="two words" c="" d="has\"quote" e="k=v"`
+	if got != want {
+		t.Fatalf("\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestOddArgs pins the trailing-odd-arg rendering under key "arg".
+func TestOddArgs(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Writer: &buf, Min: Debug})
+	l.Info("m", "k1", "v1", "dangling")
+	got := strings.TrimRight(buf.String(), "\n")
+	if got != `level=info msg=m k1=v1 arg=dangling` {
+		t.Fatalf("line %q", got)
+	}
+}
+
+// TestConcurrentWrites races writers on a shared logger; under -race
+// this pins the mutex discipline, and every line must arrive whole.
+func TestConcurrentWrites(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Writer: &buf, Min: Debug})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Info("tick", "k", "v")
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("%d lines, want 800", len(lines))
+	}
+	for _, ln := range lines {
+		if ln != "level=info msg=tick k=v" {
+			t.Fatalf("torn line %q", ln)
+		}
+	}
+}
+
+// TestTimestamps pins the ts= prefix shape without pinning the clock.
+func TestTimestamps(t *testing.T) {
+	var buf bytes.Buffer
+	l := New(Options{Writer: &buf, Min: Info, Timestamps: true})
+	l.Info("m")
+	got := strings.TrimRight(buf.String(), "\n")
+	if !strings.HasPrefix(got, "ts=") || !strings.Contains(got, " level=info msg=m") {
+		t.Fatalf("line %q, want ts=<rfc3339> level=info msg=m", got)
+	}
+	ts := strings.TrimPrefix(strings.Fields(got)[0], "ts=")
+	if _, err := time.Parse(time.RFC3339, ts); err != nil {
+		t.Fatalf("timestamp %q: %v", ts, err)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,8 +11,10 @@ import (
 	"time"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/store"
+	"ldpmarginals/internal/trace"
 	"ldpmarginals/internal/view"
 	"ldpmarginals/internal/wire"
 )
@@ -414,6 +417,8 @@ type puller struct {
 	transport *http.Transport // dedicated; idle conns dropped on Close
 	interval  time.Duration
 	maxState  int64
+	tracer    *trace.Tracer // roots background rounds; may be nil in tests
+	log       *logx.Logger
 
 	// ins is keyed by peer URL; the peer set is fixed at construction so
 	// the map is read-only after newPuller.
@@ -435,7 +440,7 @@ type puller struct {
 // maxBackoffShift caps the failure backoff at interval << 5 = 32x.
 const maxBackoffShift = 5
 
-func newPuller(f *fleet, interval, timeout time.Duration, maxState int64) *puller {
+func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, tracer *trace.Tracer, log *logx.Logger) *puller {
 	// A dedicated transport, not http.DefaultTransport: the puller's
 	// keep-alive connections to its peers must die with the puller.
 	// Shared-transport idle connections (two goroutines each) outlive
@@ -463,6 +468,8 @@ func newPuller(f *fleet, interval, timeout time.Duration, maxState int64) *pulle
 		transport: transport,
 		interval:  interval,
 		maxState:  maxState,
+		tracer:    tracer,
+		log:       log,
 		ins:       ins,
 		rounds:    metrics.NewCounter(),
 		stop:      make(chan struct{}),
@@ -499,15 +506,27 @@ func (pl *puller) loop() {
 		case <-pl.stop:
 			return
 		case <-ticker.C:
-			pl.round(false)
+			// Each background round roots its own trace; a round that
+			// found no peer due is abandoned so the idle tick cadence
+			// doesn't flood the trace ring.
+			ctx, root := pl.tracer.StartRoot(context.Background(), "cluster.pull_round")
+			if pulled := pl.round(ctx, false); pulled == 0 {
+				root.Discard()
+			} else {
+				root.SetAttr("peers_pulled", pulled)
+				root.End()
+			}
 		}
 	}
 }
 
 // round pulls every peer that is due (or all of them when force is set,
 // the POST /pull path), persisting the fleet once if anything changed.
-// Rounds are serialized; see roundMu.
-func (pl *puller) round(force bool) {
+// It returns the number of peers pulled. Rounds are serialized; see
+// roundMu. ctx carries the round's span: background rounds root their
+// own trace, forced rounds inherit the POST /pull request's, and the
+// per-peer pull spans (with the propagated traceparent) hang off it.
+func (pl *puller) round(ctx context.Context, force bool) (pulled int) {
 	pl.roundMu.Lock()
 	defer pl.roundMu.Unlock()
 	now := time.Now()
@@ -530,7 +549,7 @@ func (pl *puller) round(force bool) {
 		wg.Add(1)
 		go func(url string) {
 			defer wg.Done()
-			if pl.pull(url) {
+			if pl.pull(ctx, url) {
 				anyChanged.Store(true)
 			}
 		}(url)
@@ -540,14 +559,17 @@ func (pl *puller) round(force bool) {
 	if anyChanged.Load() {
 		pl.f.persist()
 	}
+	return len(due)
 }
 
 // pull fetches, verifies, and installs one peer's state, updating that
 // peer's schedule: success re-arms the regular interval, failure backs
 // off exponentially.
-func (pl *puller) pull(url string) (changed bool) {
+func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
+	ctx, span := trace.StartSpan(ctx, "cluster.pull")
+	span.SetAttr("peer", url)
 	t0 := time.Now()
-	changed, err := pl.fetch(url)
+	changed, err := pl.fetch(ctx, span, url)
 	if ins := pl.ins[url]; ins != nil {
 		ins.latency.Observe(time.Since(t0).Seconds())
 		switch {
@@ -559,6 +581,13 @@ func (pl *puller) pull(url string) (changed bool) {
 			ins.unchanged.Inc()
 		}
 	}
+	if err != nil {
+		span.SetAttr("error", err.Error())
+		pl.log.Warn("pull failed", "peer", url, "err", err)
+	} else {
+		span.SetAttr("changed", changed)
+	}
+	span.End()
 	pl.f.mu.Lock()
 	defer pl.f.mu.Unlock()
 	for _, pe := range pl.f.peers {
@@ -583,9 +612,17 @@ func (pl *puller) pull(url string) (changed bool) {
 	return changed
 }
 
-// fetch performs the HTTP GET and frame validation for one peer.
-func (pl *puller) fetch(url string) (changed bool, err error) {
-	resp, err := pl.client.Get(url + "/state")
+// fetch performs the HTTP GET and frame validation for one peer. The
+// pull span's trace context rides along as a W3C traceparent header, so
+// the edge's request span joins this coordinator's trace — one fleet
+// pull is one cross-process trace id.
+func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string) (changed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/state", nil)
+	if err != nil {
+		return false, err
+	}
+	trace.Inject(span, req.Header)
+	resp, err := pl.client.Do(req)
 	if err != nil {
 		return false, err
 	}

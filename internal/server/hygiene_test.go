@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -54,11 +55,13 @@ func TestHandlerHTTPHygiene(t *testing.T) {
 		{"/query", http.MethodPost, []byte(`{"q":"a0=1"}`), "application/json", []string{http.MethodGet, http.MethodPatch}},
 		{"/refresh", http.MethodPost, nil, "application/json", []string{http.MethodGet}},
 		{"/view/status", http.MethodGet, nil, "application/json", []string{http.MethodPost}},
+		{"/view/diagnostics", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
 		{"/state", http.MethodGet, nil, "application/octet-stream", []string{http.MethodPost, http.MethodPut}},
 		{"/status", http.MethodGet, nil, "application/json", []string{http.MethodPost}},
 		{"/healthz", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
 		{"/readyz", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
 		{"/metrics", http.MethodGet, nil, "text/plain", []string{http.MethodPost, http.MethodDelete}},
+		{"/debug/traces", http.MethodGet, nil, "application/json", []string{http.MethodPost, http.MethodDelete}},
 	}
 	do := func(method, url string, body []byte) *http.Response {
 		t.Helper()
@@ -77,10 +80,13 @@ func TestHandlerHTTPHygiene(t *testing.T) {
 		return resp
 	}
 	for _, rt := range routes {
-		// Wrong methods: 405 with the Allow header.
+		// Wrong methods: 405 with the Allow header — and, for the JSON
+		// error shape, the request's trace id matching the X-LDP-Trace-Id
+		// echo, so a client-side failure report can be joined against
+		// /debug/traces. (/debug/traces itself is exempt from tracing.)
 		for _, m := range rt.wrong {
 			resp := do(m, singleTS.URL+rt.path, nil)
-			io.Copy(io.Discard, resp.Body)
+			body, _ := io.ReadAll(resp.Body)
 			resp.Body.Close()
 			if resp.StatusCode != http.StatusMethodNotAllowed {
 				t.Errorf("%s %s: status %d, want 405", m, rt.path, resp.StatusCode)
@@ -88,6 +94,27 @@ func TestHandlerHTTPHygiene(t *testing.T) {
 			}
 			if got := resp.Header.Get("Allow"); got != rt.method {
 				t.Errorf("%s %s: Allow %q, want %q", m, rt.path, got, rt.method)
+			}
+			// /metrics and /debug/traces answer their own text 405s, and a
+			// HEAD response carries no body to assert on.
+			if rt.path == "/metrics" || rt.path == "/debug/traces" || m == http.MethodHead {
+				continue
+			}
+			echoed := resp.Header.Get("X-LDP-Trace-Id")
+			if echoed == "" {
+				t.Errorf("%s %s: no X-LDP-Trace-Id header on error reply", m, rt.path)
+				continue
+			}
+			var er ErrorResponse
+			if err := json.Unmarshal(body, &er); err != nil {
+				t.Errorf("%s %s: error body %q is not ErrorResponse JSON: %v", m, rt.path, body, err)
+				continue
+			}
+			if er.TraceID != echoed {
+				t.Errorf("%s %s: body trace_id %q != header %q", m, rt.path, er.TraceID, echoed)
+			}
+			if er.Error == "" {
+				t.Errorf("%s %s: empty error message", m, rt.path)
 			}
 		}
 		// Happy path: correct Content-Type.
@@ -122,13 +149,21 @@ func TestHandlerHTTPHygiene(t *testing.T) {
 	}
 
 	// Error JSON replies keep the declared type: a rejected batch is a
-	// JSON BatchResponse and must say so.
+	// JSON BatchResponse and must say so — and carry the request's trace
+	// id like every other error reply.
 	bad := mustBatch(t, p, core.Report{Index: 1 << 60, Sign: 1})
 	resp = do(http.MethodPost, singleTS.URL+"/report/batch", bad)
-	io.Copy(io.Discard, resp.Body)
+	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); resp.StatusCode != http.StatusBadRequest || !strings.HasPrefix(ct, "application/json") {
 		t.Errorf("rejected batch: status %d Content-Type %q, want 400 application/json", resp.StatusCode, ct)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(body, &br); err != nil {
+		t.Fatalf("rejected batch body %q: %v", body, err)
+	}
+	if br.TraceID == "" || br.TraceID != resp.Header.Get("X-LDP-Trace-Id") {
+		t.Errorf("rejected batch: trace_id %q, header %q", br.TraceID, resp.Header.Get("X-LDP-Trace-Id"))
 	}
 }
 

@@ -5,7 +5,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/metrics"
+	"ldpmarginals/internal/trace"
 )
 
 // The observability layer. Every server assembles its own
@@ -53,8 +55,8 @@ type serverInstruments struct {
 // so request cardinality cannot grow unboundedly.
 var metricRoutes = []string{
 	"/report", "/report/batch", "/marginal", "/query", "/refresh",
-	"/view/status", "/state", "/pull", "/status", "/healthz", "/readyz",
-	"/metrics",
+	"/view/status", "/view/diagnostics", "/state", "/pull", "/status",
+	"/healthz", "/readyz", "/metrics", "/debug/traces",
 }
 
 func newServerInstruments() *serverInstruments {
@@ -113,6 +115,13 @@ func (s *Server) buildRegistry() *metrics.Registry {
 		r.MustGaugeFunc("ldp_ingest_queued_requests", "Ingest requests waiting for an admission slot.", nil,
 			func() float64 { return float64(s.adm.queued.Load()) })
 	}
+
+	r.MustCounterFunc("ldp_trace_spans_total", "Spans recorded by the tracer.", nil,
+		func() float64 { return float64(s.tracer.Stats().Spans) })
+	r.MustCounterFunc("ldp_trace_traces_total", "Completed traces published to the /debug/traces ring.", nil,
+		func() float64 { return float64(s.tracer.Stats().Traces) })
+	r.MustCounterFunc("ldp_trace_dropped_spans_total", "Spans dropped by the per-trace cap.", nil,
+		func() float64 { return float64(s.tracer.Stats().DroppedSpans) })
 
 	if st := s.Store(); st != nil {
 		st.RegisterMetrics(r)
@@ -192,9 +201,15 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps the route mux with the request middleware: in-flight
-// gauge, per-endpoint latency histogram, and status-class counters. The
-// per-request cost is one map lookup on a read-only map and three atomic
-// updates.
+// gauge, per-endpoint latency histogram, status-class counters, and one
+// root trace span per request. A W3C traceparent header joins the
+// request to the caller's trace (that is how a coordinator's pull and
+// the edge's /state handler become one cross-process trace); otherwise
+// a fresh trace starts here. The span's trace id is echoed as
+// X-LDP-Trace-Id so clients can quote it, and request logging at debug
+// (warn on 5xx) carries the same id so logs and traces correlate.
+// /debug/traces itself is exempt from tracing — scraping the ring must
+// not fill the ring with scrape traces.
 func (s *Server) instrument(next http.Handler) http.Handler {
 	h := s.ins.http
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -202,15 +217,39 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 		if pi == nil {
 			pi = h.other
 		}
+		traced := r.URL.Path != "/debug/traces"
+		var span *trace.Span
+		if traced {
+			var ctx = r.Context()
+			if tid, parent, ok := trace.Extract(r.Header); ok {
+				ctx, span = s.tracer.StartRemoteRoot(ctx, "http.request", tid, parent)
+			} else {
+				ctx, span = s.tracer.StartRoot(ctx, "http.request")
+			}
+			span.SetAttr("method", r.Method)
+			span.SetAttr("path", r.URL.Path)
+			w.Header().Set("X-LDP-Trace-Id", span.TraceID().String())
+			r = r.WithContext(ctx)
+		}
 		h.inflight.Inc()
 		rec := statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		next.ServeHTTP(&rec, r)
-		pi.latency.Observe(time.Since(start).Seconds())
+		elapsed := time.Since(start)
+		pi.latency.Observe(elapsed.Seconds())
 		if class := rec.code/100 - 2; class >= 0 && class < len(pi.codes) {
 			pi.codes[class].Inc()
 		}
 		h.inflight.Dec()
+		if traced {
+			span.SetAttr("status", rec.code)
+			if rec.code >= 500 {
+				s.log.Warn("request failed", "trace", span.TraceID().String(), "method", r.Method, "path", r.URL.Path, "status", rec.code, "dur", elapsed)
+			} else if s.log.Enabled(logx.Debug) {
+				s.log.Debug("request", "trace", span.TraceID().String(), "method", r.Method, "path", r.URL.Path, "status", rec.code, "dur", elapsed)
+			}
+			span.End()
+		}
 	})
 }
 
@@ -265,10 +304,25 @@ func (a *admission) release() { <-a.slots }
 
 // shed answers a request refused by admission control: 429 with an
 // explicit Retry-After, counted per endpoint.
-func (s *Server) shed(w http.ResponseWriter, counter *metrics.Counter) {
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, counter *metrics.Counter) {
 	counter.Inc()
 	w.Header().Set("Retry-After", "1")
-	http.Error(w, "ingest at capacity; retry with backoff", http.StatusTooManyRequests)
+	httpError(w, r, "ingest at capacity; retry with backoff", http.StatusTooManyRequests)
+}
+
+// admit claims an ingest admission slot inside an "ingest.admission"
+// span, so time spent waiting in the bounded queue is visible on the
+// request's trace. On false the request has already been answered
+// (shed with 429); on true the caller must release the slot.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, shedCounter *metrics.Counter) bool {
+	_, span := trace.StartSpan(r.Context(), "ingest.admission")
+	ok := s.adm.acquire(r)
+	span.SetAttr("admitted", ok)
+	span.End()
+	if !ok {
+		s.shed(w, r, shedCounter)
+	}
+	return ok
 }
 
 // ReadyResponse is the JSON shape of a /readyz reply.

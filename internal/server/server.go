@@ -93,6 +93,7 @@
 package server
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -108,10 +109,12 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/privacy"
 	"ldpmarginals/internal/query"
 	"ldpmarginals/internal/store"
+	"ldpmarginals/internal/trace"
 	"ldpmarginals/internal/view"
 	"ldpmarginals/internal/window"
 	"ldpmarginals/internal/wire"
@@ -237,7 +240,22 @@ type Options struct {
 	// tokens whose window spend would exceed RoundEps are rejected with
 	// 429. Requires Window.
 	RoundEps float64
+
+	// Log receives the server's leveled key=value log lines: per-request
+	// logging at debug (carrying the trace id so log lines and traces
+	// correlate), degraded-mode events at warn. Nil disables logging.
+	Log *logx.Logger
+	// TraceCapacity is the completed-trace ring size behind GET
+	// /debug/traces; <= 0 selects trace.DefaultCapacity.
+	TraceCapacity int
+	// SlowTraceThreshold is the request duration at or above which a
+	// completed trace is additionally logged at warn; <= 0 selects 1s.
+	SlowTraceThreshold time.Duration
 }
+
+// defaultSlowTrace is the slow-trace log threshold selected by
+// Options.SlowTraceThreshold <= 0.
+const defaultSlowTrace = time.Second
 
 // ingestTarget is the write destination of the ingest pipeline: the
 // sharded aggregator directly for a cumulative deployment, the window
@@ -337,9 +355,11 @@ type Server struct {
 	fleet  *fleet          // coordinator only
 	puller *puller         // coordinator only
 
-	ins *serverInstruments // always non-nil; hot paths update unconditionally
-	adm *admission         // ingest load shedding; nil when disabled or not ingesting
-	reg *metrics.Registry  // the /metrics registry, assembled at construction
+	ins    *serverInstruments // always non-nil; hot paths update unconditionally
+	adm    *admission         // ingest load shedding; nil when disabled or not ingesting
+	reg    *metrics.Registry  // the /metrics registry, assembled at construction
+	tracer *trace.Tracer      // always non-nil; roots one span per request
+	log    *logx.Logger       // nil-safe; nil discards everything
 }
 
 // New builds a single-role server around a protocol with default
@@ -385,7 +405,19 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		nodeID:   nodeID,
 		agg:      core.NewSharded(p, opts.Shards),
 		ins:      newServerInstruments(),
+		log:      opts.Log.With("node", nodeID),
 	}
+	slow := opts.SlowTraceThreshold
+	if slow <= 0 {
+		slow = defaultSlowTrace
+	}
+	s.tracer = trace.New(trace.Options{
+		Capacity:      opts.TraceCapacity,
+		SlowThreshold: slow,
+		SlowLog: func(traceID, rootName string, d time.Duration) {
+			s.log.Warn("slow trace", "trace", traceID, "root", rootName, "dur", d)
+		},
+	})
 	var salt [8]byte
 	if _, err := rand.Read(salt[:]); err != nil {
 		return fail(fmt.Errorf("server: generating version salt: %w", err))
@@ -453,14 +485,14 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		if maxState <= 0 {
 			maxState = defaultMaxStateBytes
 		}
-		s.puller = newPuller(s.fleet, interval, timeout, maxState)
+		s.puller = newPuller(s.fleet, interval, timeout, maxState, s.tracer, s.log)
 	}
 	if s.role.serves() {
 		maxQuery := opts.MaxQueryBytes
 		if maxQuery <= 0 {
 			maxQuery = defaultMaxQueryBytes
 		}
-		engine, err := view.NewEngine(src, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View})
+		engine, err := view.NewEngine(src, p, view.EngineOptions{Refresh: opts.Refresh, Build: opts.View, Tracer: s.tracer})
 		if err != nil {
 			return fail(err)
 		}
@@ -602,16 +634,19 @@ func (s *Server) Shards() int { return s.agg.Shards() }
 //	POST /query         JSON conjunction batch                 -> JSON per-query answers (single, coordinator)
 //	POST /refresh       build + publish the next epoch         -> JSON view status (single, coordinator)
 //	GET  /view/status   serving epoch, staleness, build time   -> JSON (single, coordinator)
+//	GET  /view/diagnostics  accuracy diagnostics (TV bound, drift) -> JSON (single, coordinator)
 //	GET  /state         canonical aggregator state frame       -> binary (all roles)
 //	POST /pull          pull every peer now                    -> JSON cluster status (coordinator)
 //	GET  /status        deployment metadata + cluster block    -> JSON
 //	GET  /healthz       liveness probe                         -> JSON ok
 //	GET  /readyz        readiness probe (503 until ready)      -> JSON
 //	GET  /metrics       Prometheus text exposition             -> text/plain
+//	GET  /debug/traces  completed request/lifecycle traces     -> JSON (all roles)
 //
 // Endpoints outside the node's role answer 403 naming the role. Every
 // request passes through the instrumentation middleware (per-endpoint
-// latency and status-class counters, visible on /metrics).
+// latency and status-class counters, visible on /metrics), which also
+// roots a trace span per request and echoes its id as X-LDP-Trace-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/report", s.handleReport)
@@ -620,13 +655,43 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/refresh", s.handleRefresh)
 	mux.HandleFunc("/view/status", s.handleViewStatus)
+	mux.HandleFunc("/view/diagnostics", s.handleViewDiagnostics)
 	mux.HandleFunc("/state", s.handleState)
 	mux.HandleFunc("/pull", s.handlePull)
 	mux.HandleFunc("/status", s.handleStatus)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/traces", s.tracer.Handler())
 	return s.instrument(mux)
+}
+
+// Tracer returns the server's tracer. Never nil.
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// TraceHandler returns the GET /debug/traces handler, for mounting on a
+// side listener alongside the metrics handler.
+func (s *Server) TraceHandler() http.Handler { return s.tracer.Handler() }
+
+// ErrorResponse is the JSON shape of every plain error reply (4xx/5xx
+// outside the endpoint-specific shapes like BatchResponse): the
+// message, plus the request's trace id so a client-side error report
+// can be joined against the server's /debug/traces ring and logs.
+type ErrorResponse struct {
+	Error   string `json:"error"`
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// httpError answers an error as JSON, carrying the request's trace id
+// when the middleware opened one.
+func httpError(w http.ResponseWriter, r *http.Request, msg string, code int) {
+	resp := ErrorResponse{Error: msg}
+	if span := trace.FromContext(r.Context()); span != nil {
+		resp.TraceID = span.TraceID().String()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(resp)
 }
 
 // allow guards a handler's method, answering 405 with the Allow header
@@ -636,14 +701,14 @@ func allow(w http.ResponseWriter, r *http.Request, method string) bool {
 		return true
 	}
 	w.Header().Set("Allow", method)
-	http.Error(w, method+" required", http.StatusMethodNotAllowed)
+	httpError(w, r, method+" required", http.StatusMethodNotAllowed)
 	return false
 }
 
 // rejectRole answers 403 for an endpoint outside the node's role,
 // naming the role that does serve it.
-func (s *Server) rejectRole(w http.ResponseWriter, what, serveRole string) {
-	http.Error(w, fmt.Sprintf("role %s does not serve %s; use a %s node", s.role, what, serveRole), http.StatusForbidden)
+func (s *Server) rejectRole(w http.ResponseWriter, r *http.Request, what, serveRole string) {
+	httpError(w, r, fmt.Sprintf("role %s does not serve %s; use a %s node", s.role, what, serveRole), http.StatusForbidden)
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -651,32 +716,31 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.ingest == nil {
-		s.rejectRole(w, "report ingestion", "single or edge")
+		s.rejectRole(w, r, "report ingestion", "single or edge")
 		return
 	}
 	if s.adm != nil {
-		if !s.adm.acquire(r) {
-			s.shed(w, s.ins.shedReport)
+		if !s.admit(w, r, s.ins.shedReport) {
 			return
 		}
 		defer s.adm.release()
 	}
 	frame, err := io.ReadAll(io.LimitReader(r.Body, maxReportBytes+1))
 	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if len(frame) > maxReportBytes {
-		http.Error(w, "report too large", http.StatusRequestEntityTooLarge)
+		httpError(w, r, "report too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	tag, rep, err := encoding.Unmarshal(frame)
 	if err != nil {
-		http.Error(w, "malformed report: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "malformed report: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if tag != s.tag {
-		http.Error(w, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
+		httpError(w, r, fmt.Sprintf("report for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
 	if !s.chargeBudget(w, r, 1) {
@@ -689,7 +753,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// The frame is appended to the WAL (honoring the fsync policy)
 		// before the ack below; a single report logs as a one-frame batch.
 		batch := encoding.AppendFrame(nil, frame)
-		err2 = in.st.Ingest(batch, func() (int, int, error) {
+		err2 = in.st.IngestContext(r.Context(), batch, func() (int, int, error) {
 			if err := in.sink.Consume(rep); err != nil {
 				rejected = err
 				return 0, 0, err
@@ -701,7 +765,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	if rejected != nil {
 		s.ins.rejectedReports.Inc()
-		http.Error(w, "rejected: "+rejected.Error(), http.StatusBadRequest)
+		httpError(w, r, "rejected: "+rejected.Error(), http.StatusBadRequest)
 		return
 	}
 	s.ins.ingestReports.Inc()
@@ -709,7 +773,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		// Consumed but not durably logged: a server fault, not a client
 		// one. The report is in memory and the next snapshot captures
 		// it, but the durability promise of the ack cannot be made.
-		http.Error(w, "persistence failed: "+err2.Error(), http.StatusInternalServerError)
+		httpError(w, r, "persistence failed: "+err2.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -727,7 +791,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // aggregator, regardless of the error: on a report rejection it is the
 // accepted prefix, and on a WAL failure (which can mask a rejection)
 // it is still exactly what the aggregator consumed.
-func (in *ingestPipeline) ingestChunk(reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
+func (in *ingestPipeline) ingestChunk(ctx context.Context, reps []core.Report, body []byte, ends []int, lo, hi int) (int, error) {
 	chunk := reps[lo:hi]
 	if in.st == nil {
 		err := in.sink.ConsumeBatch(chunk)
@@ -742,7 +806,7 @@ func (in *ingestPipeline) ingestChunk(reps []core.Report, body []byte, ends []in
 	}
 	start := startOf(ends, lo)
 	applied := 0
-	err := in.st.Ingest(body[start:ends[hi-1]], func() (int, int, error) {
+	err := in.st.IngestContext(ctx, body[start:ends[hi-1]], func() (int, int, error) {
 		err := in.sink.ConsumeBatch(chunk)
 		if err == nil {
 			applied = len(chunk)
@@ -815,6 +879,19 @@ type BatchResponse struct {
 	Accepted int `json:"accepted"`
 	// Error is the rejection reason; empty on success.
 	Error string `json:"error,omitempty"`
+	// TraceID is the request's trace id, set on rejection replies so a
+	// client-side failure report can be joined against the server's
+	// /debug/traces ring and logs.
+	TraceID string `json:"trace_id,omitempty"`
+}
+
+// traceID returns the request's trace id, or "" when the middleware
+// opened no span.
+func traceID(r *http.Request) string {
+	if span := trace.FromContext(r.Context()); span != nil {
+		return span.TraceID().String()
+	}
+	return ""
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -822,12 +899,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.ingest == nil {
-		s.rejectRole(w, "report ingestion", "single or edge")
+		s.rejectRole(w, r, "report ingestion", "single or edge")
 		return
 	}
 	if s.adm != nil {
-		if !s.adm.acquire(r) {
-			s.shed(w, s.ins.shedBatch)
+		if !s.admit(w, r, s.ins.shedBatch) {
 			return
 		}
 		defer s.adm.release()
@@ -853,21 +929,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, err := readBodyInto(r.Body, in.maxBatch, bufs.body)
 	bufs.body = body
 	if err != nil {
-		http.Error(w, "reading body: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "reading body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	if int64(len(body)) > in.maxBatch {
-		http.Error(w, "batch too large", http.StatusRequestEntityTooLarge)
+		httpError(w, r, "batch too large", http.StatusRequestEntityTooLarge)
 		return
 	}
 	tag, reps, ends, err := encoding.UnmarshalBatchEndsInto(body, maxBatchReports, bufs.reps, bufs.ends)
 	if err != nil {
-		http.Error(w, "malformed batch: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "malformed batch: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	bufs.reps, bufs.ends = reps, ends
 	if tag != s.tag {
-		http.Error(w, fmt.Sprintf("batch for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
+		httpError(w, r, fmt.Sprintf("batch for protocol tag %d, deployment runs %d", tag, s.tag), http.StatusBadRequest)
 		return
 	}
 	if s.ledger != nil {
@@ -876,14 +952,21 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		// full, never partially ingested.
 		token := r.Header.Get(budgetTokenHeader)
 		if token == "" {
-			http.Error(w, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
+			httpError(w, r, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
 			return
 		}
-		if err := s.ledger.Charge(token, len(reps)); err != nil {
+		_, chSpan := trace.StartSpan(r.Context(), "ledger.charge")
+		chSpan.SetAttr("reports", len(reps))
+		err := s.ledger.Charge(token, len(reps))
+		if err != nil {
+			chSpan.SetAttr("error", err.Error())
+		}
+		chSpan.End()
+		if err != nil {
 			s.setRetryAfter(w)
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusTooManyRequests)
-			_ = json.NewEncoder(w).Encode(BatchResponse{Error: err.Error()})
+			_ = json.NewEncoder(w).Encode(BatchResponse{Error: err.Error(), TraceID: traceID(r)})
 			return
 		}
 	}
@@ -924,7 +1007,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			offset := lo
 			defer wg.Done()
 			defer func() { <-in.slots }()
-			consumed, err := in.ingestChunk(reps, body, ends, lo, hi)
+			consumed, err := in.ingestChunk(r.Context(), reps, body, ends, lo, hi)
 			accepted.Add(int64(consumed))
 			if err == nil {
 				return
@@ -973,6 +1056,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		_ = json.NewEncoder(w).Encode(BatchResponse{
 			Accepted: int(accepted.Load()),
 			Error:    prefix + firstErr.Error(),
+			TraceID:  traceID(r),
 		})
 		return
 	}
@@ -991,12 +1075,19 @@ func (s *Server) chargeBudget(w http.ResponseWriter, r *http.Request, count int)
 	}
 	token := r.Header.Get(budgetTokenHeader)
 	if token == "" {
-		http.Error(w, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
+		httpError(w, r, "windowed deployment enforces a per-round budget; send a stable client token in "+budgetTokenHeader, http.StatusBadRequest)
 		return false
 	}
-	if err := s.ledger.Charge(token, count); err != nil {
+	_, span := trace.StartSpan(r.Context(), "ledger.charge")
+	span.SetAttr("reports", count)
+	err := s.ledger.Charge(token, count)
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	span.End()
+	if err != nil {
 		s.setRetryAfter(w)
-		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		httpError(w, r, err.Error(), http.StatusTooManyRequests)
 		return false
 	}
 	return true
@@ -1019,15 +1110,15 @@ func (s *Server) checkWindowParam(w http.ResponseWriter, r *http.Request) bool {
 	}
 	want, err := time.ParseDuration(raw)
 	if err != nil {
-		http.Error(w, "window must be a duration like 10m: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "window must be a duration like 10m: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
 	if s.win == nil {
-		http.Error(w, "deployment serves a cumulative release; no sliding window is configured", http.StatusBadRequest)
+		httpError(w, r, "deployment serves a cumulative release; no sliding window is configured", http.StatusBadRequest)
 		return false
 	}
 	if got := s.win.Window(); want != got {
-		http.Error(w, fmt.Sprintf("deployment serves a %v window; cannot answer window=%v", got, want), http.StatusBadRequest)
+		httpError(w, r, fmt.Sprintf("deployment serves a %v window; cannot answer window=%v", got, want), http.StatusBadRequest)
 		return false
 	}
 	return true
@@ -1050,7 +1141,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.reads == nil {
-		s.rejectRole(w, "marginal estimates", "single or coordinator")
+		s.rejectRole(w, r, "marginal estimates", "single or coordinator")
 		return
 	}
 	if !s.checkWindowParam(w, r) {
@@ -1059,7 +1150,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 	betaStr := r.URL.Query().Get("beta")
 	beta, err := strconv.ParseUint(betaStr, 10, 64)
 	if err != nil {
-		http.Error(w, "beta must be a decimal attribute mask", http.StatusBadRequest)
+		httpError(w, r, "beta must be a decimal attribute mask", http.StatusBadRequest)
 		return
 	}
 	// Serve from the cached epoch: no lock, no snapshot, no
@@ -1071,7 +1162,7 @@ func (s *Server) handleMarginal(w http.ResponseWriter, r *http.Request) {
 		if errors.Is(err, view.ErrBadQuery) {
 			status = http.StatusBadRequest
 		}
-		http.Error(w, err.Error(), status)
+		httpError(w, r, err.Error(), status)
 		return
 	}
 	writeJSON(w, MarginalResponse{Beta: beta, Cells: tab.Cells, N: v.N, Epoch: v.Epoch})
@@ -1118,7 +1209,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.reads == nil {
-		s.rejectRole(w, "conjunction queries", "single or coordinator")
+		s.rejectRole(w, r, "conjunction queries", "single or coordinator")
 		return
 	}
 	if !s.checkWindowParam(w, r) {
@@ -1126,7 +1217,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	var req QueryRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, s.reads.maxQuery)).Decode(&req); err != nil {
-		http.Error(w, "malformed query body: "+err.Error(), http.StatusBadRequest)
+		httpError(w, r, "malformed query body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
 	queries := req.Queries
@@ -1134,7 +1225,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		queries = append([]string{req.Q}, queries...)
 	}
 	if len(queries) == 0 {
-		http.Error(w, "no queries: set q or queries", http.StatusBadRequest)
+		httpError(w, r, "no queries: set q or queries", http.StatusBadRequest)
 		return
 	}
 	// One epoch answers the whole batch, so the results are mutually
@@ -1184,19 +1275,19 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		snap, err = s.agg.Snapshot()
 	}
 	if err != nil {
-		http.Error(w, "snapshotting state: "+err.Error(), http.StatusInternalServerError)
+		httpError(w, r, "snapshotting state: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	blob, err := snap.MarshalState()
 	if err != nil {
-		http.Error(w, "marshaling state: "+err.Error(), http.StatusInternalServerError)
+		httpError(w, r, "marshaling state: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	frame, err := wire.EncodeStateFrame(wire.StateFrame{
 		NodeID: s.nodeID, Version: ver, N: snap.N(), State: blob,
 	})
 	if err != nil {
-		http.Error(w, "framing state: "+err.Error(), http.StatusInternalServerError)
+		httpError(w, r, "framing state: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -1213,10 +1304,10 @@ func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.puller == nil {
-		s.rejectRole(w, "peer pulls", "coordinator")
+		s.rejectRole(w, r, "peer pulls", "coordinator")
 		return
 	}
-	s.puller.round(true)
+	s.puller.round(r.Context(), true)
 	writeJSON(w, s.clusterStatus())
 }
 
@@ -1235,8 +1326,11 @@ type ViewStatusResponse struct {
 	StalenessReports int `json:"staleness_reports"`
 	// AgeSeconds is how long the epoch has been serving.
 	AgeSeconds float64 `json:"age_seconds"`
-	// BuildMillis is how long the epoch took to build (the nonlinear
-	// stage: reconstruction, consistency, projection, sub-cube).
+	// BuildMillis is how long the epoch took to build, end to end:
+	// snapshot (or delta fold) plus reconstruction, consistency,
+	// projection, and sub-cube — the root build span's duration, so
+	// /view/status, the ldp_view_build_seconds histogram, and
+	// /debug/traces report the same number.
 	BuildMillis float64 `json:"build_ms"`
 	// SnapshotMillis is how long cutting (full build) or delta-folding
 	// (incremental build) the epoch's source state took.
@@ -1362,12 +1456,12 @@ func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.reads == nil {
-		s.rejectRole(w, "view refreshes", "single or coordinator")
+		s.rejectRole(w, r, "view refreshes", "single or coordinator")
 		return
 	}
-	v, err := s.reads.engine.Refresh()
+	v, err := s.reads.engine.RefreshContext(r.Context())
 	if err != nil {
-		http.Error(w, "refresh failed: "+err.Error(), http.StatusInternalServerError)
+		httpError(w, r, "refresh failed: "+err.Error(), http.StatusInternalServerError)
 		return
 	}
 	writeJSON(w, s.viewStatus(v))
@@ -1378,10 +1472,37 @@ func (s *Server) handleViewStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.reads == nil {
-		s.rejectRole(w, "view status", "single or coordinator")
+		s.rejectRole(w, r, "view status", "single or coordinator")
 		return
 	}
 	writeJSON(w, s.viewStatus(s.reads.engine.Current()))
+}
+
+// ViewDiagnosticsResponse is the JSON shape of a /view/diagnostics
+// reply: the serving epoch's accuracy diagnostics — the paper's
+// theoretical TV error bound at the deployment's parameters, the L1
+// mass the consistency stage moved, and the inter-epoch marginal drift
+// (see view.Diagnostics for the field semantics).
+type ViewDiagnosticsResponse struct {
+	// Epoch is the serving view's build sequence number.
+	Epoch int64 `json:"epoch"`
+	// N is the number of reports in the serving epoch.
+	N int `json:"n"`
+	// Protocol names the deployment's protocol.
+	Protocol string `json:"protocol"`
+	view.Diagnostics
+}
+
+func (s *Server) handleViewDiagnostics(w http.ResponseWriter, r *http.Request) {
+	if !allow(w, r, http.MethodGet) {
+		return
+	}
+	if s.reads == nil {
+		s.rejectRole(w, r, "view diagnostics", "single or coordinator")
+		return
+	}
+	v := s.reads.engine.Current()
+	writeJSON(w, ViewDiagnosticsResponse{Epoch: v.Epoch, N: v.N, Protocol: v.Protocol, Diagnostics: v.Diag})
 }
 
 // HealthResponse is the JSON shape of a /healthz reply.

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -57,8 +58,22 @@ func (ro *rotator) loop() {
 		case <-ro.stop:
 			return
 		case <-ticker.C:
-			if err := ro.s.advanceWindow(time.Now()); err != nil {
+			// Each advance roots its own lifecycle trace; the common
+			// no-boundary-crossed tick is abandoned so the ~bucket/4
+			// cadence doesn't flood the trace ring.
+			ctx, root := ro.s.tracer.StartRoot(context.Background(), "window.advance")
+			rotated, expired, err := ro.s.advanceWindowContext(ctx, time.Now())
+			if err != nil {
 				ro.lastErr.Store(err.Error())
+				root.SetAttr("error", err.Error())
+				ro.s.log.Warn("window advance failed", "err", err)
+			}
+			if err == nil && rotated == 0 && expired == 0 {
+				root.Discard()
+			} else {
+				root.SetAttr("rotated", rotated)
+				root.SetAttr("expired", expired)
+				root.End()
 			}
 		}
 	}
@@ -71,28 +86,33 @@ func (ro *rotator) loop() {
 // window is what lets the store prune the expired buckets' segments,
 // making window expiry double as disk retention.
 func (s *Server) advanceWindow(now time.Time) error {
-	rotated, expired, err := s.win.Advance(now)
+	_, _, err := s.advanceWindowContext(context.Background(), now)
+	return err
+}
+
+func (s *Server) advanceWindowContext(ctx context.Context, now time.Time) (rotated, expired int, err error) {
+	rotated, expired, err = s.win.AdvanceContext(ctx, now)
 	if err != nil {
-		return err
+		return rotated, expired, err
 	}
 	if rotated > 0 && s.ledger != nil {
 		s.ledger.Rotate(rotated)
 	}
 	st := s.Store()
 	if st == nil {
-		return nil
+		return rotated, expired, nil
 	}
 	if rotated > 0 {
 		if _, err := st.Rotate(); err != nil {
-			return fmt.Errorf("rotating WAL segment at bucket seal: %w", err)
+			return rotated, expired, fmt.Errorf("rotating WAL segment at bucket seal: %w", err)
 		}
 	}
 	if expired > 0 {
 		if err := st.Compact(); err != nil {
-			return fmt.Errorf("compacting store after bucket expiry: %w", err)
+			return rotated, expired, fmt.Errorf("compacting store after bucket expiry: %w", err)
 		}
 	}
-	return nil
+	return rotated, expired, nil
 }
 
 // WindowStatus is the continual-release section of a /status and

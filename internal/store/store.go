@@ -31,6 +31,7 @@
 package store
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -42,6 +43,7 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/trace"
 	"ldpmarginals/internal/wire"
 )
 
@@ -420,6 +422,14 @@ func (s *Store) SetSource(src func() (core.Aggregator, error)) {
 // failure takes precedence, since an unlogged-but-consumed report must
 // not be acked as durable.
 func (s *Store) Ingest(batch []byte, apply func() (reports, bytes int, err error)) error {
+	return s.IngestContext(context.Background(), batch, apply)
+}
+
+// IngestContext is Ingest with trace propagation: when ctx carries an
+// active request span, the WAL hand-off is recorded as a "wal.append"
+// child (report/byte counts as attrs) and an FsyncAlways group-commit
+// wait as a "wal.fsync" child under it.
+func (s *Store) IngestContext(ctx context.Context, batch []byte, apply func() (reports, bytes int, err error)) error {
 	s.barrier.RLock()
 	defer s.barrier.RUnlock()
 	if s.closed {
@@ -436,16 +446,25 @@ func (s *Store) Ingest(batch []byte, apply func() (reports, bytes int, err error
 		// The committer frames batch[:nbytes] into records itself; the
 		// caller must not modify the bytes after this point (the server
 		// hands over per-request bodies, which nothing reuses).
+		ctx, span := trace.StartSpan(ctx, "wal.append")
+		span.SetAttr("reports", consumed)
+		span.SetAttr("bytes", nbytes)
 		t0 := time.Now()
 		if s.opts.Fsync == FsyncAlways {
 			req := &walReq{buf: batch[:nbytes], sync: true, done: make(chan walRes, 1)}
 			s.reqs <- req
-			if res := <-req.done; res.err != nil {
+			_, fsp := trace.StartSpan(ctx, "wal.fsync")
+			res := <-req.done
+			fsp.End()
+			if res.err != nil {
+				span.SetAttr("error", res.err)
+				span.End()
 				return fmt.Errorf("store: wal append: %w", res.err)
 			}
 		} else {
 			s.reqs <- &walReq{buf: batch[:nbytes]}
 		}
+		span.End()
 		s.ins.appendWait.Observe(time.Since(t0).Seconds())
 		if n := s.sinceSnap.Add(int64(consumed)); s.opts.SnapshotEveryN > 0 && n >= int64(s.opts.SnapshotEveryN) {
 			s.triggerSnapshot()

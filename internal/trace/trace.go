@@ -1,0 +1,533 @@
+// Package trace is a zero-dependency distributed-tracing core for the
+// deployment: spans with IDs, parents, attributes, and events; W3C
+// traceparent extraction and injection so one trace crosses process
+// boundaries (a coordinator's pull and the edge answering it share a
+// trace ID); an in-memory bounded ring of completed traces served as
+// JSON on GET /debug/traces; and a slow-trace log.
+//
+// The design splits responsibilities so the hot path stays cheap and
+// lock-free where it matters:
+//
+//   - A Tracer owns the completed-trace ring and mints root spans
+//     (either fresh, or continuing a remote context extracted from a
+//     traceparent header).
+//   - Child spans are created from a context.Context via StartSpan and
+//     need no Tracer: they hang off the root's shared trace record.
+//     When the context carries no span, StartSpan returns a nil *Span
+//     whose methods all no-op, so instrumented layers never branch on
+//     "is tracing on".
+//   - Ending a span appends one immutable record to the trace under the
+//     trace's mutex; readers (the /debug/traces handler) only ever see
+//     finished records, so scraping races nothing.
+//
+// Every trace is recorded (there is no sampling): the ring is bounded,
+// spans per trace are capped (overflow counts as dropped, never
+// blocks), and a root that out-lives the slow threshold is logged.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceParentHeader is the W3C trace-context header carrying a trace
+// across process boundaries.
+const TraceParentHeader = "traceparent"
+
+// maxSpansPerTrace caps one trace's record list; spans ended beyond it
+// are counted in Stats.DroppedSpans instead of growing without bound
+// (a runaway loop inside one request must not eat the heap).
+const maxSpansPerTrace = 256
+
+// DefaultCapacity is the completed-trace ring size used when
+// Options.Capacity is 0.
+const DefaultCapacity = 128
+
+// TraceID is the 16-byte W3C trace id.
+type TraceID [16]byte
+
+// SpanID is the 8-byte W3C span id.
+type SpanID [8]byte
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// IsZero reports whether the id is the invalid all-zero id.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+func (s SpanID) String() string  { return hex.EncodeToString(s[:]) }
+
+// Attr is one span attribute. Values are stringified at set time, so a
+// record never retains references into request state.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Event is one timestamped annotation inside a span.
+type Event struct {
+	// OffsetMicros is the event time relative to the span start.
+	OffsetMicros int64  `json:"offset_us"`
+	Message      string `json:"message"`
+}
+
+// SpanRecord is one finished span as retained in the ring and rendered
+// on /debug/traces. Immutable once appended.
+type SpanRecord struct {
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Name     string `json:"name"`
+	// StartOffsetMicros is the span start relative to the trace root's
+	// start (negative when a remote parent started earlier).
+	StartOffsetMicros int64   `json:"start_offset_us"`
+	DurationMicros    int64   `json:"duration_us"`
+	Attrs             []Attr  `json:"attrs,omitempty"`
+	Events            []Event `json:"events,omitempty"`
+}
+
+// traceData is the shared record of one trace: every finished span,
+// appended under mu. The root span holds it and hands it to children
+// through the context.
+type traceData struct {
+	tracer  *Tracer
+	traceID TraceID
+	start   time.Time // root span start; offsets are relative to it
+	remote  bool      // the trace began in another process
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int
+}
+
+// Span is one in-flight operation. A nil *Span is valid and inert, so
+// instrumented code paths never need to check whether tracing is
+// active. All methods are safe for use by the single goroutine running
+// the operation; distinct spans of one trace may run concurrently.
+type Span struct {
+	td     *traceData
+	id     SpanID
+	parent SpanID
+	name   string
+	start  time.Time
+	root   bool
+
+	attrs  []Attr
+	events []Event
+	ended  atomic.Bool
+}
+
+// TraceID returns the span's trace id (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.td.traceID
+}
+
+// SpanID returns the span's id (zero for a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.id
+}
+
+// SetAttr records a key/value attribute on the span. The value is
+// stringified immediately.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	var v string
+	switch x := value.(type) {
+	case string:
+		v = x
+	case error:
+		v = x.Error()
+	default:
+		v = fmt.Sprint(x)
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// AddEvent records a timestamped annotation inside the span.
+func (s *Span) AddEvent(msg string) {
+	if s == nil {
+		return
+	}
+	s.events = append(s.events, Event{
+		OffsetMicros: time.Since(s.start).Microseconds(),
+		Message:      msg,
+	})
+}
+
+// End finishes the span, appending its immutable record to the trace.
+// Ending the root additionally publishes the trace into the tracer's
+// ring (and the slow-trace log when it qualifies). End is idempotent;
+// only the first call records.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	now := time.Now()
+	rec := SpanRecord{
+		SpanID:            s.id.String(),
+		Name:              s.name,
+		StartOffsetMicros: s.start.Sub(s.td.start).Microseconds(),
+		DurationMicros:    now.Sub(s.start).Microseconds(),
+		Attrs:             s.attrs,
+		Events:            s.events,
+	}
+	if !s.parent.IsZero() {
+		rec.ParentID = s.parent.String()
+	}
+	td := s.td
+	td.mu.Lock()
+	if len(td.spans) < maxSpansPerTrace {
+		td.spans = append(td.spans, rec)
+	} else {
+		td.dropped++
+	}
+	td.mu.Unlock()
+	tr := td.tracer
+	tr.spansTotal.Add(1)
+	if s.root {
+		tr.record(td, rec, now)
+	}
+}
+
+// Discard abandons a root span without recording its trace — for
+// periodic operations that turned out to be no-ops (an empty window
+// advance), which would otherwise flood the ring. Child spans already
+// ended under this root are discarded with it. No-op on non-root or
+// already-ended spans.
+func (s *Span) Discard() {
+	if s == nil || !s.root {
+		return
+	}
+	s.ended.Store(true)
+}
+
+type ctxKey struct{}
+
+// FromContext returns the active span of ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(ctxKey{}).(*Span)
+	return s
+}
+
+// ContextWith returns ctx carrying span as the active span.
+func ContextWith(ctx context.Context, span *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, span)
+}
+
+// StartSpan opens a child of ctx's active span, returning the derived
+// context and the child. When ctx carries no span the returned span is
+// nil (inert) and ctx is returned unchanged — instrumentation points
+// need no tracer and no enablement check.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := FromContext(ctx)
+	if parent == nil || parent.td == nil {
+		return ctx, nil
+	}
+	child := &Span{
+		td:     parent.td,
+		id:     newSpanID(),
+		parent: parent.id,
+		name:   name,
+		start:  time.Now(),
+	}
+	return ContextWith(ctx, child), child
+}
+
+// Options tunes a Tracer. The zero value selects the defaults.
+type Options struct {
+	// Capacity is the completed-trace ring size; <= 0 selects
+	// DefaultCapacity.
+	Capacity int
+	// SlowThreshold is the root-span duration at or above which a
+	// completed trace is reported through SlowLog; <= 0 disables the
+	// slow-trace log.
+	SlowThreshold time.Duration
+	// SlowLog receives one line per slow trace (trace id, root name,
+	// duration). Nil disables the slow-trace log.
+	SlowLog func(traceID, rootName string, d time.Duration)
+}
+
+// Tracer mints root spans and retains completed traces in a bounded
+// ring for GET /debug/traces.
+type Tracer struct {
+	opts Options
+
+	mu   sync.Mutex
+	ring []*completedTrace // newest last; len <= capacity
+	seq  uint64
+
+	spansTotal   atomic.Uint64
+	tracesTotal  atomic.Uint64
+	droppedTotal atomic.Uint64
+}
+
+// completedTrace pairs a finished root with its trace record.
+type completedTrace struct {
+	td       *traceData
+	root     SpanRecord
+	endedAt  time.Time
+	duration time.Duration
+	seq      uint64
+}
+
+// New builds a tracer.
+func New(opts Options) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = DefaultCapacity
+	}
+	return &Tracer{opts: opts}
+}
+
+// StartRoot opens a fresh root span with a new trace id.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	return t.startRoot(ctx, name, newTraceID(), SpanID{}, false)
+}
+
+// StartRemoteRoot opens a root span continuing a trace begun in another
+// process: the given trace id is kept and the remote span becomes the
+// parent, so both processes' /debug/traces show one trace id.
+func (t *Tracer) StartRemoteRoot(ctx context.Context, name string, traceID TraceID, parent SpanID) (context.Context, *Span) {
+	if traceID.IsZero() {
+		return t.StartRoot(ctx, name)
+	}
+	return t.startRoot(ctx, name, traceID, parent, true)
+}
+
+func (t *Tracer) startRoot(ctx context.Context, name string, traceID TraceID, parent SpanID, remote bool) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	now := time.Now()
+	td := &traceData{tracer: t, traceID: traceID, start: now, remote: remote}
+	root := &Span{
+		td:     td,
+		id:     newSpanID(),
+		parent: parent,
+		name:   name,
+		start:  now,
+		root:   true,
+	}
+	return ContextWith(ctx, root), root
+}
+
+// record publishes a finished trace into the ring.
+func (t *Tracer) record(td *traceData, root SpanRecord, endedAt time.Time) {
+	d := time.Duration(root.DurationMicros) * time.Microsecond
+	t.tracesTotal.Add(1)
+	td.mu.Lock()
+	dropped := td.dropped
+	td.mu.Unlock()
+	if dropped > 0 {
+		t.droppedTotal.Add(uint64(dropped))
+	}
+	t.mu.Lock()
+	t.seq++
+	ct := &completedTrace{td: td, root: root, endedAt: endedAt, duration: d, seq: t.seq}
+	if len(t.ring) >= t.opts.Capacity {
+		copy(t.ring, t.ring[1:])
+		t.ring[len(t.ring)-1] = ct
+	} else {
+		t.ring = append(t.ring, ct)
+	}
+	t.mu.Unlock()
+	if t.opts.SlowLog != nil && t.opts.SlowThreshold > 0 && d >= t.opts.SlowThreshold {
+		t.opts.SlowLog(td.traceID.String(), root.Name, d)
+	}
+}
+
+// Stats is a point-in-time description of the tracer.
+type Stats struct {
+	// Spans is the number of span records finished since startup.
+	Spans uint64
+	// Traces is the number of completed (root-ended) traces.
+	Traces uint64
+	// DroppedSpans counts span records discarded because their trace
+	// exceeded the per-trace span cap.
+	DroppedSpans uint64
+	// Retained is the number of traces currently held in the ring.
+	Retained int
+}
+
+// Stats reports the tracer's counters.
+func (t *Tracer) Stats() Stats {
+	t.mu.Lock()
+	retained := len(t.ring)
+	t.mu.Unlock()
+	return Stats{
+		Spans:        t.spansTotal.Load(),
+		Traces:       t.tracesTotal.Load(),
+		DroppedSpans: t.droppedTotal.Load(),
+		Retained:     retained,
+	}
+}
+
+// TraceJSON is one completed trace as rendered on /debug/traces.
+type TraceJSON struct {
+	TraceID string `json:"trace_id"`
+	// Root is the root span's name, repeated at the top level so a
+	// scrape can be filtered without descending into spans.
+	Root string `json:"root"`
+	// Remote reports whether the trace began in another process (the
+	// root continued an extracted traceparent).
+	Remote         bool         `json:"remote,omitempty"`
+	EndedAt        time.Time    `json:"ended_at"`
+	DurationMicros int64        `json:"duration_us"`
+	DroppedSpans   int          `json:"dropped_spans,omitempty"`
+	Spans          []SpanRecord `json:"spans"`
+}
+
+// TracesResponse is the JSON shape of a /debug/traces reply.
+type TracesResponse struct {
+	// Traces holds the retained completed traces, newest first.
+	Traces []TraceJSON `json:"traces"`
+	// Spans, CompletedTraces, and DroppedSpans are the tracer's
+	// lifetime counters.
+	Spans           uint64 `json:"spans_total"`
+	CompletedTraces uint64 `json:"traces_total"`
+	DroppedSpans    uint64 `json:"dropped_spans_total"`
+}
+
+// Snapshot renders the retained traces, newest first.
+func (t *Tracer) Snapshot() TracesResponse {
+	t.mu.Lock()
+	ring := make([]*completedTrace, len(t.ring))
+	copy(ring, t.ring)
+	t.mu.Unlock()
+	resp := TracesResponse{
+		Traces:          make([]TraceJSON, 0, len(ring)),
+		Spans:           t.spansTotal.Load(),
+		CompletedTraces: t.tracesTotal.Load(),
+		DroppedSpans:    t.droppedTotal.Load(),
+	}
+	for i := len(ring) - 1; i >= 0; i-- {
+		ct := ring[i]
+		ct.td.mu.Lock()
+		spans := make([]SpanRecord, len(ct.td.spans))
+		copy(spans, ct.td.spans)
+		dropped := ct.td.dropped
+		ct.td.mu.Unlock()
+		resp.Traces = append(resp.Traces, TraceJSON{
+			TraceID:        ct.td.traceID.String(),
+			Root:           ct.root.Name,
+			Remote:         ct.td.remote,
+			EndedAt:        ct.endedAt,
+			DurationMicros: ct.root.DurationMicros,
+			DroppedSpans:   dropped,
+			Spans:          spans,
+		})
+	}
+	return resp
+}
+
+// Handler serves the completed-trace ring as JSON — GET /debug/traces.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(t.Snapshot())
+	})
+}
+
+// Inject writes the span's context into h as a W3C traceparent header,
+// so the receiving process can continue the trace. No-op for a nil
+// span.
+func Inject(span *Span, h http.Header) {
+	if span == nil {
+		return
+	}
+	h.Set(TraceParentHeader, fmt.Sprintf("00-%s-%s-01", span.TraceID(), span.SpanID()))
+}
+
+// Extract parses a W3C traceparent header ("00-<32 hex trace
+// id>-<16 hex span id>-<2 hex flags>"). ok is false for a missing or
+// malformed header, or all-zero ids (invalid per the spec).
+func Extract(h http.Header) (traceID TraceID, parent SpanID, ok bool) {
+	v := h.Get(TraceParentHeader)
+	// Fixed layout: 2+1+32+1+16+1+2 = 55 bytes.
+	if len(v) != 55 || v[2] != '-' || v[35] != '-' || v[52] != '-' {
+		return TraceID{}, SpanID{}, false
+	}
+	if v[0] != '0' || v[1] != '0' {
+		// Only version 00 is understood; a future version may change the
+		// field layout, so refuse rather than misparse.
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(traceID[:], []byte(v[3:35])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(v[36:52])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(make([]byte, 1), []byte(v[53:55])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if traceID.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return traceID, parent, true
+}
+
+// ID generation: a process-global counter whitened with a random
+// per-process key. crypto/rand per span would dominate the span's own
+// cost on the ingest hot path; a seeded SplitMix64 stream is
+// collision-free within a process and the 64-bit random offset makes
+// cross-process collisions vanishingly unlikely.
+var (
+	idKey uint64
+	idCtr atomic.Uint64
+)
+
+func init() {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the clock; ids stay unique in-process through the
+		// counter either way.
+		binary.LittleEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	idKey = binary.LittleEndian.Uint64(b[:])
+}
+
+// next64 returns the next whitened 64-bit id word (SplitMix64).
+func next64() uint64 {
+	z := idKey + idCtr.Add(1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // all-zero ids are invalid per W3C trace-context
+	}
+	return z
+}
+
+func newTraceID() TraceID {
+	var t TraceID
+	binary.LittleEndian.PutUint64(t[:8], next64())
+	binary.LittleEndian.PutUint64(t[8:], next64())
+	return t
+}
+
+func newSpanID() SpanID {
+	var s SpanID
+	binary.LittleEndian.PutUint64(s[:], next64())
+	return s
+}

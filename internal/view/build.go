@@ -1,6 +1,7 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"ldpmarginals/internal/consistency"
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/marginal"
+	"ldpmarginals/internal/trace"
 )
 
 // The incremental build pipeline. Build's work splits into a *linear*
@@ -102,6 +104,10 @@ type builder struct {
 	weights []float64         // per-kway-table evidence of the current build
 	sub     []*marginal.Table // sub-cube arena tables (slab-backed)
 	scratch []float64         // marginalization scratch, max 2^(k-1)
+	// consBefore checkpoints the raw k-way cells before the nonlinear
+	// stage so diagnostics can report the L1 mass consistency +
+	// projection moved; reused across epochs.
+	consBefore []float64
 }
 
 func newBuilder(p core.Protocol, opts Options) (*builder, error) {
@@ -150,22 +156,32 @@ func newBuilder(p core.Protocol, opts Options) (*builder, error) {
 // (within ~1e-12 TV of the cold scan); every other stage is arithmetic-
 // identical to the cold Build, so for the remaining protocols the
 // result is bit-identical to Build over the same state.
-func (b *builder) build(state core.Aggregator, fast bool) (*View, error) {
+func (b *builder) build(ctx context.Context, state core.Aggregator, fast bool) (*View, error) {
 	start := time.Now()
+	_, linSpan := trace.StartSpan(ctx, "view.linear")
 	if err := core.AllKWayTablesInto(state, b.arena, fast); err != nil {
+		linSpan.End()
 		return nil, fmt.Errorf("view: %w", err)
 	}
+	linSpan.SetAttr("tables", len(b.arena.Tables))
+	linSpan.End()
 	n := state.N()
 	for i, u := range b.arena.Users {
 		b.weights[i] = float64(u)
 	}
+	b.consBefore = consistencyCheckpoint(b.consBefore, b.arena.Tables, len(b.arena.Tables))
 	if b.opts.ConsistencyRounds >= 0 && len(b.arena.Tables) > 1 && n > 0 {
+		_, consSpan := trace.StartSpan(ctx, "view.consistency")
 		if err := b.plan.cons.Enforce(b.arena.Tables, b.weights, consistency.Options{
 			Rounds: b.opts.ConsistencyRounds,
 		}); err != nil {
+			consSpan.End()
 			return nil, fmt.Errorf("view: enforcing consistency: %w", err)
 		}
+		consSpan.End()
 	}
+	_, nlSpan := trace.StartSpan(ctx, "view.nonlinear")
+	defer nlSpan.End()
 	if !b.opts.RawCells {
 		for _, t := range b.arena.Tables {
 			t.ProjectToSimplex()
@@ -256,6 +272,8 @@ func (b *builder) publish(n int, start time.Time) *View {
 		weights:     append([]float64(nil), b.weights...),
 		pos:         b.plan.pos,
 	}
+	v.Diag.ConsistencyL1 = consistencyL1(b.consBefore, v.tables, v.kWay)
+	v.fillTVBound()
 	v.BuildDuration = time.Since(start)
 	v.BuiltAt = time.Now()
 	return v

@@ -1,12 +1,14 @@
 package view
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/trace"
 )
 
 // Source is what the engine refreshes from: a live aggregation pipeline
@@ -116,6 +118,11 @@ type EngineOptions struct {
 	Refresh Policy
 	// Build tunes the per-epoch post-processing.
 	Build Options
+	// Tracer, when set, roots a "view.refresh" trace for every
+	// policy-driven background refresh (request-driven refreshes join
+	// their request's trace through RefreshContext instead). Nil
+	// disables background-refresh tracing.
+	Tracer *trace.Tracer
 }
 
 // Engine owns the materialized view of one deployment: it snapshots the
@@ -241,6 +248,17 @@ func (e *Engine) Epoch() int64 {
 // first — re-derives the sums from scratch and runs the cold Build
 // path, bit-identical to a standalone Build over the same state.
 func (e *Engine) Refresh() (*View, error) {
+	return e.RefreshContext(context.Background())
+}
+
+// RefreshContext is Refresh with trace propagation: when ctx carries
+// an active span, the whole build is recorded as a "view.build" child
+// — covering snapshot acquisition and reconstruction, the same total
+// that BuildDuration and the build histograms report — with stage
+// children (view.snapshot or view.delta_fold, view.linear,
+// view.consistency, view.nonlinear) and the epoch's fold counts and
+// accuracy diagnostics as attributes.
+func (e *Engine) RefreshContext(ctx context.Context) (*View, error) {
 	entry := time.Now()
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -248,26 +266,55 @@ func (e *Engine) Refresh() (*View, error) {
 		return cur, nil
 	}
 	snapshotAt := time.Now()
-	v, err := e.buildNext()
+	ctx, span := trace.StartSpan(ctx, "view.build")
+	v, err := e.buildNext(ctx)
 	if err != nil {
+		span.SetAttr("error", err)
+		span.End()
 		return nil, err
 	}
 	if v == nil {
 		// Zero-delta fast path: nothing changed since the serving epoch
 		// was built, so the previous view already is the rebuild's
 		// answer. The epoch does not advance.
+		span.SetAttr("zero_delta", true)
+		span.End()
 		return e.cur.Load(), nil
+	}
+	// Inter-epoch drift: how far each k-way marginal moved since the
+	// epoch currently serving. Compared against Diag.TheoreticalTV
+	// this is the anomaly signal — movement beyond the noise floor
+	// means the underlying distribution changed.
+	if prev := e.cur.Load(); prev != nil {
+		v.Diag.DriftMaxTV, v.Diag.DriftMeanTV = marginalDrift(prev, v)
+		v.Diag.DriftBaseEpoch = prev.Epoch
 	}
 	v.snapshotAt = snapshotAt
 	e.epoch++
 	v.Epoch = e.epoch
+	span.SetAttr("epoch", v.Epoch)
+	span.SetAttr("n", v.N)
+	span.SetAttr("incremental", v.Incremental)
+	span.SetAttr("folded_components", v.FoldedComponents)
+	span.SetAttr("consistency_l1", v.Diag.ConsistencyL1)
+	span.SetAttr("drift_max_tv", v.Diag.DriftMaxTV)
+	if v.Diag.TVBoundErr == "" {
+		span.SetAttr("theoretical_tv", v.Diag.TheoreticalTV)
+	}
+	span.End()
 	e.cur.Store(v)
 	return v, nil
 }
 
 // buildNext runs one build — incremental when the cadence and the
 // source allow it, the cold full path otherwise. Called under e.mu.
-func (e *Engine) buildNext() (*View, error) {
+//
+// The published BuildDuration (and the build histograms) cover the
+// whole operation — snapshot acquisition plus reconstruction, exactly
+// the root "view.build" span — so /view/status, the metrics, and the
+// traces all report the same number; SnapshotDuration remains as the
+// snapshot-stage breakdown.
+func (e *Engine) buildNext(ctx context.Context) (*View, error) {
 	every := e.opts.Build.FullRebuildEvery
 	if every == 0 {
 		every = DefaultFullRebuildEvery
@@ -280,28 +327,34 @@ func (e *Engine) buildNext() (*View, error) {
 		folded  int
 		snapDur time.Duration
 	)
+	start := time.Now()
 	if incremental {
+		_, foldSpan := trace.StartSpan(ctx, "view.delta_fold")
 		t0 := time.Now()
 		touched, err := e.deltaSrc.SnapshotDeltaInto(e.arena)
 		if err != nil {
+			foldSpan.SetAttr("error", err)
+			foldSpan.End()
 			e.arenaDirty = true
 			return nil, fmt.Errorf("view: folding delta snapshot: %w", err)
 		}
 		snapDur = time.Since(t0)
 		folded = touched
+		foldSpan.SetAttr("folded_components", touched)
+		foldSpan.End()
 		if touched == 0 && !e.arenaDirty && e.cur.Load() != nil {
 			// No component moved since the last successful build: the
 			// serving epoch was built from exactly this state.
 			return nil, nil
 		}
 		comp := e.composition()
-		t1 := time.Now()
-		v, err = e.bld.build(e.arena.State(), true)
+		v, err = e.bld.build(ctx, e.arena.State(), true)
 		if err != nil {
 			e.arenaDirty = true
 			return nil, err
 		}
-		e.ins.buildInc.Observe(time.Since(t1).Seconds())
+		v.BuildDuration = time.Since(start)
+		e.ins.buildInc.Observe(v.BuildDuration.Seconds())
 		e.arenaDirty = false
 		v.Components = comp
 		e.sinceFull++
@@ -311,6 +364,7 @@ func (e *Engine) buildNext() (*View, error) {
 			snap core.Aggregator
 			err  error
 		)
+		_, snapSpan := trace.StartSpan(ctx, "view.snapshot")
 		t0 := time.Now()
 		if e.arena != nil {
 			// Re-derive the cached linear sums from scratch; the arena's
@@ -318,23 +372,29 @@ func (e *Engine) buildNext() (*View, error) {
 			// incremental folds advance from this re-anchored state.
 			e.arena.Reset()
 			if folded, err = e.deltaSrc.SnapshotDeltaInto(e.arena); err != nil {
+				snapSpan.SetAttr("error", err)
+				snapSpan.End()
 				return nil, fmt.Errorf("view: capturing snapshot: %w", err)
 			}
 			snap = e.arena.State()
 		} else if snap, err = e.src.Snapshot(); err != nil {
+			snapSpan.SetAttr("error", err)
+			snapSpan.End()
 			return nil, fmt.Errorf("view: snapshotting source: %w", err)
 		}
 		snapDur = time.Since(t0)
+		snapSpan.SetAttr("folded_components", folded)
+		snapSpan.End()
 		// Capture the snapshot's composition before the (long) build: the
 		// source pins it to its last snapshot call, and builds are
 		// serialized under e.mu, so this is exactly the epoch's makeup.
 		comp := e.composition()
-		t1 := time.Now()
-		v, err = Build(snap, e.p, e.opts.Build)
+		v, err = buildContext(ctx, snap, e.p, e.opts.Build)
 		if err != nil {
 			return nil, err
 		}
-		e.ins.buildFull.Observe(time.Since(t1).Seconds())
+		v.BuildDuration = time.Since(start)
+		e.ins.buildFull.Observe(v.BuildDuration.Seconds())
 		v.Components = comp
 		e.arenaDirty = false
 		e.sinceFull = 0
@@ -383,7 +443,18 @@ func (e *Engine) loop() {
 			due = cur.Staleness(e.src.N()) >= pol.EveryN
 		}
 		if due {
-			_, _ = e.Refresh()
+			// Policy-driven refreshes have no request to join, so root
+			// their own trace; a refresh that didn't advance the epoch
+			// (zero-delta) is discarded rather than flooding the ring
+			// on every interval tick of an idle deployment.
+			ctx, root := e.opts.Tracer.StartRoot(context.Background(), "view.refresh")
+			before := e.Epoch()
+			v, err := e.RefreshContext(ctx)
+			if err == nil && v != nil && v.Epoch == before {
+				root.Discard()
+			} else {
+				root.End()
+			}
 		}
 	}
 }

@@ -25,8 +25,8 @@ func newViewInstruments() *viewInstruments {
 // ldp_view_* families. The epoch/age/staleness gauges read the published
 // view through the engine's atomic pointer — no locks at scrape time.
 func (e *Engine) RegisterMetrics(r *metrics.Registry) {
-	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (post-snapshot stage).", metrics.Labels{"kind": "full"}, e.ins.buildFull)
-	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (post-snapshot stage).", metrics.Labels{"kind": "incremental"}, e.ins.buildInc)
+	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (snapshot + reconstruction, the root build span's duration).", metrics.Labels{"kind": "full"}, e.ins.buildFull)
+	r.MustRegister("ldp_view_build_seconds", "Epoch build latency (snapshot + reconstruction, the root build span's duration).", metrics.Labels{"kind": "incremental"}, e.ins.buildInc)
 	r.MustRegister("ldp_view_snapshot_seconds", "Snapshot/delta-fold stage latency of epoch builds.", nil, e.ins.snapshotDur)
 	r.MustCounterFunc("ldp_view_builds_total", "Epoch builds by kind.", metrics.Labels{"kind": "full"},
 		func() float64 { return float64(e.fullBuilds.Load()) })
@@ -59,6 +59,38 @@ func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 		func() float64 {
 			if v := e.Current(); v != nil {
 				return float64(v.N)
+			}
+			return 0
+		})
+	// Accuracy diagnostics (diag.go): the theoretical noise floor next
+	// to the observed correction magnitude and inter-epoch drift, so a
+	// dashboard can alert on drift > bound without scraping
+	// /view/diagnostics.
+	r.MustGaugeFunc("ldp_view_tv_bound", "Paper's theoretical per-marginal TV error bound at the serving epoch's parameters (0 when unavailable).", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return v.Diag.TheoreticalTV
+			}
+			return 0
+		})
+	r.MustGaugeFunc("ldp_view_consistency_l1", "L1 cell mass moved by consistency enforcement + projection in the serving epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return v.Diag.ConsistencyL1
+			}
+			return 0
+		})
+	r.MustGaugeFunc("ldp_view_drift_max_tv", "Maximum per-marginal TV drift of the serving epoch vs the previous epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return v.Diag.DriftMaxTV
+			}
+			return 0
+		})
+	r.MustGaugeFunc("ldp_view_drift_mean_tv", "Mean per-marginal TV drift of the serving epoch vs the previous epoch.", nil,
+		func() float64 {
+			if v := e.Current(); v != nil {
+				return v.Diag.DriftMeanTV
 			}
 			return 0
 		})

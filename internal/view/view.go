@@ -24,6 +24,7 @@
 package view
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/marginal"
 	"ldpmarginals/internal/query"
+	"ldpmarginals/internal/trace"
 )
 
 // ErrBadQuery tags query-validation failures (empty beta, beta outside
@@ -102,6 +104,11 @@ type View struct {
 	// the engine's source is Composed (a coordinator's fleet of peer
 	// states); nil for plain sources.
 	Components []Component
+	// Diag is the epoch's accuracy diagnostics (diag.go): the paper's
+	// theoretical TV bound at the epoch's parameters, the L1 mass moved
+	// by consistency enforcement + projection, and — for engine-built
+	// epochs — drift against the previous epoch.
+	Diag Diagnostics
 
 	cfg     core.Config
 	kWay    int               // count of collection (k-way) tables at the front of tables
@@ -119,6 +126,14 @@ type View struct {
 // must be private to the caller (e.g. core.ShardedAggregator.Snapshot);
 // it is only read. Equal snapshots build bit-identical views.
 func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
+	return buildContext(context.Background(), snap, p, opts)
+}
+
+// buildContext is Build with trace propagation: when ctx carries an
+// active span, the reconstruction ("view.linear"), consistency sweep
+// ("view.consistency"), and projection + sub-cube materialization
+// ("view.nonlinear") are recorded as children.
+func buildContext(ctx context.Context, snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 	start := time.Now()
 	cfg := p.Config()
 	// The enforcement structure is a pure function of (d, k); the
@@ -129,10 +144,14 @@ func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 	if err != nil {
 		return nil, fmt.Errorf("view: %w", err)
 	}
+	_, linSpan := trace.StartSpan(ctx, "view.linear")
 	kway, err := core.AllKWayTables(snap, cfg)
 	if err != nil {
+		linSpan.End()
 		return nil, fmt.Errorf("view: %w", err)
 	}
+	linSpan.SetAttr("tables", len(kway))
+	linSpan.End()
 	v := &View{
 		N:        snap.N(),
 		Protocol: p.Name(),
@@ -147,18 +166,26 @@ func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 		v.weights[i] = float64(kt.Users)
 		v.pos[kt.Beta] = i
 	}
+	// Checkpoint the raw reconstruction so the diagnostics can report
+	// how much L1 mass the consistency sweep + projection moved.
+	before := consistencyCheckpoint(nil, v.tables, v.kWay)
 	if opts.ConsistencyRounds >= 0 && len(v.tables) > 1 && v.N > 0 {
+		_, consSpan := trace.StartSpan(ctx, "view.consistency")
 		if err := plan.cons.Enforce(v.tables, v.weights, consistency.Options{
 			Rounds: opts.ConsistencyRounds,
 		}); err != nil {
+			consSpan.End()
 			return nil, fmt.Errorf("view: enforcing consistency: %w", err)
 		}
+		consSpan.End()
 	}
+	_, nlSpan := trace.StartSpan(ctx, "view.nonlinear")
 	if !opts.RawCells {
 		for _, t := range v.tables {
 			t.ProjectToSimplex()
 		}
 	}
+	v.Diag.ConsistencyL1 = consistencyL1(before, v.tables, v.kWay)
 	// Materialize the sub-k cube: every |beta| < k marginal is
 	// deterministic for the life of the epoch, so averaging it out of
 	// the supersets once here keeps the read path at O(2^k) for every
@@ -166,11 +193,14 @@ func Build(snap core.Aggregator, p core.Protocol, opts Options) (*View, error) {
 	for _, beta := range bitops.MasksWithAtMostK(cfg.D, 1, cfg.K-1) {
 		tab, err := v.averageFromSupersets(beta)
 		if err != nil {
+			nlSpan.End()
 			return nil, fmt.Errorf("view: materializing %b: %w", beta, err)
 		}
 		v.pos[beta] = len(v.tables)
 		v.tables = append(v.tables, tab)
 	}
+	nlSpan.End()
+	v.fillTVBound()
 	v.BuildDuration = time.Since(start)
 	v.BuiltAt = time.Now()
 	return v, nil

@@ -28,6 +28,7 @@
 package window
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/trace"
 )
 
 // Options configures a Ring.
@@ -172,6 +174,15 @@ func (r *Ring) Version() uint64 { return r.ver.Load() }
 // between calls the ring simply keeps filling the live bucket, so a
 // late Advance only defers (never loses) rotation.
 func (r *Ring) Advance(now time.Time) (rotated, expired int, err error) {
+	return r.AdvanceContext(context.Background(), now)
+}
+
+// AdvanceContext is Advance with trace propagation: when ctx carries
+// an active span, the seal loop is recorded as a "window.seal" child
+// (buckets sealed and reports frozen as attrs) and the expiry fold as
+// a "window.expire" child (buckets expired). No-op advances record
+// nothing.
+func (r *Ring) AdvanceContext(ctx context.Context, now time.Time) (rotated, expired int, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	elapsed := now.Sub(r.curStart)
@@ -183,25 +194,41 @@ func (r *Ring) Advance(now time.Time) (rotated, expired int, err error) {
 		// The whole window passed while nobody rotated: every retained
 		// bucket and the live contents are out of the window. Reset
 		// wholesale instead of folding bucket by bucket.
+		_, span := trace.StartSpan(ctx, "window.expire")
 		expired = r.dropAllLocked()
 		r.curSeq += steps
 		r.curStart = r.curStart.Add(time.Duration(steps) * r.opts.Bucket)
 		rotated = int(r.buckets)
 		r.rotated.Add(steps)
 		r.ver.Add(1)
+		span.SetAttr("buckets", expired)
+		span.SetAttr("drop_all", true)
+		span.End()
 		return rotated, expired, nil
 	}
+	liveBefore := int64(r.cur.Load().N())
+	_, seal := trace.StartSpan(ctx, "window.seal")
 	for i := uint64(0); i < steps; i++ {
 		if err := r.sealLocked(); err != nil {
+			seal.SetAttr("error", err)
+			seal.End()
 			return rotated, expired, err
 		}
 		rotated++
 	}
+	seal.SetAttr("buckets", rotated)
+	seal.SetAttr("reports_frozen", liveBefore-int64(r.cur.Load().N()))
+	seal.End()
+	_, exp := trace.StartSpan(ctx, "window.expire")
 	n, err := r.expireLocked()
 	expired += n
+	exp.SetAttr("buckets", n)
 	if err != nil {
+		exp.SetAttr("error", err)
+		exp.End()
 		return rotated, expired, err
 	}
+	exp.End()
 	if rotated+expired > 0 {
 		r.ver.Add(1)
 	}
