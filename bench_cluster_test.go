@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httputil"
 	"testing"
 
 	"ldpmarginals"
@@ -193,5 +194,212 @@ func BenchmarkClusterStateExchange(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(b.N)*clusterStateN/b.Elapsed().Seconds(), "reports/s")
+	})
+}
+
+// Delta-exchange benchmarks: bytes on the wire per pull cycle when only
+// a fraction of an edge's shards moved between pulls. The deployment is
+// the delta path's motivating worst case for full transfers — InpPS at
+// d=16 materializes 2^16 counters per shard, so a 100-shard edge's full
+// state is large even though a pull interval's worth of reports touches
+// only the few shards the batches round-robined onto. The figure of
+// merit is bytes/op: what one coordinator pull moves over the network.
+// Recorded in BENCH_cluster.json.
+
+// deltaBenchShards spreads the edge state over 100 shards so "1% delta"
+// is literally one moved shard (ConsumeBatch locks exactly one
+// round-robin shard per call).
+const deltaBenchShards = 100
+
+// deltaEdge builds a live InpPS d=16 edge with deltaBenchShards shards
+// seeded with clusterStateN reports spread over every shard, and returns
+// its base URL plus a mutate function that moves exactly k shards.
+func deltaEdge(b *testing.B) (url string, mutate func(k int)) {
+	b.Helper()
+	cfg := ldpmarginals.Config{D: 16, K: 2, Epsilon: 1.0986, OptimizedPRR: true}
+	p, err := ldpmarginals.NewProtocol(ldpmarginals.InpPS, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One ingest worker keeps each POSTed batch a single ConsumeBatch
+	// call — one round-robin shard per batch, so the moved-shard
+	// fraction is exact.
+	edge, err := server.NewWithOptions(p, server.Options{
+		Role: server.RoleEdge, NodeID: "bench-edge",
+		Shards: deltaBenchShards, IngestWorkers: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = edge.Close() })
+	ts := httptest.NewServer(edge.Handler())
+	b.Cleanup(ts.Close)
+
+	client := p.NewClient()
+	r := rng.New(79)
+	perturbBatch := func(n int) []byte {
+		reps := make([]ldpmarginals.Report, n)
+		for i := range reps {
+			rep, err := client.Perturb(r.Uint64()&0xffff, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		body, err := encoding.MarshalBatch(p.Name(), reps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return body
+	}
+	post := func(body []byte) {
+		resp, err := http.Post(ts.URL+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("seeding edge: status %d", resp.StatusCode)
+		}
+	}
+	// Seed every shard: 2x shard-count batches round-robin over all of
+	// them.
+	seedBatch := perturbBatch(clusterStateN / (2 * deltaBenchShards))
+	for i := 0; i < 2*deltaBenchShards; i++ {
+		post(seedBatch)
+	}
+	moveBatch := perturbBatch(64)
+	return ts.URL, func(k int) {
+		for i := 0; i < k; i++ {
+			post(moveBatch)
+		}
+	}
+}
+
+// deltaPull GETs /state with the delta handshake and returns the body
+// and the reply's ETag (the base to acknowledge next time).
+func deltaPull(b *testing.B, url, base string, components bool) (int, []byte, string) {
+	b.Helper()
+	target := url + "/state"
+	if components {
+		target += "?components=1"
+	}
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if base != "" {
+		req.Header.Set("If-None-Match", base)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		etag = base
+	}
+	return resp.StatusCode, body, etag
+}
+
+// BenchmarkClusterDeltaExchange measures bytes on the wire per pull at
+// different churn fractions: the legacy full frame, the componentized
+// full frame, deltas at 1%/10%/100% moved shards, and the 304 reply of
+// an unchanged peer.
+func BenchmarkClusterDeltaExchange(b *testing.B) {
+	url, mutate := deltaEdge(b)
+
+	countBytes := func(b *testing.B, run func() int) {
+		b.Helper()
+		total := 0
+		for i := 0; i < b.N; i++ {
+			total += run()
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "bytes/op")
+	}
+
+	b.Run("full-v1", func(b *testing.B) {
+		countBytes(b, func() int {
+			status, body, _ := deltaPull(b, url, "", false)
+			if status != http.StatusOK {
+				b.Fatalf("status %d", status)
+			}
+			if _, err := wire.DecodeStateFrame(body); err != nil {
+				b.Fatal(err)
+			}
+			return len(body)
+		})
+	})
+
+	b.Run("full-components", func(b *testing.B) {
+		countBytes(b, func() int {
+			status, body, _ := deltaPull(b, url, "", true)
+			if status != http.StatusOK {
+				b.Fatalf("status %d", status)
+			}
+			if _, err := wire.DecodeComponentFrame(body, 1<<30); err != nil {
+				b.Fatal(err)
+			}
+			return len(body)
+		})
+	})
+
+	deltaAt := func(moved int) func(b *testing.B) {
+		return func(b *testing.B) {
+			_, _, base := deltaPull(b, url, "", true)
+			b.ResetTimer()
+			countBytes(b, func() int {
+				mutate(moved)
+				status, body, etag := deltaPull(b, url, base, true)
+				if status != http.StatusOK {
+					b.Fatalf("status %d", status)
+				}
+				cf, err := wire.DecodeComponentFrame(body, 1<<30)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !cf.Delta {
+					b.Fatal("moved-shard pull did not negotiate a delta frame")
+				}
+				base = etag
+				return len(body)
+			})
+		}
+	}
+	b.Run("delta-1pct", deltaAt(deltaBenchShards/100))
+	b.Run("delta-10pct", deltaAt(deltaBenchShards/10))
+	b.Run("delta-100pct", deltaAt(deltaBenchShards))
+
+	b.Run("unchanged-304", func(b *testing.B) {
+		_, _, base := deltaPull(b, url, "", true)
+		b.ResetTimer()
+		countBytes(b, func() int {
+			req, err := http.NewRequest(http.MethodGet, url+"/state?components=1", nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			req.Header.Set("If-None-Match", base)
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dump, err := httputil.DumpResponse(resp, true)
+			resp.Body.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if resp.StatusCode != http.StatusNotModified {
+				b.Fatalf("status %d, want 304", resp.StatusCode)
+			}
+			// The whole reply, headers included: an unchanged peer costs
+			// one header block, no state bytes.
+			return len(dump)
+		})
 	})
 }

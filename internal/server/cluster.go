@@ -2,10 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,23 +22,29 @@ import (
 	"ldpmarginals/internal/wire"
 )
 
-// The cluster tier. An edge exports its canonical aggregator state on
-// GET /state as a wire.StateFrame; a coordinator's fleet holds the
-// latest accepted frame per configured peer and assembles the fleet-wide
-// aggregation state on demand. The exchange is *state transfer with
-// replacement*, not delta shipping: every pull carries the peer's full
-// cumulative counters, and accepting a pull replaces that peer's
-// previous contribution. Replacement is what makes the protocol
-// idempotent and crash-proof — re-pulling an unchanged peer is a no-op
-// (the (node id, version) label is unchanged), and an edge that crashed
-// and recovered from its WAL simply re-serves its full recovered state,
-// which replaces whatever the coordinator held. Because aggregation is
+// The cluster tier. An edge exports its aggregation state on GET /state;
+// a coordinator's fleet holds the latest accepted state per configured
+// peer and assembles the fleet-wide aggregation state on demand. The
+// exchange is *componentized state transfer with replacement*: a peer's
+// state arrives as named components (per-shard states, one window, or a
+// mid-tier coordinator's pass-through constituents), each labeled with
+// its own version, and accepting a pull replaces exactly the components
+// the frame carries. A delta frame (negotiated via the ?since=/
+// If-None-Match handshake) carries only the components whose labels
+// moved since the base version this coordinator acknowledged; a full
+// frame replaces the peer's whole component set. Replacement is what
+// makes the protocol idempotent and crash-proof — re-pulling an
+// unchanged peer is a 304 (or a label-matched no-op), and an edge that
+// crashed and recovered from its WAL re-serves its full recovered state
+// under a fresh version salt, which a coordinator detects as an unknown
+// delta base and resolves with one full pull. Because aggregation is
 // associative integer counting, the assembled fleet state is
 // byte-identical to a single aggregator that consumed every edge's
-// stream directly.
+// stream directly — whatever mix of full frames, deltas, and topology
+// tiers it arrived through.
 
 // fleet is a coordinator's view.Source: the local (empty) sharded
-// aggregator plus the latest accepted state blob of every configured
+// aggregator plus the latest accepted components of every configured
 // peer.
 type fleet struct {
 	agg   *core.ShardedAggregator
@@ -59,15 +68,26 @@ type fleet struct {
 	saveMu sync.Mutex
 }
 
+// peerComp is one accepted component of a peer's state. The state blob
+// is replaced wholesale on accept, never mutated, so references read
+// under the fleet lock stay valid after it.
+type peerComp struct {
+	version uint64
+	n       int
+	state   []byte
+}
+
 // peerEntry is one configured peer and its pull lifecycle state.
 type peerEntry struct {
 	url string
 
-	// Latest accepted state (zero until the first successful pull).
+	// Latest accepted state (comps nil until the first successful pull
+	// or recovery). top is the peer's export version label — the delta
+	// base the next pull acknowledges.
 	nodeID   string
-	version  uint64
-	n        int
-	state    []byte
+	top      uint64
+	comps    map[string]peerComp
+	n        int // sum of comps' report counts
 	pulledAt time.Time
 
 	// Pull scheduling: consecutive failures drive exponential backoff.
@@ -75,6 +95,13 @@ type peerEntry struct {
 	nextDue time.Time
 	lastErr string
 }
+
+// errStaleDeltaBase marks a delta frame that cannot be applied because
+// the coordinator no longer holds the base it was computed against
+// (peer restarted and re-salted, a crash dropped the persisted top, or
+// the fold diverged). The puller resolves it by re-fetching a full
+// frame within the same pull.
+var errStaleDeltaBase = errors.New("delta base no longer held")
 
 // newFleet builds the fleet over the configured peer URLs, recovering
 // persisted peer states from dir when set. ownID is the coordinator's
@@ -99,21 +126,37 @@ func newFleet(agg *core.ShardedAggregator, p core.Protocol, urls []string, dir, 
 	}
 	for _, pe := range f.peers {
 		ps, ok := byURL[pe.url]
-		if !ok {
+		if !ok || len(ps.Components) == 0 {
 			continue
 		}
-		// Validate the recovered blob exactly like a live pull; a peer
-		// state that no longer decodes is dropped (the next pull
+		// Validate every recovered component exactly like a live pull; a
+		// peer state that no longer decodes is dropped (the next pull
 		// replaces it) rather than poisoning every future snapshot.
-		if err := validateState(p, ps.State, ps.N); err != nil {
-			pe.lastErr = fmt.Sprintf("recovered state invalid: %v", err)
+		comps := make(map[string]peerComp, len(ps.Components))
+		n, bad := 0, false
+		for _, c := range ps.Components {
+			if err := validateState(p, c.State, c.N); err != nil {
+				pe.lastErr = fmt.Sprintf("recovered component %s invalid: %v", c.ID, err)
+				bad = true
+				break
+			}
+			comps[c.ID] = peerComp{version: c.Version, n: c.N, state: c.State}
+			n += c.N
+		}
+		if bad {
+			continue
+		}
+		if n != ps.N {
+			pe.lastErr = fmt.Sprintf("recovered components hold %d reports but the snapshot declares %d", n, ps.N)
 			continue
 		}
 		// pulledAt stays zero: the state was recovered from disk, not
 		// pulled, and /status must not report a fresh pull that never
 		// happened (last_pull_age_seconds stays -1 until one does).
-		pe.nodeID, pe.version, pe.n, pe.state = ps.NodeID, ps.Version, ps.N, ps.State
-		f.total.Add(int64(ps.N))
+		// Keeping the persisted top label means the first pull after a
+		// restart can resume as a delta when the peer process survived.
+		pe.nodeID, pe.top, pe.comps, pe.n = ps.NodeID, ps.Version, comps, n
+		f.total.Add(int64(n))
 		f.ver.Add(1)
 	}
 	return f, nil
@@ -134,29 +177,74 @@ func validateState(p core.Protocol, state []byte, n int) error {
 	return nil
 }
 
-// collect gathers the accepted peer blobs and their composition under
-// the fleet lock. Blobs are replaced wholesale on accept (never mutated
-// in place), so reading them after the unlock is safe.
+// validateComponents runs the per-blob validation over every component
+// of a frame and, for full frames, cross-checks the declared total
+// (deltas declare the total *after* the fold; acceptDelta checks it
+// there).
+func validateComponents(p core.Protocol, cf wire.ComponentFrame) error {
+	sum := 0
+	for _, c := range cf.Components {
+		if err := validateState(p, c.State, c.N); err != nil {
+			return fmt.Errorf("component %s: %w", c.ID, err)
+		}
+		sum += c.N
+	}
+	if !cf.Delta && sum != cf.N {
+		return fmt.Errorf("components hold %d reports but the frame declares %d", sum, cf.N)
+	}
+	return nil
+}
+
+// componentFrameFromState lifts a legacy single-blob frame into the
+// componentized shape: one component named by the exporting node,
+// carrying the frame's own version label. Mixing legacy and
+// componentized peers under one coordinator therefore needs no special
+// cases past this point.
+func componentFrameFromState(sf wire.StateFrame) wire.ComponentFrame {
+	return wire.ComponentFrame{
+		NodeID: sf.NodeID, Version: sf.Version, N: sf.N,
+		Components: []wire.StateComponent{
+			{ID: sf.NodeID, Version: sf.Version, N: sf.N, State: sf.State},
+		},
+	}
+}
+
+// sortedCompIDs returns a peer's component ids in canonical order.
+func sortedCompIDs(comps map[string]peerComp) []string {
+	ids := make([]string, 0, len(comps))
+	for id := range comps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// collect gathers the accepted peer component blobs and the per-peer
+// composition under the fleet lock. Blobs are replaced wholesale on
+// accept (never mutated in place), so reading them after the unlock is
+// safe.
 func (f *fleet) collect() (blobs [][]byte, comp []view.Component) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	blobs = make([][]byte, 0, len(f.peers))
 	comp = make([]view.Component, 0, len(f.peers))
 	for _, pe := range f.peers {
-		if pe.state == nil {
+		if pe.comps == nil {
 			continue
 		}
-		blobs = append(blobs, pe.state)
+		for _, id := range sortedCompIDs(pe.comps) {
+			blobs = append(blobs, pe.comps[id].state)
+		}
 		comp = append(comp, view.Component{
-			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.version, PulledAt: pe.pulledAt,
+			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.top,
+			PulledAt: pe.pulledAt, Parts: len(pe.comps),
 		})
 	}
 	return blobs, comp
 }
 
 // Snapshot assembles the fleet-wide state: a merged snapshot of the
-// local shards plus every accepted peer blob, each decoded and folded in
-// through the canonical Merge path. It records the snapshot's
+// local shards plus every accepted peer component, each decoded and
+// folded in through the canonical Merge path. It records the snapshot's
 // composition for the view engine (view.Composed) — only the engine may
 // call it (builds are serialized under the engine's lock); other
 // callers use export, which leaves the recorded composition alone.
@@ -179,19 +267,25 @@ func (f *fleet) export() (core.Aggregator, error) {
 
 // fleetArena is the coordinator's core.StateArena: the local shard
 // arena (whose cumulative aggregator is the single fold target) plus
-// the decoded contribution of every peer currently folded in, keyed by
-// peer URL and labeled exactly like fleet.accept — (node id, version).
-// A pull round that changed one edge's state re-folds only that edge's
-// contribution; unchanged peers cost one label comparison.
+// the decoded contribution of every peer component currently folded in,
+// keyed by peer URL and component id and labeled exactly like the
+// accept path. A pull round that moved one component of one edge
+// re-folds exactly that component; unchanged components cost one label
+// comparison each.
 type fleetArena struct {
 	local core.StateArena
 	peers map[string]*heldPeer
 }
 
-// heldPeer is one peer contribution folded into the arena's cumulative
+// heldPeer is one peer's components folded into the arena's cumulative
 // state.
 type heldPeer struct {
-	nodeID  string
+	nodeID string
+	comps  map[string]*heldComp
+}
+
+// heldComp is one component contribution folded into the arena.
+type heldComp struct {
 	version uint64
 	n       int
 	agg     core.Aggregator
@@ -213,13 +307,13 @@ func (f *fleet) NewSnapshotArena() core.StateArena {
 }
 
 // SnapshotDeltaInto advances the arena to the current fleet state:
-// local shard deltas fold through the core arena, and each peer whose
-// accepted (node id, version) label moved since the arena's last
+// local shard deltas fold through the core arena, and each peer
+// component whose accepted version label moved since the arena's last
 // capture has its old contribution unmerged and its fresh state decoded
-// and merged — a pull that changed one edge re-folds one component. It
-// records the snapshot's composition for the view engine, exactly like
-// Snapshot. Only the engine may call it (builds are serialized under
-// the engine's lock).
+// and merged — a delta pull that changed one shard of one edge re-folds
+// one component. It records the snapshot's composition for the view
+// engine, exactly like Snapshot. Only the engine may call it (builds
+// are serialized under the engine's lock).
 func (f *fleet) SnapshotDeltaInto(arena core.StateArena) (int, error) {
 	fa, ok := arena.(*fleetArena)
 	if !ok {
@@ -240,22 +334,31 @@ func (f *fleet) SnapshotDeltaInto(arena core.StateArena) (int, error) {
 	// Snapshot the accepted peer labels (and blob references — blobs are
 	// replaced wholesale on accept, never mutated) under the fleet lock,
 	// and record the composition the engine will label this epoch with.
+	type compSnap struct {
+		id      string
+		version uint64
+		n       int
+		state   []byte
+	}
 	type peerSnap struct {
 		url, nodeID string
-		version     uint64
-		n           int
-		state       []byte
+		comps       []compSnap
 	}
 	f.mu.Lock()
 	cur := make([]peerSnap, 0, len(f.peers))
 	comp := make([]view.Component, 0, len(f.peers))
 	for _, pe := range f.peers {
-		if pe.state == nil {
+		if pe.comps == nil {
 			continue
 		}
-		cur = append(cur, peerSnap{pe.url, pe.nodeID, pe.version, pe.n, pe.state})
+		snap := peerSnap{url: pe.url, nodeID: pe.nodeID, comps: make([]compSnap, 0, len(pe.comps))}
+		for id, c := range pe.comps {
+			snap.comps = append(snap.comps, compSnap{id: id, version: c.version, n: c.n, state: c.state})
+		}
+		cur = append(cur, snap)
 		comp = append(comp, view.Component{
-			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.version, PulledAt: pe.pulledAt,
+			ID: pe.nodeID, URL: pe.url, N: pe.n, Version: pe.top,
+			PulledAt: pe.pulledAt, Parts: len(pe.comps),
 		})
 	}
 	f.comp = comp
@@ -267,37 +370,72 @@ func (f *fleet) SnapshotDeltaInto(arena core.StateArena) (int, error) {
 		fa.local.Reset()
 		return touched, e
 	}
+	unmergeAll := func(held *heldPeer) error {
+		for _, h := range held.comps {
+			if err := core.UnmergeAggregators(cum, h.agg); err != nil {
+				return err
+			}
+			touched++
+		}
+		return nil
+	}
 	seen := make(map[string]bool, len(cur))
 	for _, pe := range cur {
 		seen[pe.url] = true
 		held := fa.peers[pe.url]
-		if held != nil && held.nodeID == pe.nodeID && held.version == pe.version {
-			continue
-		}
-		if held != nil {
-			if err := core.UnmergeAggregators(cum, held.agg); err != nil {
-				return fail(fmt.Errorf("server: unfolding stale state of peer %s: %w", pe.url, err))
+		if held != nil && held.nodeID != pe.nodeID {
+			// The URL now resolves to a different node (edge replaced
+			// behind a stable address): every old contribution goes.
+			if err := unmergeAll(held); err != nil {
+				return fail(fmt.Errorf("server: unfolding replaced peer %s: %w", pe.url, err))
 			}
+			held = nil
 		}
-		dec := f.p.NewAggregator()
-		if err := dec.UnmarshalState(pe.state); err != nil {
-			return fail(fmt.Errorf("server: decoding state of peer %s: %w", pe.url, err))
+		if held == nil {
+			held = &heldPeer{nodeID: pe.nodeID, comps: make(map[string]*heldComp, len(pe.comps))}
+			fa.peers[pe.url] = held
 		}
-		if err := core.MergeAggregators(cum, dec); err != nil {
-			return fail(fmt.Errorf("server: folding state of peer %s: %w", pe.url, err))
+		curIDs := make(map[string]bool, len(pe.comps))
+		for _, c := range pe.comps {
+			curIDs[c.id] = true
+			h := held.comps[c.id]
+			if h != nil && h.version == c.version {
+				continue
+			}
+			if h != nil {
+				if err := core.UnmergeAggregators(cum, h.agg); err != nil {
+					return fail(fmt.Errorf("server: unfolding stale component %s of peer %s: %w", c.id, pe.url, err))
+				}
+			}
+			dec := f.p.NewAggregator()
+			if err := dec.UnmarshalState(c.state); err != nil {
+				return fail(fmt.Errorf("server: decoding component %s of peer %s: %w", c.id, pe.url, err))
+			}
+			if err := core.MergeAggregators(cum, dec); err != nil {
+				return fail(fmt.Errorf("server: folding component %s of peer %s: %w", c.id, pe.url, err))
+			}
+			held.comps[c.id] = &heldComp{version: c.version, n: c.n, agg: dec}
+			touched++
 		}
-		fa.peers[pe.url] = &heldPeer{nodeID: pe.nodeID, version: pe.version, n: pe.n, agg: dec}
-		touched++
+		for id, h := range held.comps {
+			if curIDs[id] {
+				continue
+			}
+			if err := core.UnmergeAggregators(cum, h.agg); err != nil {
+				return fail(fmt.Errorf("server: unfolding dropped component %s of peer %s: %w", id, pe.url, err))
+			}
+			delete(held.comps, id)
+			touched++
+		}
 	}
 	for url, held := range fa.peers {
 		if seen[url] {
 			continue
 		}
-		if err := core.UnmergeAggregators(cum, held.agg); err != nil {
+		if err := unmergeAll(held); err != nil {
 			return fail(fmt.Errorf("server: unfolding dropped peer %s: %w", url, err))
 		}
 		delete(fa.peers, url)
-		touched++
 	}
 	return touched, nil
 }
@@ -319,48 +457,160 @@ func (f *fleet) N() int { return f.agg.N() + int(f.total.Load()) }
 // whenever any accepted peer state changes.
 func (f *fleet) version() uint64 { return f.ver.Load() }
 
-// accept installs a freshly pulled (and already validated) frame for the
-// peer at url. It returns (changed=false) when the frame's (node id,
-// version) matches the stored one — the idempotent re-pull case — and an
-// error when another configured peer already serves the same node id
-// (two URLs reaching one node would double-count its reports). The
-// node-id guards see one tier deep only: a merged frame carries the
-// exporting coordinator's id, not its constituents', so in stacked
-// topologies the operator must keep peer sets disjoint per tier (see
-// the example README's cluster section).
-func (f *fleet) accept(url string, sf wire.StateFrame) (changed bool, err error) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if sf.NodeID == f.ownID {
+// guardFrame runs the identity checks shared by full and delta accepts,
+// under the fleet lock: a frame bearing this coordinator's own node id
+// (self-pull or coordinator cycle), a node id already served by another
+// peer URL, a component originated by this coordinator (a deeper
+// cycle), or a component id already held via another peer (the same
+// constituent reachable through two paths — a diamond topology that
+// would double-count its reports). Because coordinators pass component
+// ids through unchanged, these guards hold through any number of
+// mid-tier coordinators, not just one tier deep.
+func (f *fleet) guardFrame(target *peerEntry, cf wire.ComponentFrame) error {
+	if cf.NodeID == f.ownID {
 		// A self-pull (or a coordinator cycle) would re-ingest this
 		// node's own merged output as a peer contribution, inflating
 		// the fleet without bound: the export's version label changes
 		// on every accept, so the idempotency skip would never fire.
-		return false, fmt.Errorf("peer %s answered with this coordinator's own node id %q (self-pull or coordinator cycle)", url, sf.NodeID)
+		return fmt.Errorf("peer %s answered with this coordinator's own node id %q (self-pull or coordinator cycle)", target.url, cf.NodeID)
 	}
-	var target *peerEntry
 	for _, pe := range f.peers {
-		if pe.url == url {
-			target = pe
-		} else if pe.nodeID == sf.NodeID && pe.state != nil {
-			return false, fmt.Errorf("node id %q already served by peer %s", sf.NodeID, pe.url)
+		if pe != target && pe.comps != nil && pe.nodeID == cf.NodeID {
+			return fmt.Errorf("node id %q already served by peer %s", cf.NodeID, pe.url)
 		}
 	}
+	for _, c := range cf.Components {
+		if wire.ComponentOrigin(c.ID) == f.ownID {
+			return fmt.Errorf("peer %s ships component %q originated by this coordinator (coordinator cycle)", target.url, c.ID)
+		}
+		for _, pe := range f.peers {
+			if pe == target || pe.comps == nil {
+				continue
+			}
+			if _, dup := pe.comps[c.ID]; dup {
+				return fmt.Errorf("component %q already held via peer %s (same constituent reachable through two paths)", c.ID, pe.url)
+			}
+		}
+	}
+	return nil
+}
+
+func (f *fleet) findPeer(url string) *peerEntry {
+	for _, pe := range f.peers {
+		if pe.url == url {
+			return pe
+		}
+	}
+	return nil
+}
+
+// acceptFull installs a freshly pulled (and already validated) full
+// frame for the peer at url, replacing the peer's whole component set.
+// It returns (changed=false) when the frame's (node id, version) label
+// matches the stored one — the idempotent re-pull case.
+func (f *fleet) acceptFull(url string, cf wire.ComponentFrame) (changed bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.findPeer(url)
 	if target == nil {
 		return false, fmt.Errorf("peer %s is not configured", url)
 	}
-	if target.state != nil && target.nodeID == sf.NodeID && target.version == sf.Version {
+	if err := f.guardFrame(target, cf); err != nil {
+		return false, err
+	}
+	if target.comps != nil && target.nodeID == cf.NodeID && target.top == cf.Version {
 		return false, nil
 	}
-	f.total.Add(int64(sf.N - target.n))
-	target.nodeID, target.version, target.n, target.state = sf.NodeID, sf.Version, sf.N, sf.State
+	comps := make(map[string]peerComp, len(cf.Components))
+	for _, c := range cf.Components {
+		comps[c.ID] = peerComp{version: c.Version, n: c.N, state: c.State}
+	}
+	f.total.Add(int64(cf.N - target.n))
+	target.nodeID, target.top, target.comps, target.n = cf.NodeID, cf.Version, comps, cf.N
 	f.ver.Add(1)
 	return true, nil
 }
 
+// acceptDelta folds a delta frame into the peer's held component set:
+// shipped components replace (or add) their ids, removed ids drop, and
+// the result must account for exactly the total the frame declares. The
+// frame's base version must match the peer's stored top label — the
+// base this coordinator acknowledged — else errStaleDeltaBase tells the
+// puller to resolve with a full fetch.
+func (f *fleet) acceptDelta(url string, cf wire.ComponentFrame) (changed bool, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	target := f.findPeer(url)
+	if target == nil {
+		return false, fmt.Errorf("peer %s is not configured", url)
+	}
+	if err := f.guardFrame(target, cf); err != nil {
+		return false, err
+	}
+	if target.comps == nil || target.nodeID != cf.NodeID || target.top != cf.BaseVersion {
+		return false, fmt.Errorf("delta against base %d of node %q: %w", cf.BaseVersion, cf.NodeID, errStaleDeltaBase)
+	}
+	// Apply onto a copy: a sum mismatch below must leave the held state
+	// untouched (the follow-up full fetch replaces it atomically).
+	next := make(map[string]peerComp, len(target.comps)+len(cf.Components))
+	for id, c := range target.comps {
+		next[id] = c
+	}
+	for _, c := range cf.Components {
+		if old, ok := next[c.ID]; !ok || old.version != c.Version {
+			changed = true
+		}
+		next[c.ID] = peerComp{version: c.Version, n: c.N, state: c.State}
+	}
+	for _, id := range cf.Removed {
+		if _, ok := next[id]; ok {
+			delete(next, id)
+			changed = true
+		}
+	}
+	n := 0
+	for _, c := range next {
+		n += c.n
+	}
+	if n != cf.N {
+		// The folded set and the exporter's declared total diverged —
+		// the base we hold is not what the delta was cut against.
+		return false, fmt.Errorf("delta fold holds %d reports but the frame declares %d: %w", n, cf.N, errStaleDeltaBase)
+	}
+	f.total.Add(int64(n - target.n))
+	target.top, target.comps, target.n = cf.Version, next, n
+	if changed {
+		f.ver.Add(1)
+	}
+	return changed, nil
+}
+
+// peerTop returns the peer's accepted export version label — the delta
+// base the next pull acknowledges.
+func (f *fleet) peerTop(url string) (uint64, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pe := f.findPeer(url)
+	if pe == nil || pe.comps == nil {
+		return 0, false
+	}
+	return pe.top, true
+}
+
+// sameTop reports whether a frame's (node id, version) label matches the
+// stored one for the peer — the idempotent re-pull fast path, checked
+// before the expensive per-component decode validation.
+func (f *fleet) sameTop(url, nodeID string, ver uint64) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	pe := f.findPeer(url)
+	return pe != nil && pe.comps != nil && pe.nodeID == nodeID && pe.top == ver
+}
+
 // persist writes the current peer states to the cluster directory (when
 // configured) so a coordinator restart resumes from the last accepted
-// pulls instead of an empty fleet.
+// pulls — including the per-component delta bases — instead of an empty
+// fleet.
 func (f *fleet) persist() {
 	if f.dir == "" {
 		return
@@ -370,12 +620,17 @@ func (f *fleet) persist() {
 	f.mu.Lock()
 	states := make([]store.PeerState, 0, len(f.peers))
 	for _, pe := range f.peers {
-		if pe.state == nil {
+		if pe.comps == nil {
 			continue
 		}
-		states = append(states, store.PeerState{
-			URL: pe.url, NodeID: pe.nodeID, Version: pe.version, N: pe.n, State: pe.state,
-		})
+		ps := store.PeerState{URL: pe.url, NodeID: pe.nodeID, Version: pe.top, N: pe.n}
+		for _, id := range sortedCompIDs(pe.comps) {
+			c := pe.comps[id]
+			ps.Components = append(ps.Components, store.PeerComponent{
+				ID: id, Version: c.version, N: c.n, State: c.state,
+			})
+		}
+		states = append(states, ps)
 	}
 	f.mu.Unlock()
 	err := store.SavePeerStates(f.dir, f.p, states)
@@ -393,7 +648,7 @@ func (f *fleet) peersWithState() int {
 	defer f.mu.Unlock()
 	n := 0
 	for _, pe := range f.peers {
-		if pe.state != nil {
+		if pe.comps != nil {
 			n++
 		}
 	}
@@ -402,11 +657,20 @@ func (f *fleet) peersWithState() int {
 
 // peerInstruments is one peer's pull metrics, maintained by the puller.
 type peerInstruments struct {
-	latency   *metrics.Histogram // one pull's wall time
-	bytes     *metrics.Counter   // state bytes fetched
-	changed   *metrics.Counter   // pulls that installed a new state
-	unchanged *metrics.Counter   // idempotent re-pulls (same version label)
-	failed    *metrics.Counter   // pulls that errored
+	latency     *metrics.Histogram // one pull's wall time
+	bytes       *metrics.Counter   // state bytes fetched
+	changed     *metrics.Counter   // pulls that installed a new state
+	unchanged   *metrics.Counter   // idempotent re-pulls (same version label)
+	failed      *metrics.Counter   // pulls that errored
+	deltaPulls  *metrics.Counter   // pulls answered with a delta frame
+	fullPulls   *metrics.Counter   // pulls answered with a full frame
+	notModified *metrics.Counter   // pulls answered 304 (handshake hit)
+	bytesSaved  *metrics.Counter   // estimated bytes the delta path avoided
+
+	// lastFullBytes is the wire size of the peer's most recent full
+	// frame — the baseline the bytes-saved estimate compares deltas and
+	// 304s against.
+	lastFullBytes atomic.Uint64
 }
 
 // puller drives the periodic state pulls of a coordinator with per-peer
@@ -417,6 +681,7 @@ type puller struct {
 	transport *http.Transport // dedicated; idle conns dropped on Close
 	interval  time.Duration
 	maxState  int64
+	noDelta   bool          // Options.DisableDeltaPull: always fetch legacy full frames
 	tracer    *trace.Tracer // roots background rounds; may be nil in tests
 	log       *logx.Logger
 
@@ -433,14 +698,35 @@ type puller struct {
 	// POST /pull rounds): interleaved rounds could fetch a peer's state,
 	// lose the race to a concurrent round that accepted a *newer* frame,
 	// and then install the older one — accept only compares labels for
-	// equality, so the regression would stick (and be persisted).
+	// equality, so the regression would stick (and be persisted). Delta
+	// application depends on it too: the base acknowledged at fetch time
+	// must still be the held top at accept time.
 	roundMu sync.Mutex
 }
 
 // maxBackoffShift caps the failure backoff at interval << 5 = 32x.
 const maxBackoffShift = 5
 
-func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, tracer *trace.Tracer, log *logx.Logger) *puller {
+// backoffDelay is the wait before retrying a peer that failed fails
+// consecutive pulls: exponential in the failure count, capped at
+// maxBackoffShift doublings, plus bounded random jitter (up to half the
+// base backoff). The jitter decorrelates coordinators restarted
+// together — without it, a fleet-wide coordinator restart lands every
+// retry of a recovering edge on the same instant, re-synchronizing the
+// pull storm the backoff was meant to spread.
+func backoffDelay(interval time.Duration, fails int) time.Duration {
+	shift := fails - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	backoff := interval << shift
+	return backoff + rand.N(backoff/2+1)
+}
+
+func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, noDelta bool, tracer *trace.Tracer, log *logx.Logger) *puller {
 	// A dedicated transport, not http.DefaultTransport: the puller's
 	// keep-alive connections to its peers must die with the puller.
 	// Shared-transport idle connections (two goroutines each) outlive
@@ -455,11 +741,15 @@ func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, tracer
 	ins := make(map[string]*peerInstruments, len(f.peers))
 	for _, pe := range f.peers {
 		ins[pe.url] = &peerInstruments{
-			latency:   metrics.NewHistogram(metrics.DurationBuckets()),
-			bytes:     metrics.NewCounter(),
-			changed:   metrics.NewCounter(),
-			unchanged: metrics.NewCounter(),
-			failed:    metrics.NewCounter(),
+			latency:     metrics.NewHistogram(metrics.DurationBuckets()),
+			bytes:       metrics.NewCounter(),
+			changed:     metrics.NewCounter(),
+			unchanged:   metrics.NewCounter(),
+			failed:      metrics.NewCounter(),
+			deltaPulls:  metrics.NewCounter(),
+			fullPulls:   metrics.NewCounter(),
+			notModified: metrics.NewCounter(),
+			bytesSaved:  metrics.NewCounter(),
 		}
 	}
 	return &puller{
@@ -468,6 +758,7 @@ func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, tracer
 		transport: transport,
 		interval:  interval,
 		maxState:  maxState,
+		noDelta:   noDelta,
 		tracer:    tracer,
 		log:       log,
 		ins:       ins,
@@ -562,14 +853,21 @@ func (pl *puller) round(ctx context.Context, force bool) (pulled int) {
 	return len(due)
 }
 
+// Pull reply modes, recorded on metrics and the pull span.
+const (
+	pullModeFull        = "full"
+	pullModeDelta       = "delta"
+	pullModeNotModified = "not_modified"
+)
+
 // pull fetches, verifies, and installs one peer's state, updating that
 // peer's schedule: success re-arms the regular interval, failure backs
-// off exponentially.
+// off exponentially (with jitter; see backoffDelay).
 func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
 	ctx, span := trace.StartSpan(ctx, "cluster.pull")
 	span.SetAttr("peer", url)
 	t0 := time.Now()
-	changed, err := pl.fetch(ctx, span, url)
+	changed, mode, err := pl.fetch(ctx, span, url, !pl.noDelta)
 	if ins := pl.ins[url]; ins != nil {
 		ins.latency.Observe(time.Since(t0).Seconds())
 		switch {
@@ -580,12 +878,23 @@ func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
 		default:
 			ins.unchanged.Inc()
 		}
+		if err == nil {
+			switch mode {
+			case pullModeDelta:
+				ins.deltaPulls.Inc()
+			case pullModeNotModified:
+				ins.notModified.Inc()
+			default:
+				ins.fullPulls.Inc()
+			}
+		}
 	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		pl.log.Warn("pull failed", "peer", url, "err", err)
 	} else {
 		span.SetAttr("changed", changed)
+		span.SetAttr("mode", mode)
 	}
 	span.End()
 	pl.f.mu.Lock()
@@ -597,11 +906,7 @@ func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
 		if err != nil {
 			pe.fails++
 			pe.lastErr = err.Error()
-			shift := pe.fails - 1
-			if shift > maxBackoffShift {
-				shift = maxBackoffShift
-			}
-			pe.nextDue = time.Now().Add(pl.interval << shift)
+			pe.nextDue = time.Now().Add(backoffDelay(pl.interval, pe.fails))
 		} else {
 			pe.fails = 0
 			pe.lastErr = ""
@@ -612,61 +917,116 @@ func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
 	return changed
 }
 
-// fetch performs the HTTP GET and frame validation for one peer. The
-// pull span's trace context rides along as a W3C traceparent header, so
-// the edge's request span joins this coordinator's trace — one fleet
-// pull is one cross-process trace id.
-func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string) (changed bool, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/state", nil)
+// fetch performs the HTTP GET, frame validation, and accept for one
+// peer. With allowDelta set it negotiates the componentized delta
+// exchange: the request acknowledges the held base version (?since=
+// plus If-None-Match), and the reply is a 304 (nothing moved), a delta
+// frame, or a full frame. A delta whose base no longer matches what
+// this coordinator holds (peer restart re-salted the labels, an epoch
+// gap, a diverged fold) recurses once with allowDelta=false, which
+// forces a clean full-frame fetch. The pull span's trace context rides
+// along as a W3C traceparent header, so the edge's request span joins
+// this coordinator's trace — one fleet pull is one cross-process trace
+// id.
+func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allowDelta bool) (changed bool, mode string, err error) {
+	base, haveBase := pl.f.peerTop(url)
+	target := url + "/state"
+	if allowDelta {
+		target += "?components=1"
+		if haveBase {
+			target += "&since=" + strconv.FormatUint(base, 10)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
 	if err != nil {
-		return false, err
+		return false, "", err
+	}
+	if haveBase {
+		// The handshake rides on both channels: If-None-Match gives
+		// intermediaries standard 304 semantics, ?since= names the delta
+		// base explicitly.
+		req.Header.Set("If-None-Match", stateETag(base))
 	}
 	trace.Inject(span, req.Header)
 	resp, err := pl.client.Do(req)
 	if err != nil {
-		return false, err
+		return false, "", err
 	}
 	defer resp.Body.Close()
+	ins := pl.ins[url]
+	if resp.StatusCode == http.StatusNotModified {
+		// The idle-fleet fast path: no body moved at all.
+		if ins != nil {
+			if last := ins.lastFullBytes.Load(); last > 0 {
+				ins.bytesSaved.Add(last)
+			}
+		}
+		return false, pullModeNotModified, nil
+	}
 	if resp.StatusCode != http.StatusOK {
-		return false, fmt.Errorf("GET /state: status %d", resp.StatusCode)
+		return false, "", fmt.Errorf("GET /state: status %d", resp.StatusCode)
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, pl.maxState+1))
-	if ins := pl.ins[url]; ins != nil {
+	if ins != nil {
 		ins.bytes.Add(uint64(len(body)))
 	}
 	if err != nil {
-		return false, fmt.Errorf("GET /state: reading body: %w", err)
+		return false, "", fmt.Errorf("GET /state: reading body: %w", err)
 	}
 	if int64(len(body)) > pl.maxState {
-		return false, fmt.Errorf("GET /state: body exceeds %d bytes", pl.maxState)
+		return false, "", fmt.Errorf("GET /state: body exceeds %d bytes", pl.maxState)
 	}
-	sf, err := wire.DecodeStateFrame(body)
-	if err != nil {
-		return false, err
+	var cf wire.ComponentFrame
+	if wire.IsComponentFrame(body) {
+		// maxState bounds the decompressed component total too: flate in
+		// a hostile frame must not inflate past the configured budget.
+		if cf, err = wire.DecodeComponentFrame(body, pl.maxState); err != nil {
+			return false, "", err
+		}
+	} else {
+		sf, err := wire.DecodeStateFrame(body)
+		if err != nil {
+			return false, "", err
+		}
+		cf = componentFrameFromState(sf)
+	}
+	if cf.Delta {
+		if !allowDelta {
+			return false, "", fmt.Errorf("GET /state: peer answered a delta frame to a full-frame request")
+		}
+		mode = pullModeDelta
+		if ins != nil {
+			if last := ins.lastFullBytes.Load(); last > uint64(len(body)) {
+				ins.bytesSaved.Add(last - uint64(len(body)))
+			}
+		}
+		if err := validateComponents(pl.f.p, cf); err != nil {
+			return false, mode, err
+		}
+		changed, err = pl.f.acceptDelta(url, cf)
+		if errors.Is(err, errStaleDeltaBase) {
+			// The base drifted between our ack and the apply (or the
+			// reply raced a restart): one full fetch resolves it within
+			// the same pull.
+			return pl.fetch(ctx, span, url, false)
+		}
+		return changed, mode, err
+	}
+	mode = pullModeFull
+	if ins != nil {
+		ins.lastFullBytes.Store(uint64(len(body)))
 	}
 	// Skip the (expensive) decode validation for an unchanged state: the
 	// accept below short-circuits on the (node id, version) label. Peek
 	// cheaply first.
-	if pl.f.sameVersion(url, sf) {
-		return false, nil
+	if pl.f.sameTop(url, cf.NodeID, cf.Version) {
+		return false, mode, nil
 	}
-	if err := validateState(pl.f.p, sf.State, sf.N); err != nil {
-		return false, err
+	if err := validateComponents(pl.f.p, cf); err != nil {
+		return false, mode, err
 	}
-	return pl.f.accept(url, sf)
-}
-
-// sameVersion reports whether the frame matches the stored label for the
-// peer — the idempotent re-pull fast path.
-func (f *fleet) sameVersion(url string, sf wire.StateFrame) bool {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, pe := range f.peers {
-		if pe.url == url {
-			return pe.state != nil && pe.nodeID == sf.NodeID && pe.version == sf.Version
-		}
-	}
-	return false
+	changed, err = pl.f.acceptFull(url, cf)
+	return changed, mode, err
 }
 
 // PeerStatus is one peer's entry in the /status cluster block.
@@ -676,9 +1036,14 @@ type PeerStatus struct {
 	// NodeID is the peer's self-reported node id ("" before the first
 	// successful pull).
 	NodeID string `json:"node_id,omitempty"`
-	// Version and N label the latest accepted state.
+	// Version and N label the latest accepted state; Version is the
+	// delta base the next pull acknowledges.
 	Version uint64 `json:"version"`
 	N       int    `json:"n"`
+	// Components is how many named state components the accepted state
+	// decomposes into (shards of an edge, constituents of a mid-tier
+	// coordinator; 0 before the first pull).
+	Components int `json:"components,omitempty"`
 	// LastPullAgeSeconds is how long ago the last successful pull
 	// finished (negative when none has succeeded yet).
 	LastPullAgeSeconds float64 `json:"last_pull_age_seconds"`
@@ -717,8 +1082,9 @@ func (f *fleet) status() (peers []PeerStatus, saveErr string) {
 		ps := PeerStatus{
 			URL:                 pe.url,
 			NodeID:              pe.nodeID,
-			Version:             pe.version,
+			Version:             pe.top,
 			N:                   pe.n,
+			Components:          len(pe.comps),
 			LastPullAgeSeconds:  -1,
 			ConsecutiveFailures: pe.fails,
 			LastError:           pe.lastErr,

@@ -1,0 +1,474 @@
+package server
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/store"
+	"ldpmarginals/internal/wire"
+)
+
+// getState fetches /state with the delta handshake: components=1 plus an
+// optional acknowledged base. It returns the status, body, ETag, and the
+// X-LDP-Frame mode header.
+func getState(t *testing.T, url string, base string) (int, []byte, string, string) {
+	t.Helper()
+	target := url + "/state?components=1"
+	req, err := http.NewRequest(http.MethodGet, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != "" {
+		req.Header.Set("If-None-Match", base)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body, resp.Header.Get("ETag"), resp.Header.Get("X-LDP-Frame")
+}
+
+// TestStateDeltaHandshake pins the exporter side of the delta exchange
+// over live HTTP: full componentized frame, 304 on an acknowledged
+// unchanged version (for both the componentized and the legacy
+// endpoint), a delta that ships only moved shards, and a full-frame
+// fallback on an unknown base.
+func TestStateDeltaHandshake(t *testing.T) {
+	p, err := core.New(core.InpHT, clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One ingest worker keeps a POSTed batch a single ConsumeBatch call,
+	// which (round-robin) lands on exactly one shard.
+	_, ts := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-1", Shards: 8, IngestWorkers: 1})
+	postBatchOK(t, ts.URL, p, makeClusterReports(t, p, 160, 21))
+
+	status, body, etag, mode := getState(t, ts.URL, "")
+	if status != http.StatusOK || mode != "full" {
+		t.Fatalf("componentized state: status %d mode %q", status, mode)
+	}
+	if !wire.IsComponentFrame(body) {
+		t.Fatal("components=1 did not serve a componentized frame")
+	}
+	full, err := wire.DecodeComponentFrame(body, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Delta || full.NodeID != "edge-1" || full.N != 160 {
+		t.Fatalf("full frame = %+v", full)
+	}
+	if len(full.Components) == 0 || len(full.Components) > 8 {
+		t.Fatalf("full frame ships %d components, want 1..8 (per nonempty shard)", len(full.Components))
+	}
+	if etag != stateETag(full.Version) {
+		t.Fatalf("ETag %q does not label the frame version %d", etag, full.Version)
+	}
+
+	// Acknowledging the current version short-circuits to 304 with no
+	// body — on the componentized endpoint and the legacy one alike.
+	status, body, _, _ = getState(t, ts.URL, etag)
+	if status != http.StatusNotModified || len(body) != 0 {
+		t.Fatalf("acknowledged pull: status %d with %d body bytes, want 304 empty", status, len(body))
+	}
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/state", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("If-None-Match", etag)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("legacy endpoint with acknowledged version: status %d, want 304", resp.StatusCode)
+	}
+
+	// One more batch moves one shard; a pull acknowledging the old base
+	// gets a delta carrying only the moved component(s).
+	postBatchOK(t, ts.URL, p, makeClusterReports(t, p, 20, 22))
+	status, body, etag2, mode := getState(t, ts.URL, etag)
+	if status != http.StatusOK || mode != "delta" {
+		t.Fatalf("moved state: status %d mode %q, want 200 delta", status, mode)
+	}
+	delta, err := wire.DecodeComponentFrame(body, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !delta.Delta || delta.BaseVersion != full.Version || delta.N != 180 {
+		t.Fatalf("delta frame = %+v (base %d)", delta, full.Version)
+	}
+	if len(delta.Components) == 0 || len(delta.Components) >= len(full.Components)+1 {
+		t.Fatalf("delta ships %d components over a %d-component full frame, want a strict subset of moved shards",
+			len(delta.Components), len(full.Components))
+	}
+	// Folding the delta over the base must reproduce a fresh full pull
+	// exactly — the invariant the coordinator's accept path relies on.
+	merged := make(map[string]wire.StateComponent)
+	for _, c := range full.Components {
+		merged[c.ID] = c
+	}
+	for _, c := range delta.Components {
+		merged[c.ID] = c
+	}
+	for _, id := range delta.Removed {
+		delete(merged, id)
+	}
+	status, body, etag3, _ := getState(t, ts.URL, "")
+	if status != http.StatusOK {
+		t.Fatalf("fresh full pull: status %d", status)
+	}
+	fresh, err := wire.DecodeComponentFrame(body, 1<<24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if etag3 != etag2 {
+		t.Fatalf("fresh full pull ETag %q, delta ETag %q", etag3, etag2)
+	}
+	if len(fresh.Components) != len(merged) {
+		t.Fatalf("delta fold yields %d components, fresh full pull has %d", len(merged), len(fresh.Components))
+	}
+	for _, c := range fresh.Components {
+		got, ok := merged[c.ID]
+		if !ok || got.Version != c.Version || got.N != c.N || !bytes.Equal(got.State, c.State) {
+			t.Fatalf("component %s: delta fold diverges from fresh full pull", c.ID)
+		}
+	}
+
+	// An unknown base (never served by this process) falls back to a
+	// full frame.
+	status, body, _, mode = getState(t, ts.URL, `"123456789"`)
+	if status != http.StatusOK || mode != "full" {
+		t.Fatalf("unknown base: status %d mode %q, want 200 full", status, mode)
+	}
+	if f, err := wire.DecodeComponentFrame(body, 1<<24); err != nil || f.Delta {
+		t.Fatalf("unknown base served delta=%v err=%v, want a full frame", f.Delta, err)
+	}
+}
+
+// TestClusterDeltaVsFullBitIdentity is the satellite acceptance table:
+// for each of the six protocols, a delta-negotiating coordinator and a
+// legacy full-pull coordinator track the same two edges through
+// incremental rounds — including an edge crash/recovery mid-stream,
+// which re-salts the version labels and forces the delta side through
+// its full-frame fallback — and must serve byte-identical marginals
+// throughout.
+func TestClusterDeltaVsFullBitIdentity(t *testing.T) {
+	for _, kind := range core.AllKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			t.Parallel()
+			p, err := core.New(kind, clusterCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps := makeClusterReports(t, p, 360, 31)
+			var split [2][]core.Report
+			for i, rep := range reps {
+				split[i%2] = append(split[i%2], rep)
+			}
+			edge1Dir := t.TempDir()
+			st, err := store.Open(edge1Dir, p, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			edge1, edge1TS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-1", Store: st, Shards: 4})
+			_, edge2TS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-2", Shards: 4})
+
+			peers := []string{edge1TS.URL, edge2TS.URL}
+			deltaCoord, deltaTS := newClusterNode(t, p, Options{
+				Role: RoleCoordinator, NodeID: "coord-delta",
+				Peers: peers, PullInterval: time.Minute,
+			})
+			_, fullTS := newClusterNode(t, p, Options{
+				Role: RoleCoordinator, NodeID: "coord-full",
+				Peers: peers, PullInterval: time.Minute,
+				DisableDeltaPull: true,
+			})
+
+			compare := func(round string, wantN int) {
+				t.Helper()
+				postPull(t, deltaTS.URL)
+				postPull(t, fullTS.URL)
+				if vs := postRefresh(t, deltaTS.URL); vs.ViewN != wantN {
+					t.Fatalf("%s: delta coordinator epoch holds %d, want %d", round, vs.ViewN, wantN)
+				}
+				if vs := postRefresh(t, fullTS.URL); vs.ViewN != wantN {
+					t.Fatalf("%s: full coordinator epoch holds %d, want %d", round, vs.ViewN, wantN)
+				}
+				want := marginalBytes(t, fullTS.URL)
+				got := marginalBytes(t, deltaTS.URL)
+				for beta, w := range want {
+					if !bytes.Equal(got[beta], w) {
+						t.Fatalf("%s beta=%d: delta-pulled marginal differs from full-pulled", round, beta)
+					}
+				}
+			}
+
+			// Round 1: first full pulls. Rounds 2-3: incremental growth,
+			// served as deltas to the delta coordinator.
+			postBatchOK(t, edge1TS.URL, p, split[0][:60])
+			postBatchOK(t, edge2TS.URL, p, split[1][:60])
+			compare("round 1", 120)
+			postBatchOK(t, edge1TS.URL, p, split[0][60:90])
+			compare("round 2", 150)
+			postBatchOK(t, edge2TS.URL, p, split[1][60:120])
+			compare("round 3", 210)
+
+			// Edge 1 crashes and recovers from its WAL at the same URL:
+			// the new process serves fresh (re-salted) version labels, so
+			// the delta coordinator's acknowledged base is unknown and the
+			// pull must fall back to one full frame — no 412s, no skew.
+			addr := edge1TS.Listener.Addr().String()
+			edge1TS.Close()
+			if err := edge1.Close(); err != nil {
+				t.Fatal(err)
+			}
+			st2, err := store.Open(edge1Dir, p, store.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			edge1b, err := NewWithOptions(p, Options{Role: RoleEdge, NodeID: "edge-1", Store: st2, Shards: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { _ = edge1b.Close() })
+			edge1bTS := newServerAt(t, addr, edge1b)
+			postBatchOK(t, edge1bTS, p, split[0][90:180])
+			compare("post-recovery", 300)
+			postBatchOK(t, edge2TS.URL, p, split[1][120:180])
+			compare("round 5", 360)
+
+			// The delta path must actually have been exercised: at least
+			// one delta-mode pull per edge peer across the rounds.
+			for url, ins := range deltaCoord.puller.ins {
+				if ins.deltaPulls.Value() == 0 {
+					t.Errorf("peer %s: no delta pulls recorded (full=%d, 304=%d)",
+						url, ins.fullPulls.Value(), ins.notModified.Value())
+				}
+				if ins.bytesSaved.Value() == 0 {
+					t.Errorf("peer %s: delta pulls saved no bytes", url)
+				}
+			}
+		})
+	}
+}
+
+// TestClusterTwoTierBitIdentity pins hierarchical fan-in: edges pulled
+// through a mid-tier coordinator into a root must serve marginals
+// byte-identical to a flat coordinator over the same edges, and the
+// root's accepted state must decompose into the edges' true components
+// (passed through the mid tier with their original ids).
+func TestClusterTwoTierBitIdentity(t *testing.T) {
+	p, err := core.New(core.MargHT, clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := makeClusterReports(t, p, 300, 41)
+	_, edge1TS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-1", Shards: 4})
+	_, edge2TS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-2", Shards: 4})
+	_, midTS := newClusterNode(t, p, Options{
+		Role: RoleCoordinator, NodeID: "mid",
+		Peers: []string{edge1TS.URL, edge2TS.URL}, PullInterval: time.Minute,
+	})
+	root, rootTS := newClusterNode(t, p, Options{
+		Role: RoleCoordinator, NodeID: "root",
+		Peers: []string{midTS.URL}, PullInterval: time.Minute,
+	})
+	_, flatTS := newClusterNode(t, p, Options{
+		Role: RoleCoordinator, NodeID: "flat",
+		Peers: []string{edge1TS.URL, edge2TS.URL}, PullInterval: time.Minute,
+	})
+
+	converge := func(round string, wantN int) {
+		t.Helper()
+		postPull(t, midTS.URL)
+		postPull(t, rootTS.URL)
+		postPull(t, flatTS.URL)
+		if vs := postRefresh(t, rootTS.URL); vs.ViewN != wantN {
+			t.Fatalf("%s: root epoch holds %d, want %d", round, vs.ViewN, wantN)
+		}
+		postRefresh(t, flatTS.URL)
+		want := marginalBytes(t, flatTS.URL)
+		got := marginalBytes(t, rootTS.URL)
+		for beta, w := range want {
+			if !bytes.Equal(got[beta], w) {
+				t.Fatalf("%s beta=%d: two-tier marginal differs from flat coordinator", round, beta)
+			}
+		}
+	}
+
+	postBatchOK(t, edge1TS.URL, p, reps[:100])
+	postBatchOK(t, edge2TS.URL, p, reps[100:200])
+	converge("round 1", 200)
+	// Incremental: the root's second pull of the mid tier is a delta of
+	// the mid's pass-through components.
+	postBatchOK(t, edge1TS.URL, p, reps[200:300])
+	converge("round 2", 300)
+
+	cs := postPull(t, rootTS.URL)
+	if len(cs.Peers) != 1 || cs.Peers[0].NodeID != "mid" {
+		t.Fatalf("root peers = %+v", cs.Peers)
+	}
+	// The mid tier passes the edges' shard components through unchanged,
+	// so the root can dedup and delta-diff the fleet's true constituents.
+	if cs.Peers[0].Components < 2 {
+		t.Fatalf("root holds %d components via the mid tier, want the edges' shard decomposition", cs.Peers[0].Components)
+	}
+	root.fleet.mu.Lock()
+	origins := make(map[string]bool)
+	for id := range root.fleet.peers[0].comps {
+		origins[wire.ComponentOrigin(id)] = true
+	}
+	root.fleet.mu.Unlock()
+	if !origins["edge-1"] || !origins["edge-2"] || len(origins) != 2 {
+		t.Fatalf("root component origins = %v, want exactly edge-1 and edge-2", origins)
+	}
+	ins := root.puller.ins[midTS.URL]
+	if ins.deltaPulls.Value() == 0 {
+		t.Errorf("root never pulled a delta through the mid tier (full=%d)", ins.fullPulls.Value())
+	}
+}
+
+// TestClusterDiamondDedup pins the through-tier double-count guard: a
+// root configured with both a mid-tier coordinator and one of that
+// tier's edges directly sees the same components through two paths, and
+// must count them exactly once.
+func TestClusterDiamondDedup(t *testing.T) {
+	p, err := core.New(core.InpHT, clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := makeClusterReports(t, p, 120, 51)
+	_, edgeTS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-1", Shards: 2})
+	_, midTS := newClusterNode(t, p, Options{
+		Role: RoleCoordinator, NodeID: "mid",
+		Peers: []string{edgeTS.URL}, PullInterval: time.Minute,
+	})
+	root, rootTS := newClusterNode(t, p, Options{
+		Role: RoleCoordinator, NodeID: "root",
+		Peers: []string{midTS.URL, edgeTS.URL}, PullInterval: time.Minute,
+	})
+	postBatchOK(t, edgeTS.URL, p, reps)
+	postPull(t, midTS.URL)
+	cs := postPull(t, rootTS.URL)
+	if root.N() != len(reps) {
+		t.Fatalf("diamond fleet N=%d, want %d (edge reachable through two paths must count once)", root.N(), len(reps))
+	}
+	flagged := 0
+	for _, peer := range cs.Peers {
+		if peer.LastError != "" {
+			flagged++
+		}
+	}
+	if flagged != 1 {
+		t.Fatalf("cluster status %+v: want exactly one flagged duplicate path", cs.Peers)
+	}
+}
+
+// TestBackoffDelayJitterBounds pins the retry schedule: exponential in
+// the failure count, capped at maxBackoffShift doublings, with bounded
+// non-degenerate jitter.
+func TestBackoffDelayJitterBounds(t *testing.T) {
+	const interval = time.Second
+	for fails := 1; fails <= 10; fails++ {
+		shift := fails - 1
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		base := interval << shift
+		sawJitter := false
+		for i := 0; i < 200; i++ {
+			d := backoffDelay(interval, fails)
+			if d < base || d > base+base/2 {
+				t.Fatalf("fails=%d: delay %v outside [%v, %v]", fails, d, base, base+base/2)
+			}
+			if d != base {
+				sawJitter = true
+			}
+		}
+		if !sawJitter {
+			t.Errorf("fails=%d: 200 delays all exactly %v — jitter is degenerate", fails, base)
+		}
+	}
+}
+
+// TestCoordinatorRestartResumesDelta pins persistence of the delta
+// bases: a coordinator restarted from its ClusterDir still knows each
+// peer's acknowledged version, so its first pull of an unchanged,
+// surviving peer is a 304 — not a full re-transfer of the fleet.
+func TestCoordinatorRestartResumesDelta(t *testing.T) {
+	p, err := core.New(core.InpPS, clusterCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reps := makeClusterReports(t, p, 150, 61)
+	_, edgeTS := newClusterNode(t, p, Options{Role: RoleEdge, NodeID: "edge-1", Shards: 4})
+	postBatchOK(t, edgeTS.URL, p, reps[:100])
+
+	dir := t.TempDir()
+	coordOpts := Options{
+		Role: RoleCoordinator, NodeID: "coord",
+		Peers: []string{edgeTS.URL}, PullInterval: time.Minute,
+		ClusterDir: dir,
+	}
+	coord1, ts1 := newClusterNode(t, p, coordOpts)
+	postPull(t, ts1.URL)
+	if coord1.N() != 100 {
+		t.Fatalf("first pull N=%d, want 100", coord1.N())
+	}
+	ts1.Close()
+	if err := coord1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	coord2, ts2 := newClusterNode(t, p, coordOpts)
+	if coord2.N() != 100 {
+		t.Fatalf("restarted coordinator N=%d, want 100", coord2.N())
+	}
+	// Unchanged peer: the recovered base matches, so the pull is a 304.
+	postPull(t, ts2.URL)
+	ins := coord2.puller.ins[edgeTS.URL]
+	if ins.notModified.Value() != 1 || ins.fullPulls.Value() != 0 {
+		t.Fatalf("restart pull: 304=%d full=%d delta=%d, want exactly one 304",
+			ins.notModified.Value(), ins.fullPulls.Value(), ins.deltaPulls.Value())
+	}
+	// Moved peer: the recovered base still serves, so the pull is a
+	// delta, not a full transfer.
+	postBatchOK(t, edgeTS.URL, p, reps[100:])
+	postPull(t, ts2.URL)
+	if coord2.N() != 150 {
+		t.Fatalf("post-restart delta pull N=%d, want 150", coord2.N())
+	}
+	if ins.deltaPulls.Value() != 1 {
+		t.Fatalf("moved-peer pull after restart: 304=%d full=%d delta=%d, want a delta",
+			ins.notModified.Value(), ins.fullPulls.Value(), ins.deltaPulls.Value())
+	}
+}
+
+// newServerAt starts an httptest server for s on a specific address —
+// how a "recovered" edge comes back at the same URL.
+func newServerAt(t *testing.T, addr string, s *Server) string {
+	t.Helper()
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewUnstartedServer(s.Handler())
+	ts.Listener.Close()
+	ts.Listener = l
+	ts.Start()
+	t.Cleanup(ts.Close)
+	return ts.URL
+}

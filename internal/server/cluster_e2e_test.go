@@ -188,3 +188,185 @@ func TestClusterE2E(t *testing.T) {
 		t.Fatalf("marginal response = %+v, want n=%d", mr, wantN)
 	}
 }
+
+// TestClusterThreeTierE2E is the process-level proof of hierarchical
+// fan-in: two real edges pulled by a real mid-tier coordinator, itself
+// pulled by a real root coordinator — with the MID TIER SIGKILLed and
+// restarted from its data directory while the edges keep ingesting. The
+// root must converge to the edges' exact union through the recovered mid
+// tier, with the edges' pass-through components intact.
+func TestClusterThreeTierE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the server binary")
+	}
+	bin := filepath.Join(t.TempDir(), "ldpserver")
+	build := exec.Command("go", "build", "-o", bin, "ldpmarginals/cmd/ldpserver")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ldpserver: %v\n%s", err, out)
+	}
+
+	edgeAddrs := [2]string{freeAddr(t), freeAddr(t)}
+	midAddr, rootAddr := freeAddr(t), freeAddr(t)
+	midDir := t.TempDir()
+	protoFlags := []string{"-protocol", "InpHT", "-d", "8", "-k", "2", "-eps", "1.1"}
+
+	startNode := func(args ...string) *exec.Cmd {
+		cmd := exec.Command(bin, append(args, protoFlags...)...)
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting %v: %v", args, err)
+		}
+		return cmd
+	}
+	edges := [2]*exec.Cmd{
+		startNode("-addr", edgeAddrs[0], "-role", "edge", "-node-id", "edge-0", "-shards", "4"),
+		startNode("-addr", edgeAddrs[1], "-role", "edge", "-node-id", "edge-1", "-shards", "4"),
+	}
+	defer func() {
+		for _, e := range edges {
+			if e != nil && e.Process != nil {
+				_ = e.Process.Kill()
+			}
+		}
+	}()
+	waitHealthy(t, edgeAddrs[0])
+	waitHealthy(t, edgeAddrs[1])
+
+	startMid := func() *exec.Cmd {
+		cmd := startNode("-addr", midAddr,
+			"-role", "coordinator", "-node-id", "mid",
+			"-peers", "http://"+edgeAddrs[0]+",http://"+edgeAddrs[1],
+			"-pull-interval", "100ms", "-data-dir", midDir,
+			"-refresh-interval", "0", "-refresh-every-n", "0")
+		waitHealthy(t, midAddr)
+		return cmd
+	}
+	mid := startMid()
+	defer func() {
+		if mid != nil && mid.Process != nil {
+			_ = mid.Process.Kill()
+		}
+	}()
+	root := startNode("-addr", rootAddr,
+		"-role", "coordinator", "-node-id", "root",
+		"-peers", "http://"+midAddr,
+		"-pull-interval", "100ms",
+		"-refresh-interval", "0", "-refresh-every-n", "0")
+	defer func() { _ = root.Process.Kill() }()
+	waitHealthy(t, rootAddr)
+
+	p, err := core.New(core.InpHT, core.Config{D: 8, K: 2, Epsilon: 1.1, OptimizedPRR: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := p.NewClient()
+	r := rng.New(321)
+	makeBatch := func(n int) []byte {
+		reps := make([]core.Report, n)
+		for i := range reps {
+			rep, err := client.Perturb(uint64(i%256), r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reps[i] = rep
+		}
+		body, err := encoding.MarshalBatch(p.Name(), reps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	post := func(addr string, body []byte) bool {
+		resp, err := http.Post("http://"+addr+"/report/batch", "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	statusN := func(addr string) int {
+		var sr StatusResponse
+		resp, err := http.Get("http://" + addr + "/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.N
+	}
+	waitN := func(addr string, want int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		got := -1
+		for time.Now().Before(deadline) {
+			got = statusN(addr)
+			if got == want {
+				return
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		t.Fatalf("%s converged to %d reports, want %d", what, got, want)
+	}
+
+	// Phase 1: both edges ingest; the counts flow edge -> mid -> root.
+	if !post(edgeAddrs[0], makeBatch(900)) || !post(edgeAddrs[1], makeBatch(700)) {
+		t.Fatal("phase-1 batches not acked")
+	}
+	waitN(rootAddr, 1600, "root (phase 1)")
+
+	// Phase 2: SIGKILL the mid tier while the edges keep ingesting. The
+	// root keeps serving its last accepted state meanwhile.
+	if err := mid.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = mid.Wait()
+	if !post(edgeAddrs[0], makeBatch(400)) || !post(edgeAddrs[1], makeBatch(250)) {
+		t.Fatal("mid-outage batches not acked")
+	}
+	if got := statusN(rootAddr); got != 1600 {
+		t.Fatalf("root served %d during the mid-tier outage, want the last accepted 1600", got)
+	}
+
+	// Phase 3: restart the mid tier from its data directory. It recovers
+	// its persisted peer states, re-pulls the edges' growth (as deltas —
+	// the edges survived, so the persisted bases still match), and the
+	// root converges through it.
+	mid = startMid()
+	waitN(rootAddr, 2250, "root (post mid-tier restart)")
+
+	// The root's accepted state decomposes into the edges' pass-through
+	// shard components, proving the mid tier is transparent.
+	var cs StatusResponse
+	resp, err := http.Get("http://" + rootAddr + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.Cluster == nil || len(cs.Cluster.Peers) != 1 {
+		t.Fatalf("root cluster status = %+v, want one mid-tier peer", cs.Cluster)
+	}
+	if pe := cs.Cluster.Peers[0]; pe.NodeID != "mid" || pe.Components < 2 {
+		t.Fatalf("root peer = %+v, want node mid with the edges' shard components", pe)
+	}
+
+	// The converged fleet serves a marginal through both tiers.
+	if _, err := http.Post("http://"+rootAddr+"/refresh", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.Get("http://" + rootAddr + "/marginal?beta=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var mr MarginalResponse
+	if err := json.NewDecoder(mresp.Body).Decode(&mr); err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("marginal through two tiers: status %d err %v", mresp.StatusCode, err)
+	}
+	if mr.N != 2250 {
+		t.Fatalf("marginal over n=%d, want 2250", mr.N)
+	}
+}

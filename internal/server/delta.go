@@ -1,0 +1,236 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"ldpmarginals/internal/wire"
+)
+
+// Componentized /state exports and the delta handshake, exporter side.
+//
+// A componentized export (GET /state?components=1) ships the node's
+// state as named components: an edge's per-shard states ("<node>/<i>"),
+// a windowed edge's single window ("<node>"), or a coordinator's held
+// peer components passed through with their original ids. A puller that
+// acknowledges its last accepted export version (?since= plus
+// If-None-Match) gets either a 304 (nothing moved), a delta frame (only
+// the components whose version moved since that base, plus removed ids),
+// or a full frame when the base is unknown — too old for the history
+// ring, from before a restart (the version salt changed), or never
+// served by this process.
+
+// exportHistorySize bounds the per-node ring of remembered export
+// labels. A coordinator pulls each peer once per interval, so 64 entries
+// cover many minutes of bases even with several pullers; anything older
+// falls back to a full frame, which is always correct.
+const exportHistorySize = 64
+
+// exportHistory remembers, for recent export labels, the per-component
+// version vector the label corresponds to — what a delta against that
+// base must be computed from. Labels are recorded conservatively: when
+// the same label is recorded twice (two exports racing one mutation can
+// share it), the vectors are merged element-wise toward the *minimum*
+// and ids missing from either side are dropped. Every frame served under
+// a label carries component versions at least as new as its own
+// recording, so the merged (older) vector can only classify more
+// components as changed — a delta may re-ship an unchanged component,
+// but never skips one some holder of that base is missing.
+type exportHistory struct {
+	mu      sync.Mutex
+	entries []histEntry // insertion order; oldest first
+}
+
+type histEntry struct {
+	top uint64
+	vec map[string]uint64
+}
+
+func (h *exportHistory) record(top uint64, vec map[string]uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		e := &h.entries[i]
+		if e.top != top {
+			continue
+		}
+		for id, old := range e.vec {
+			now, ok := vec[id]
+			if !ok {
+				delete(e.vec, id)
+				continue
+			}
+			if now < old {
+				e.vec[id] = now
+			}
+		}
+		return
+	}
+	cp := make(map[string]uint64, len(vec))
+	for id, v := range vec {
+		cp[id] = v
+	}
+	h.entries = append(h.entries, histEntry{top: top, vec: cp})
+	if len(h.entries) > exportHistorySize {
+		h.entries = h.entries[len(h.entries)-exportHistorySize:]
+	}
+}
+
+// lookup returns a private copy of the vector recorded for base.
+func (h *exportHistory) lookup(base uint64) (map[string]uint64, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i := range h.entries {
+		if h.entries[i].top != base {
+			continue
+		}
+		cp := make(map[string]uint64, len(h.entries[i].vec))
+		for id, v := range h.entries[i].vec {
+			cp[id] = v
+		}
+		return cp, true
+	}
+	return nil, false
+}
+
+// shardComponentID names one shard of a node's sharded aggregator
+// fleet-wide.
+func shardComponentID(nodeID string, shard int) string {
+	return nodeID + "/" + strconv.Itoa(shard)
+}
+
+// exportComponents captures the node's state as components plus the
+// version vector a delta base against this export must be diffed with.
+// The returned top label is read before any component state is captured,
+// so it can only trail the content (re-transfer, never skip). Component
+// versions from the local pipeline are offset by the process version
+// salt, exactly like the top label; a coordinator's pass-through
+// components keep their origin's (already salted) labels.
+func (s *Server) exportComponents() (top uint64, comps []wire.StateComponent, vec map[string]uint64, err error) {
+	if s.fleet != nil {
+		top, comps, vec = s.fleet.exportComponents()
+		return s.verSalt + top, comps, vec, nil
+	}
+	if s.win != nil {
+		// The window is one component: expiry shrinks its state, so
+		// per-shard deltas would need exact removal tracking; shipping
+		// the (already bounded) window whole when it moved is simpler
+		// and still skips the transfer entirely when it didn't.
+		top = s.verSalt + s.win.Version()
+		snap, err := s.win.Snapshot()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		blob, err := snap.MarshalState()
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		comps = []wire.StateComponent{{ID: s.nodeID, Version: top, N: snap.N(), State: blob}}
+		return top, comps, map[string]uint64{s.nodeID: top}, nil
+	}
+	top = s.verSalt + s.agg.Version()
+	exps, vers, err := s.agg.ExportShards()
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	comps = make([]wire.StateComponent, 0, len(exps))
+	for _, e := range exps {
+		comps = append(comps, wire.StateComponent{
+			ID:      shardComponentID(s.nodeID, e.Index),
+			Version: s.verSalt + e.Version,
+			N:       e.N,
+			State:   e.State,
+		})
+	}
+	vec = make(map[string]uint64, len(vers))
+	for i, v := range vers {
+		vec[shardComponentID(s.nodeID, i)] = s.verSalt + v
+	}
+	return top, comps, vec, nil
+}
+
+// exportComponents passes the coordinator's held peer components through
+// with their original ids and labels, so a root coordinator one tier up
+// can deduplicate, cycle-check, and delta-diff the fleet's true
+// constituents across any number of mid tiers. The top label and the
+// component set are read under one lock acquisition, so repeated labels
+// always describe identical vectors.
+func (f *fleet) exportComponents() (top uint64, comps []wire.StateComponent, vec map[string]uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	top = f.ver.Load()
+	vec = make(map[string]uint64)
+	for _, pe := range f.peers {
+		for id, c := range pe.comps {
+			comps = append(comps, wire.StateComponent{ID: id, Version: c.version, N: c.n, State: c.state})
+			vec[id] = c.version
+		}
+	}
+	return top, comps, vec
+}
+
+// stateETag formats a state version as the ETag GET /state serves and
+// If-None-Match echoes back.
+func stateETag(ver uint64) string {
+	return `"` + strconv.FormatUint(ver, 10) + `"`
+}
+
+// parseStateBase extracts the puller's acknowledged base version from an
+// If-None-Match header or a ?since= query parameter (the header wins
+// when both are present and disagree, being the more standard channel).
+func parseStateBase(etag, since string) (uint64, bool) {
+	if etag != "" {
+		trimmed := strings.TrimSuffix(strings.TrimPrefix(strings.TrimSpace(etag), `"`), `"`)
+		if v, err := strconv.ParseUint(trimmed, 10, 64); err == nil {
+			return v, true
+		}
+	}
+	if since != "" {
+		if v, err := strconv.ParseUint(since, 10, 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// deltaAgainst narrows a full componentized export to a delta frame
+// against the base vector: only components whose label moved (or are
+// new) ship, and ids present at the base but gone now are listed as
+// removed. The frame keeps the full export's top label and total count,
+// so the importer can cross-check the fold.
+func deltaAgainst(full wire.ComponentFrame, baseVec, curVec map[string]uint64) wire.ComponentFrame {
+	delta := wire.ComponentFrame{
+		NodeID:      full.NodeID,
+		Version:     full.Version,
+		Delta:       true,
+		BaseVersion: 0, // set by caller
+		N:           full.N,
+	}
+	for _, c := range full.Components {
+		if v, ok := baseVec[c.ID]; ok && v == c.Version {
+			continue
+		}
+		delta.Components = append(delta.Components, c)
+	}
+	for id := range baseVec {
+		if _, ok := curVec[id]; !ok {
+			delta.Removed = append(delta.Removed, id)
+		}
+	}
+	return delta
+}
+
+// sumComponentReports totals the report counts of an export's
+// components — the frame-level N every componentized export declares.
+func sumComponentReports(comps []wire.StateComponent) (int, error) {
+	n := 0
+	for _, c := range comps {
+		if c.N < 0 || n+c.N < n {
+			return 0, fmt.Errorf("component %q report count overflows the total", c.ID)
+		}
+		n += c.N
+	}
+	return n, nil
+}

@@ -102,6 +102,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -186,6 +187,12 @@ type Options struct {
 	// resumes from them instead of an empty fleet. Rejected for other
 	// roles (their durability is Store).
 	ClusterDir string
+	// DisableDeltaPull makes a coordinator's pulls fetch the legacy
+	// full-frame /state exchange instead of negotiating componentized
+	// deltas — an operational escape hatch (and the control arm of the
+	// delta-vs-full equivalence tests). Peers still answer 304 to the
+	// version handshake either way.
+	DisableDeltaPull bool
 
 	// Shards is the number of per-shard accumulators; <= 0 selects
 	// GOMAXPROCS.
@@ -355,6 +362,13 @@ type Server struct {
 	fleet  *fleet          // coordinator only
 	puller *puller         // coordinator only
 
+	// stateHist remembers recent componentized /state export labels and
+	// their per-component version vectors — the bases deltas are diffed
+	// against. In-memory only: a restart (which re-salts the version
+	// label anyway) empties it, and pullers then fall back to one full
+	// frame.
+	stateHist exportHistory
+
 	ins    *serverInstruments // always non-nil; hot paths update unconditionally
 	adm    *admission         // ingest load shedding; nil when disabled or not ingesting
 	reg    *metrics.Registry  // the /metrics registry, assembled at construction
@@ -485,7 +499,7 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		if maxState <= 0 {
 			maxState = defaultMaxStateBytes
 		}
-		s.puller = newPuller(s.fleet, interval, timeout, maxState, s.tracer, s.log)
+		s.puller = newPuller(s.fleet, interval, timeout, maxState, opts.DisableDeltaPull, s.tracer, s.log)
 	}
 	if s.role.serves() {
 		maxQuery := opts.MaxQueryBytes
@@ -1246,16 +1260,83 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// handleState exports the node's canonical aggregation state as a
-// wire.StateFrame: the local state for single and edge roles, the
-// merged fleet state for a coordinator (so coordinators themselves can
-// be pulled, stacking into deeper aggregation trees). The version label
-// is read *before* the snapshot: a label that trails the state only
-// makes a future pull re-transfer, never skip, fresh data.
+// handleState exports the node's canonical aggregation state: the local
+// state for single and edge roles, the fleet state for a coordinator (so
+// coordinators themselves can be pulled, stacking into aggregation
+// trees). Version labels are read *before* the state they describe is
+// captured: a label that trails the state only makes a future pull
+// re-transfer, never skip, fresh data.
+//
+// The exchange negotiates three shapes:
+//
+//   - Bare GET /state serves the legacy wire.StateFrame (one merged
+//     blob) — what pre-delta pullers and debugging curls expect.
+//   - GET /state?components=1 serves a componentized wire.ComponentFrame
+//     (per-shard, per-window, or per-constituent states with their own
+//     version labels).
+//   - Either form answers 304 Not Modified when the caller's
+//     If-None-Match (or ?since=) base equals the current version; with
+//     ?components=1 a known, non-current base narrows the reply to a
+//     delta frame shipping only the components that moved since it.
+//
+// An unknown base — expired from the history ring, or from before a
+// restart (the version salt changed) — falls back to a full frame.
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if !allow(w, r, http.MethodGet) {
 		return
 	}
+	q := r.URL.Query()
+	base, haveBase := parseStateBase(r.Header.Get("If-None-Match"), q.Get("since"))
+	if haveBase {
+		// Short-circuit before any state is marshaled: an unchanged peer
+		// costs headers, not an O(2^d) snapshot plus transfer.
+		if ver := s.stateVersion(); base == ver {
+			w.Header().Set("ETag", stateETag(ver))
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	if q.Get("components") != "1" {
+		s.serveLegacyState(w, r)
+		return
+	}
+	top, comps, vec, err := s.exportComponents()
+	if err != nil {
+		httpError(w, r, "exporting state components: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.stateHist.record(top, vec)
+	total, err := sumComponentReports(comps)
+	if err != nil {
+		httpError(w, r, "exporting state components: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	wire.SortComponents(comps)
+	frame := wire.ComponentFrame{NodeID: s.nodeID, Version: top, N: total, Components: comps}
+	mode := "full"
+	if haveBase && base != top {
+		if baseVec, ok := s.stateHist.lookup(base); ok {
+			frame = deltaAgainst(frame, baseVec, vec)
+			frame.BaseVersion = base
+			sort.Strings(frame.Removed)
+			mode = "delta"
+		}
+	}
+	buf, err := wire.EncodeComponentFrame(frame)
+	if err != nil {
+		httpError(w, r, "framing state components: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(buf)))
+	w.Header().Set("ETag", stateETag(top))
+	w.Header().Set("X-LDP-Frame", mode)
+	_, _ = w.Write(buf)
+}
+
+// serveLegacyState is the pre-delta exchange: one merged
+// wire.StateFrame.
+func (s *Server) serveLegacyState(w http.ResponseWriter, r *http.Request) {
 	var (
 		ver  = s.stateVersion()
 		snap core.Aggregator
@@ -1292,6 +1373,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	w.Header().Set("ETag", stateETag(ver))
 	_, _ = w.Write(frame)
 }
 
@@ -1384,6 +1466,10 @@ type PeerViewStatus struct {
 	// StalenessReports is CurrentN - ViewN (0 floor): this peer's
 	// reports not yet visible to readers.
 	StalenessReports int `json:"staleness_reports"`
+	// Components is how many named state components of this peer the
+	// serving epoch was folded from (an edge's shards, a mid-tier
+	// coordinator's pass-through constituents).
+	Components int `json:"components,omitempty"`
 }
 
 func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
@@ -1439,6 +1525,7 @@ func (s *Server) peerViewStatus(v *view.View) []PeerViewStatus {
 		if c, ok := inView[cur.URL]; ok {
 			pvs.ViewN = c.N
 			pvs.ViewVersion = c.Version
+			pvs.Components = c.Parts
 			if c.ID != "" {
 				pvs.NodeID = c.ID
 			}

@@ -17,34 +17,67 @@ import (
 // canonical state on every pull, so persisting a merged blob would
 // double-count every peer that answers after a restart. What makes a
 // coordinator restart exact is the per-peer decomposition — the latest
-// (url, node id, version, state) tuple for every configured peer — which
-// re-pulls then replace idempotently. The file layout:
+// (url, node id, version, components) tuple for every configured peer —
+// which re-pulls then replace idempotently. Persisting the *components*
+// (not a pre-merged blob) also preserves the delta bases: after a
+// restart the coordinator still knows each peer's acknowledged version
+// label and per-component vector, so the first pull of a surviving peer
+// resumes as a delta instead of a full transfer. The file layout:
 //
 //	"LDPP", format version byte, config block (shared with WAL/snapshots),
 //	uvarint peer count,
 //	repeat: uvarint url length, url bytes,
-//	        length-prefixed state-exchange frame (wire.EncodeStateFrame)
+//	        length-prefixed exchange frame — a componentized full frame
+//	        (wire.EncodeComponentFrame) at formatV2, a legacy v1 frame
+//	        (wire.EncodeStateFrame) at formatV1
 //	crc32c of everything above (4 bytes LE)
 //
 // written atomically (temp file, fsync, rename) like counter snapshots.
+// formatV1 files (from before componentized exchange) still load: each
+// legacy single-blob state lifts to one component named by the node.
 
 const peersMagic = "LDPP"
+
+// formatV2 is the componentized peer-snapshot layout. Defined here (not
+// next to formatV1 in wal.go) because only peer snapshots have a second
+// format; WAL segments and counter snapshots remain at v1.
+const formatV2 = 2
 
 // peersFile is the coordinator snapshot's name inside the cluster
 // directory. It deliberately doesn't match the wal-/snap- patterns, so
 // a directory shared with an edge store would not confuse recovery.
 const peersFile = "cluster.peers"
 
+// peerSnapshotMaxRaw bounds the total decompressed component bytes of
+// one persisted peer frame. The file is CRC-guarded and written only by
+// this process from already-validated states, so the bound is a
+// generous corruption backstop, not an admission limit.
+const peerSnapshotMaxRaw = int64(1) << 32
+
 // PeerState is one peer's last accepted pull, as persisted by a
 // coordinator.
 type PeerState struct {
 	// URL is the configured peer base URL the state was pulled from.
 	URL string
-	// NodeID, Version, and N identify the pull (wire.StateFrame fields).
+	// NodeID, Version, and N label the accepted state; Version is the
+	// delta base the next pull acknowledges.
 	NodeID  string
 	Version uint64
 	N       int
-	// State is the peer's canonical aggregator state blob.
+	// Components are the named state components the peer's state
+	// decomposes into, sorted by ID.
+	Components []PeerComponent
+}
+
+// PeerComponent is one named component of a persisted peer state.
+type PeerComponent struct {
+	// ID names the component fleet-wide (wire.StateComponent.ID).
+	ID string
+	// Version labels this component's content.
+	Version uint64
+	// N is the component's report count.
+	N int
+	// State is the component's canonical aggregator state blob.
 	State []byte
 }
 
@@ -58,12 +91,16 @@ func SavePeerStates(dir string, p core.Protocol, peers []PeerState) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	buf := appendConfig(append([]byte(peersMagic), formatV1), tag, p.Config())
+	buf := appendConfig(append([]byte(peersMagic), formatV2), tag, p.Config())
 	buf = binary.AppendUvarint(buf, uint64(len(peers)))
 	for _, ps := range peers {
-		frame, err := wire.EncodeStateFrame(wire.StateFrame{
-			NodeID: ps.NodeID, Version: ps.Version, N: ps.N, State: ps.State,
-		})
+		cf := wire.ComponentFrame{NodeID: ps.NodeID, Version: ps.Version, N: ps.N}
+		for _, c := range ps.Components {
+			cf.Components = append(cf.Components, wire.StateComponent{
+				ID: c.ID, Version: c.Version, N: c.N, State: c.State,
+			})
+		}
+		frame, err := wire.EncodeComponentFrame(cf)
 		if err != nil {
 			return fmt.Errorf("store: peer %s: %w", ps.URL, err)
 		}
@@ -126,8 +163,9 @@ func LoadPeerStates(dir string, p core.Protocol) ([]PeerState, error) {
 	if string(body[:len(peersMagic)]) != peersMagic {
 		return nil, fmt.Errorf("store: bad peer snapshot magic %q", body[:len(peersMagic)])
 	}
-	if body[len(peersMagic)] != formatV1 {
-		return nil, fmt.Errorf("store: peer snapshot format version %d, want %d", body[len(peersMagic)], formatV1)
+	format := body[len(peersMagic)]
+	if format != formatV1 && format != formatV2 {
+		return nil, fmt.Errorf("store: peer snapshot format version %d, want %d or %d", format, formatV1, formatV2)
 	}
 	rest, err := checkConfig(body[len(peersMagic)+1:], tag, p.Config())
 	if err != nil {
@@ -151,14 +189,37 @@ func LoadPeerStates(dir string, p core.Protocol) ([]PeerState, error) {
 		if err != nil {
 			return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
 		}
-		sf, err := wire.DecodeStateFrame(frame)
-		if err != nil {
-			return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
+		ps := PeerState{URL: url}
+		if format == formatV2 {
+			cf, err := wire.DecodeComponentFrame(frame, peerSnapshotMaxRaw)
+			if err != nil {
+				return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
+			}
+			if cf.Delta {
+				return nil, fmt.Errorf("store: peer %d (%s): snapshot holds a delta frame", i, url)
+			}
+			ps.NodeID, ps.Version, ps.N = cf.NodeID, cf.Version, cf.N
+			for _, c := range cf.Components {
+				ps.Components = append(ps.Components, PeerComponent{
+					ID: c.ID, Version: c.Version, N: c.N,
+					State: append([]byte(nil), c.State...),
+				})
+			}
+		} else {
+			// A pre-componentization snapshot: the single blob lifts to
+			// one component named by the exporting node, exactly like a
+			// live legacy pull.
+			sf, err := wire.DecodeStateFrame(frame)
+			if err != nil {
+				return nil, fmt.Errorf("store: peer %d (%s): %w", i, url, err)
+			}
+			ps.NodeID, ps.Version, ps.N = sf.NodeID, sf.Version, sf.N
+			ps.Components = []PeerComponent{{
+				ID: sf.NodeID, Version: sf.Version, N: sf.N,
+				State: append([]byte(nil), sf.State...),
+			}}
 		}
-		peers = append(peers, PeerState{
-			URL: url, NodeID: sf.NodeID, Version: sf.Version, N: sf.N,
-			State: append([]byte(nil), sf.State...),
-		})
+		peers = append(peers, ps)
 		rest = next
 	}
 	if len(rest) != 0 {

@@ -40,6 +40,11 @@ type Component struct {
 	// PulledAt is when the component's state was last fetched (zero for
 	// the local pipeline).
 	PulledAt time.Time
+	// Parts is how many named state components the constituent
+	// decomposes into on the wire (shards of an edge, pass-through
+	// constituents of a mid-tier coordinator); 0 when the source doesn't
+	// track a decomposition.
+	Parts int
 }
 
 // Composed is optionally implemented by a Source assembled from multiple

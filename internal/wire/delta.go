@@ -1,0 +1,413 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Componentized state-exchange frame: the delta-capable successor of the
+// LDPX frame. Where LDPX ships one opaque merged blob, LDPD carries the
+// exporter's state as named *components* — an edge's per-shard states, a
+// windowed edge's single window, or a coordinator's held peer
+// contributions passed through unchanged — each labeled with its own
+// version. A frame is either *full* (every non-empty component) or a
+// *delta* against a base version the puller acknowledged via the
+// ?since=/If-None-Match handshake: only the components whose version
+// moved since the base, plus the ids that disappeared. Layout:
+//
+//	"LDPD", format version byte, flags byte (bit0: delta),
+//	uvarint node-id length, node-id bytes,
+//	uvarint frame version,
+//	uvarint base version            (delta frames only),
+//	uvarint total report count,
+//	uvarint component count,
+//	repeat (ids strictly increasing):
+//	  uvarint id length, id bytes,
+//	  uvarint component version, uvarint component report count,
+//	  encoding byte (0 raw, 1 flate), uvarint raw state length,
+//	  uvarint payload length, payload bytes,
+//	uvarint removed-id count        (delta frames only),
+//	repeat (ids strictly increasing): uvarint id length, id bytes,
+//	crc32c of everything above (4 bytes LE)
+//
+// Component ids are globally unique across a fleet: a leaf exporter
+// prefixes its own node id ("edge-1/17" for shard 17), and coordinators
+// pass ids through unchanged, so a root coordinator can deduplicate and
+// cycle-check constituents through any number of mid tiers. Components
+// are sorted by id and each blob is flate-compressed only when that
+// shrinks it, so an encoded frame is canonical for its logical content.
+// Version labels carry the same one-directional guarantee as LDPX (see
+// exchange.go): equal labels may rarely hide a racing mutation for one
+// pull round, but the exporter's delta bases are recorded conservatively
+// (element-wise minimum per label), so a delta never *skips* a mutation
+// a holder of that base is missing — at worst it re-ships an unchanged
+// component.
+const (
+	deltaMagic         = "LDPD"
+	deltaFormatVersion = 1
+
+	deltaFlagDelta = 0x01
+
+	compEncRaw   = 0
+	compEncFlate = 1
+
+	// MaxComponentIDLen bounds one component id: an originating node id
+	// plus a "/"-separated local suffix (shard index).
+	MaxComponentIDLen = MaxNodeIDLen + 64
+
+	// MaxFrameComponents bounds the component (and removed-id) count of
+	// one frame, keeping a hostile header from forcing a huge slice
+	// allocation before any payload bytes are validated.
+	MaxFrameComponents = 1 << 16
+)
+
+// StateComponent is one named, versioned state blob inside a
+// componentized frame.
+type StateComponent struct {
+	// ID names the component fleet-wide: "<origin-node-id>" or
+	// "<origin-node-id>/<local-part>". Coordinators pass ids through
+	// unchanged across tiers.
+	ID string
+	// Version labels the component's state with the exporter-side
+	// mutation counter (salted per process); equal (ID, Version) implies
+	// equal State under the one-directional guarantee above.
+	Version uint64
+	// N is the component state's report count.
+	N int
+	// State is the component's canonical Aggregator.MarshalState blob.
+	State []byte
+}
+
+// ComponentFrame is a componentized state export: full, or a delta
+// against BaseVersion.
+type ComponentFrame struct {
+	// NodeID names the exporting process.
+	NodeID string
+	// Version labels the whole export (the exporter's top-level state
+	// version), read before any component state was captured.
+	Version uint64
+	// Delta marks a delta frame; BaseVersion is then the export version
+	// the shipped components and removals are relative to.
+	Delta       bool
+	BaseVersion uint64
+	// N is the exporter's total report count across all components (not
+	// only the shipped ones, for a delta).
+	N int
+	// Components holds the shipped components, sorted by ID.
+	Components []StateComponent
+	// Removed lists component ids present at BaseVersion but gone now
+	// (delta frames only), sorted.
+	Removed []string
+}
+
+// ComponentOrigin returns the originating node id of a component id: the
+// segment before the first '/', or the whole id.
+func ComponentOrigin(id string) string {
+	if i := strings.IndexByte(id, '/'); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+func validComponentID(id string) error {
+	if len(id) == 0 || len(id) > MaxComponentIDLen {
+		return fmt.Errorf("wire: component id of %d bytes (want 1..%d)", len(id), MaxComponentIDLen)
+	}
+	return nil
+}
+
+// EncodeComponentFrame serializes one componentized frame, compressing
+// each component blob with flate when that shrinks it. Components and
+// removed ids must be sorted strictly increasing by id.
+func EncodeComponentFrame(f ComponentFrame) ([]byte, error) {
+	if len(f.NodeID) == 0 || len(f.NodeID) > MaxNodeIDLen {
+		return nil, fmt.Errorf("wire: node id of %d bytes (want 1..%d)", len(f.NodeID), MaxNodeIDLen)
+	}
+	if f.N < 0 {
+		return nil, fmt.Errorf("wire: negative report count %d", f.N)
+	}
+	if !f.Delta && (f.BaseVersion != 0 || len(f.Removed) != 0) {
+		return nil, fmt.Errorf("wire: full frame carries delta fields (base version %d, %d removed ids)", f.BaseVersion, len(f.Removed))
+	}
+	if len(f.Components) > MaxFrameComponents || len(f.Removed) > MaxFrameComponents {
+		return nil, fmt.Errorf("wire: frame of %d components / %d removed ids exceeds %d", len(f.Components), len(f.Removed), MaxFrameComponents)
+	}
+	flags := byte(0)
+	if f.Delta {
+		flags |= deltaFlagDelta
+	}
+	buf := make([]byte, 0, 64+len(f.NodeID))
+	buf = append(buf, deltaMagic...)
+	buf = append(buf, deltaFormatVersion, flags)
+	buf = binary.AppendUvarint(buf, uint64(len(f.NodeID)))
+	buf = append(buf, f.NodeID...)
+	buf = binary.AppendUvarint(buf, f.Version)
+	if f.Delta {
+		buf = binary.AppendUvarint(buf, f.BaseVersion)
+	}
+	buf = binary.AppendUvarint(buf, uint64(f.N))
+	buf = binary.AppendUvarint(buf, uint64(len(f.Components)))
+	var comp bytes.Buffer
+	for i, c := range f.Components {
+		if err := validComponentID(c.ID); err != nil {
+			return nil, err
+		}
+		if i > 0 && f.Components[i-1].ID >= c.ID {
+			return nil, fmt.Errorf("wire: component ids not strictly increasing (%q then %q)", f.Components[i-1].ID, c.ID)
+		}
+		if c.N < 0 {
+			return nil, fmt.Errorf("wire: component %q: negative report count %d", c.ID, c.N)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(c.ID)))
+		buf = append(buf, c.ID...)
+		buf = binary.AppendUvarint(buf, c.Version)
+		buf = binary.AppendUvarint(buf, uint64(c.N))
+		payload, enc := c.State, byte(compEncRaw)
+		if len(c.State) > 0 {
+			comp.Reset()
+			zw, err := flate.NewWriter(&comp, flate.BestSpeed)
+			if err != nil {
+				return nil, fmt.Errorf("wire: component %q: %w", c.ID, err)
+			}
+			if _, err := zw.Write(c.State); err != nil {
+				return nil, fmt.Errorf("wire: component %q: %w", c.ID, err)
+			}
+			if err := zw.Close(); err != nil {
+				return nil, fmt.Errorf("wire: component %q: %w", c.ID, err)
+			}
+			if comp.Len() < len(c.State) {
+				payload, enc = comp.Bytes(), compEncFlate
+			}
+		}
+		buf = append(buf, enc)
+		buf = binary.AppendUvarint(buf, uint64(len(c.State)))
+		buf = binary.AppendUvarint(buf, uint64(len(payload)))
+		buf = append(buf, payload...)
+	}
+	if f.Delta {
+		buf = binary.AppendUvarint(buf, uint64(len(f.Removed)))
+		for i, id := range f.Removed {
+			if err := validComponentID(id); err != nil {
+				return nil, err
+			}
+			if i > 0 && f.Removed[i-1] >= id {
+				return nil, fmt.Errorf("wire: removed ids not strictly increasing (%q then %q)", f.Removed[i-1], id)
+			}
+			buf = binary.AppendUvarint(buf, uint64(len(id)))
+			buf = append(buf, id...)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.Checksum(buf, exchangeCRC)), nil
+}
+
+// componentReader decodes the sequential fields of a frame body with a
+// sticky error, mirroring StateDecoder but over a raw byte cursor.
+type componentReader struct {
+	rest []byte
+	err  error
+}
+
+func (r *componentReader) uvarint(what string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, w := binary.Uvarint(r.rest)
+	if w <= 0 {
+		r.err = fmt.Errorf("wire: component frame %s malformed", what)
+		return 0
+	}
+	r.rest = r.rest[w:]
+	return v
+}
+
+func (r *componentReader) bytes(n uint64, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.rest)) {
+		r.err = fmt.Errorf("wire: component frame %s of %d bytes overruns %d remaining", what, n, len(r.rest))
+		return nil
+	}
+	b := r.rest[:n]
+	r.rest = r.rest[n:]
+	return b
+}
+
+func (r *componentReader) byteVal(what string) byte {
+	b := r.bytes(1, what)
+	if r.err != nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *componentReader) id(what string) string {
+	n := r.uvarint(what + " length")
+	if r.err == nil && (n == 0 || n > MaxComponentIDLen) {
+		r.err = fmt.Errorf("wire: component frame %s of %d bytes (want 1..%d)", what, n, MaxComponentIDLen)
+		return ""
+	}
+	return string(r.bytes(n, what))
+}
+
+// DecodeComponentFrame parses and CRC-verifies one componentized frame.
+// maxRaw bounds the total decompressed component state bytes the decoder
+// will materialize, so a hostile frame cannot compress-bomb the puller
+// past its configured state budget. Decoded component states are fresh
+// allocations (never aliasing buf); ids alias nothing either.
+func DecodeComponentFrame(buf []byte, maxRaw int64) (ComponentFrame, error) {
+	var f ComponentFrame
+	if maxRaw < 0 {
+		maxRaw = 0
+	}
+	if len(buf) < len(deltaMagic)+2+exchangeCRCLen {
+		return f, fmt.Errorf("wire: component frame of %d bytes is too short", len(buf))
+	}
+	body, sum := buf[:len(buf)-exchangeCRCLen], binary.LittleEndian.Uint32(buf[len(buf)-exchangeCRCLen:])
+	if got := crc32.Checksum(body, exchangeCRC); got != sum {
+		return f, fmt.Errorf("wire: component frame checksum %08x, want %08x", got, sum)
+	}
+	if string(body[:len(deltaMagic)]) != deltaMagic {
+		return f, fmt.Errorf("wire: bad component frame magic %q", body[:len(deltaMagic)])
+	}
+	if body[len(deltaMagic)] != deltaFormatVersion {
+		return f, fmt.Errorf("wire: component frame format version %d, want %d", body[len(deltaMagic)], deltaFormatVersion)
+	}
+	flags := body[len(deltaMagic)+1]
+	if flags&^deltaFlagDelta != 0 {
+		return f, fmt.Errorf("wire: component frame flags %02x unknown", flags)
+	}
+	f.Delta = flags&deltaFlagDelta != 0
+	r := &componentReader{rest: body[len(deltaMagic)+2:]}
+
+	idLen := r.uvarint("node-id length")
+	if r.err == nil && (idLen == 0 || idLen > MaxNodeIDLen) {
+		return f, fmt.Errorf("wire: component frame node-id length %d (want 1..%d)", idLen, MaxNodeIDLen)
+	}
+	f.NodeID = string(r.bytes(idLen, "node id"))
+	f.Version = r.uvarint("version")
+	if f.Delta {
+		f.BaseVersion = r.uvarint("base version")
+	}
+	n := r.uvarint("report count")
+	if r.err == nil && n > uint64(math.MaxInt) {
+		return f, fmt.Errorf("wire: component frame report count %d overflows int", n)
+	}
+	f.N = int(n)
+
+	count := r.uvarint("component count")
+	if r.err == nil && count > MaxFrameComponents {
+		return f, fmt.Errorf("wire: component frame of %d components exceeds %d", count, MaxFrameComponents)
+	}
+	if r.err != nil {
+		return f, r.err
+	}
+	if count > 0 {
+		f.Components = make([]StateComponent, 0, min(count, uint64(len(r.rest))))
+	}
+	var rawTotal int64
+	for i := uint64(0); i < count && r.err == nil; i++ {
+		var c StateComponent
+		c.ID = r.id("component id")
+		ver := r.uvarint("component version")
+		cn := r.uvarint("component report count")
+		enc := r.byteVal("component encoding")
+		rawLen := r.uvarint("component raw length")
+		payLen := r.uvarint("component payload length")
+		payload := r.bytes(payLen, "component payload")
+		if r.err != nil {
+			break
+		}
+		if len(f.Components) > 0 && f.Components[len(f.Components)-1].ID >= c.ID {
+			return f, fmt.Errorf("wire: component ids not strictly increasing (%q then %q)", f.Components[len(f.Components)-1].ID, c.ID)
+		}
+		if cn > uint64(math.MaxInt) {
+			return f, fmt.Errorf("wire: component %q report count overflows int", c.ID)
+		}
+		rawTotal += int64(rawLen)
+		if rawTotal < 0 || rawTotal > maxRaw {
+			return f, fmt.Errorf("wire: component frame raw state exceeds %d byte budget", maxRaw)
+		}
+		c.Version, c.N = ver, int(cn)
+		switch enc {
+		case compEncRaw:
+			if payLen != rawLen {
+				return f, fmt.Errorf("wire: component %q raw payload of %d bytes declares %d raw", c.ID, payLen, rawLen)
+			}
+			c.State = append([]byte(nil), payload...)
+		case compEncFlate:
+			// A flate payload at least as large as the raw state is
+			// non-canonical: the encoder would have stored it raw.
+			if payLen >= rawLen {
+				return f, fmt.Errorf("wire: component %q flate payload of %d bytes for %d raw is non-canonical", c.ID, payLen, rawLen)
+			}
+			raw := make([]byte, rawLen)
+			zr := flate.NewReader(bytes.NewReader(payload))
+			if _, err := io.ReadFull(zr, raw); err != nil {
+				return f, fmt.Errorf("wire: component %q: inflating: %w", c.ID, err)
+			}
+			// The stream must end exactly at the declared raw length.
+			if n, err := zr.Read(make([]byte, 1)); n != 0 || err != io.EOF {
+				return f, fmt.Errorf("wire: component %q inflates past declared %d bytes", c.ID, rawLen)
+			}
+			c.State = raw
+		default:
+			return f, fmt.Errorf("wire: component %q encoding %d unknown", c.ID, enc)
+		}
+		f.Components = append(f.Components, c)
+	}
+	if f.Delta && r.err == nil {
+		rcount := r.uvarint("removed count")
+		if r.err == nil && rcount > MaxFrameComponents {
+			return f, fmt.Errorf("wire: component frame of %d removed ids exceeds %d", rcount, MaxFrameComponents)
+		}
+		for i := uint64(0); i < rcount && r.err == nil; i++ {
+			id := r.id("removed id")
+			if r.err != nil {
+				break
+			}
+			if len(f.Removed) > 0 && f.Removed[len(f.Removed)-1] >= id {
+				return f, fmt.Errorf("wire: removed ids not strictly increasing (%q then %q)", f.Removed[len(f.Removed)-1], id)
+			}
+			f.Removed = append(f.Removed, id)
+		}
+		// A component both shipped and removed is ambiguous. Both lists
+		// are sorted, so one merge scan settles it.
+		for i, j := 0, 0; i < len(f.Components) && j < len(f.Removed); {
+			switch {
+			case f.Components[i].ID == f.Removed[j]:
+				return f, fmt.Errorf("wire: component %q both shipped and removed", f.Removed[j])
+			case f.Components[i].ID < f.Removed[j]:
+				i++
+			default:
+				j++
+			}
+		}
+	}
+	if r.err != nil {
+		return f, r.err
+	}
+	if len(r.rest) != 0 {
+		return f, fmt.Errorf("wire: component frame has %d trailing bytes", len(r.rest))
+	}
+	return f, nil
+}
+
+// IsComponentFrame reports whether buf starts with the componentized
+// frame magic — the cheap sniff a puller uses to tell an LDPD reply from
+// a legacy LDPX one.
+func IsComponentFrame(buf []byte) bool {
+	return len(buf) >= len(deltaMagic) && string(buf[:len(deltaMagic)]) == deltaMagic
+}
+
+// SortComponents orders components canonically (by id) in place.
+func SortComponents(cs []StateComponent) {
+	sort.Slice(cs, func(i, j int) bool { return cs[i].ID < cs[j].ID })
+}

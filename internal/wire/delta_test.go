@@ -1,0 +1,278 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const testMaxRaw = 1 << 24
+
+// reseal recomputes the trailing CRC after a deliberate body mutation,
+// so tests reach the structural validation behind the checksum.
+func reseal(buf []byte) []byte {
+	body := buf[:len(buf)-exchangeCRCLen]
+	return binary.LittleEndian.AppendUint32(append([]byte(nil), body...), crc32.Checksum(body, exchangeCRC))
+}
+
+func TestComponentFrameRoundTrip(t *testing.T) {
+	compressible := bytes.Repeat([]byte{0, 0, 0, 1}, 4096)
+	cases := []ComponentFrame{
+		{NodeID: "edge-1", Version: 42, N: 10, Components: []StateComponent{
+			{ID: "edge-1/0", Version: 7, N: 4, State: []byte{9, 8, 7}},
+			{ID: "edge-1/1", Version: 9, N: 6, State: compressible},
+		}},
+		{NodeID: "coord-a", Version: 3, N: 0, Components: nil},
+		{NodeID: "edge-1", Version: 50, Delta: true, BaseVersion: 42, N: 12, Components: []StateComponent{
+			{ID: "edge-1/1", Version: 11, N: 8, State: []byte{1, 2, 3, 4}},
+		}, Removed: []string{"edge-1/5", "edge-1/9"}},
+		{NodeID: "root", Version: 1, Delta: true, BaseVersion: 0, N: 0,
+			Removed: []string{"edge-2/0"}},
+		// A component with an empty state blob (n=0 placeholder).
+		{NodeID: "e", Version: 1, N: 0, Components: []StateComponent{{ID: "e/0", Version: 5}}},
+	}
+	for i, in := range cases {
+		buf, err := EncodeComponentFrame(in)
+		if err != nil {
+			t.Fatalf("case %d: encode: %v", i, err)
+		}
+		if !IsComponentFrame(buf) {
+			t.Fatalf("case %d: encoded frame not sniffed as componentized", i)
+		}
+		out, err := DecodeComponentFrame(buf, testMaxRaw)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		// Normalize nil-vs-empty state slices for the comparison.
+		for j := range out.Components {
+			if len(out.Components[j].State) == 0 {
+				out.Components[j].State = nil
+			}
+		}
+		norm := in
+		norm.Components = append([]StateComponent(nil), in.Components...)
+		for j := range norm.Components {
+			if len(norm.Components[j].State) == 0 {
+				norm.Components[j].State = nil
+			}
+		}
+		if len(norm.Components) == 0 {
+			norm.Components = nil
+		}
+		if !reflect.DeepEqual(out, norm) {
+			t.Fatalf("case %d: round trip:\n got %+v\nwant %+v", i, out, norm)
+		}
+	}
+}
+
+func TestComponentFrameCompresses(t *testing.T) {
+	// A sparse counter blob (mostly zero bytes) must ship flate-packed:
+	// the whole point of the delta frame is that O(2^d) dense states with
+	// few occupied cells cost little on the wire.
+	state := make([]byte, 1<<16)
+	for i := 0; i < len(state); i += 97 {
+		state[i] = byte(i)
+	}
+	buf, err := EncodeComponentFrame(ComponentFrame{
+		NodeID: "e", Version: 1, N: 1,
+		Components: []StateComponent{{ID: "e/0", Version: 1, N: 1, State: state}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) >= len(state)/2 {
+		t.Fatalf("frame of %d bytes for a %d-byte sparse state did not compress", len(buf), len(state))
+	}
+	out, err := DecodeComponentFrame(buf, testMaxRaw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Components[0].State, state) {
+		t.Fatal("compressed state did not round-trip")
+	}
+}
+
+func TestComponentFrameEncodeRejects(t *testing.T) {
+	okComp := []StateComponent{{ID: "n/0", Version: 1, N: 1, State: []byte{1}}}
+	cases := []struct {
+		name string
+		f    ComponentFrame
+	}{
+		{"empty node id", ComponentFrame{NodeID: "", Components: okComp}},
+		{"oversized node id", ComponentFrame{NodeID: strings.Repeat("x", MaxNodeIDLen+1)}},
+		{"negative n", ComponentFrame{NodeID: "n", N: -1}},
+		{"negative component n", ComponentFrame{NodeID: "n", Components: []StateComponent{{ID: "n/0", N: -1}}}},
+		{"empty component id", ComponentFrame{NodeID: "n", Components: []StateComponent{{ID: ""}}}},
+		{"oversized component id", ComponentFrame{NodeID: "n", Components: []StateComponent{{ID: strings.Repeat("y", MaxComponentIDLen+1)}}}},
+		{"unsorted components", ComponentFrame{NodeID: "n", Components: []StateComponent{{ID: "n/1"}, {ID: "n/0"}}}},
+		{"duplicate components", ComponentFrame{NodeID: "n", Components: []StateComponent{{ID: "n/0"}, {ID: "n/0"}}}},
+		{"unsorted removed", ComponentFrame{NodeID: "n", Delta: true, Removed: []string{"b", "a"}}},
+		{"full frame with base version", ComponentFrame{NodeID: "n", BaseVersion: 3}},
+		{"full frame with removals", ComponentFrame{NodeID: "n", Removed: []string{"a"}}},
+	}
+	for _, tc := range cases {
+		if _, err := EncodeComponentFrame(tc.f); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestComponentFrameRejectsCorruption(t *testing.T) {
+	buf, err := EncodeComponentFrame(ComponentFrame{
+		NodeID: "edge-1", Version: 5, Delta: true, BaseVersion: 3, N: 4,
+		Components: []StateComponent{
+			{ID: "edge-1/0", Version: 2, N: 1, State: []byte{4, 4, 4}},
+			{ID: "edge-1/2", Version: 3, N: 3, State: bytes.Repeat([]byte{0}, 512)},
+		},
+		Removed: []string{"edge-1/1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		bad := append([]byte(nil), buf...)
+		bad[i] ^= 0x10
+		if _, err := DecodeComponentFrame(bad, testMaxRaw); err == nil {
+			t.Fatalf("bit flip at byte %d was accepted", i)
+		}
+	}
+	for cut := 0; cut < len(buf); cut++ {
+		if _, err := DecodeComponentFrame(buf[:cut], testMaxRaw); err == nil {
+			t.Fatalf("truncation to %d bytes was accepted", cut)
+		}
+	}
+}
+
+func TestComponentFrameDecodeRejectsHostileBodies(t *testing.T) {
+	// Structural attacks that survive a valid CRC: each case mutates the
+	// body of a valid frame and reseals the checksum.
+	base, err := EncodeComponentFrame(ComponentFrame{
+		NodeID: "n", Version: 1, N: 2,
+		Components: []StateComponent{{ID: "n/0", Version: 1, N: 2, State: bytes.Repeat([]byte{7}, 64)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shipped-and-removed overlap.
+	both, err := EncodeComponentFrame(ComponentFrame{
+		NodeID: "n", Version: 2, Delta: true, BaseVersion: 1, N: 2,
+		Components: []StateComponent{{ID: "n/0", Version: 1, N: 2, State: []byte{1}}},
+		Removed:    []string{"n/0"},
+	})
+	if err == nil {
+		if _, err := DecodeComponentFrame(both, testMaxRaw); err == nil {
+			t.Error("component both shipped and removed was accepted")
+		}
+	}
+
+	// Unknown flags bit.
+	bad := append([]byte(nil), base...)
+	bad[len(deltaMagic)+1] |= 0x80
+	if _, err := DecodeComponentFrame(reseal(bad), testMaxRaw); err == nil {
+		t.Error("unknown flags were accepted")
+	}
+
+	// Trailing bytes after a structurally complete frame.
+	bad = append(append([]byte(nil), base[:len(base)-exchangeCRCLen]...), 0xAA)
+	if _, err := DecodeComponentFrame(reseal(bad), testMaxRaw); err == nil {
+		t.Error("trailing bytes were accepted")
+	}
+
+	// Raw budget: a frame whose declared raw state exceeds maxRaw must be
+	// refused before the decoder materializes it (compression bomb).
+	big, err := EncodeComponentFrame(ComponentFrame{
+		NodeID: "n", Version: 1, N: 1,
+		Components: []StateComponent{{ID: "n/0", Version: 1, N: 1, State: make([]byte, 4096)}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeComponentFrame(big, 100); err == nil {
+		t.Error("raw state over the byte budget was accepted")
+	}
+	if _, err := DecodeComponentFrame(base, testMaxRaw); err != nil {
+		t.Fatalf("control frame rejected: %v", err)
+	}
+}
+
+func TestComponentOrigin(t *testing.T) {
+	cases := map[string]string{
+		"edge-1/17":  "edge-1",
+		"edge-1":     "edge-1",
+		"a/b/c":      "a",
+		"/leading":   "",
+		"windowed-3": "windowed-3",
+	}
+	for id, want := range cases {
+		if got := ComponentOrigin(id); got != want {
+			t.Errorf("ComponentOrigin(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+func FuzzDecodeComponentFrame(f *testing.F) {
+	full, _ := EncodeComponentFrame(ComponentFrame{
+		NodeID: "edge-1", Version: 9, N: 5,
+		Components: []StateComponent{
+			{ID: "edge-1/0", Version: 3, N: 2, State: []byte{3, 1, 2, 7}},
+			{ID: "edge-1/3", Version: 4, N: 3, State: bytes.Repeat([]byte{0, 1}, 300)},
+		},
+	})
+	delta, _ := EncodeComponentFrame(ComponentFrame{
+		NodeID: "edge-1", Version: 12, Delta: true, BaseVersion: 9, N: 6,
+		Components: []StateComponent{{ID: "edge-1/0", Version: 5, N: 3, State: []byte{8}}},
+		Removed:    []string{"edge-1/3"},
+	})
+	f.Add(full)
+	f.Add(delta)
+	f.Add([]byte("LDPD"))
+	f.Add([]byte{})
+	// Hand-corrupted seeds: truncated compressed payload, stale base
+	// version field, mangled component list length.
+	if len(full) > 20 {
+		f.Add(append([]byte(nil), full[:len(full)-12]...))
+	}
+	if len(delta) > 8 {
+		d := append([]byte(nil), delta...)
+		d[8] ^= 0xFF
+		f.Add(d)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, err := DecodeComponentFrame(data, testMaxRaw)
+		if err != nil {
+			return
+		}
+		// Anything accepted must survive a re-encode/re-decode cycle with
+		// identical logical content. (Byte identity is not required: a
+		// hostile frame may store a compressible blob raw, or use a
+		// different flate packing, and still be structurally valid.)
+		again, err := EncodeComponentFrame(cf)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		cf2, err := DecodeComponentFrame(again, testMaxRaw)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to decode: %v", err)
+		}
+		if cf.NodeID != cf2.NodeID || cf.Version != cf2.Version || cf.Delta != cf2.Delta ||
+			cf.BaseVersion != cf2.BaseVersion || cf.N != cf2.N ||
+			len(cf.Components) != len(cf2.Components) || len(cf.Removed) != len(cf2.Removed) {
+			t.Fatalf("re-decode differs:\n got %+v\nwant %+v", cf2, cf)
+		}
+		for i := range cf.Components {
+			a, b := cf.Components[i], cf2.Components[i]
+			if a.ID != b.ID || a.Version != b.Version || a.N != b.N || !bytes.Equal(a.State, b.State) {
+				t.Fatalf("component %d differs after re-decode", i)
+			}
+		}
+		for i := range cf.Removed {
+			if cf.Removed[i] != cf2.Removed[i] {
+				t.Fatalf("removed id %d differs after re-decode", i)
+			}
+		}
+	})
+}
