@@ -57,6 +57,21 @@
 // /metrics, so overload degrades into visible, retryable refusals
 // instead of unbounded goroutine and memory growth.
 //
+// A durable node that loses its disk degrades instead of falling over:
+// a persistent WAL failure flips the server into read-only mode —
+// ingest is shed with 503 + Retry-After while reads, /state, and
+// /metrics keep serving from memory — and a background probe re-tests
+// the disk every -degraded-probe-interval, reviving the log and
+// re-snapshotting the in-memory state once writes succeed again. A
+// coordinator likewise survives a misbehaving peer: after
+// -quarantine-after consecutive pulls whose frames fail CRC, decode,
+// or fold, the peer is quarantined — its last good contribution keeps
+// serving, regular pulls stop, and a half-open probe retries every
+// -quarantine-interval. -fault-spec arms deterministic fault injection
+// at named sites (WAL appends, pull bodies, ...) for failure drills.
+// The "Failure modes and degraded operation" section of the package
+// documentation is the operator runbook for both state machines.
+//
 // With -data-dir set the deployment is durable: accepted reports are
 // appended to a write-ahead log before the ack (fsynced per -fsync:
 // always, interval, or off), the counters are compacted into snapshots
@@ -111,6 +126,7 @@ import (
 	"time"
 
 	"ldpmarginals"
+	"ldpmarginals/internal/fault"
 	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/server"
 	"ldpmarginals/internal/store"
@@ -153,6 +169,15 @@ func main() {
 		pullDelta    = flag.Bool("pull-delta", true, "negotiate componentized delta state pulls (ship only changed shards; false = legacy full-frame pulls)")
 
 		logLevel = flag.String("log-level", "info", "minimum log level: debug, info, warn, error, or off (debug adds one line per request, carrying its trace id)")
+
+		degradedProbe = flag.Duration("degraded-probe-interval", 0,
+			"disk-probe cadence while degraded by a WAL failure (0 = 2s); each probe rewrites a sentinel file and, once the disk accepts writes, auto-recovers the node")
+		quarantineAfter = flag.Int("quarantine-after", 0,
+			"consecutive poison pull failures (bad CRC/decode/fold) before a coordinator quarantines a peer (0 = 3)")
+		quarantineInterval = flag.Duration("quarantine-interval", 0,
+			"half-open probe cadence for quarantined peers (0 = 16x -pull-interval)")
+		faultSpec = flag.String("fault-spec", "",
+			"DEV ONLY: arm deterministic fault injection, e.g. 'store.wal.append=error:after=100;cluster.pull.body=corrupt:seed=7' (see internal/fault)")
 	)
 	flag.Parse()
 
@@ -165,6 +190,15 @@ func main() {
 	die := func(err error) {
 		logger.Error(err.Error())
 		os.Exit(1)
+	}
+
+	if *faultSpec != "" {
+		rules, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			die(fmt.Errorf("-fault-spec: %w", err))
+		}
+		fault.Arm(rules...)
+		logger.Warn("fault injection armed: this process WILL misbehave on the configured sites", "spec", *faultSpec)
 	}
 
 	nodeRole, err := server.ParseRole(*role)
@@ -224,23 +258,26 @@ func main() {
 		}
 	}
 	srv, err := server.NewWithOptions(p, server.Options{
-		Role:              nodeRole,
-		NodeID:            *nodeID,
-		Peers:             peerList,
-		PullInterval:      *pullInterval,
-		DisableDeltaPull:  !*pullDelta,
-		ClusterDir:        clusterDir,
-		Shards:            *shards,
-		IngestWorkers:     *workers,
-		MaxInflightIngest: *maxInflight,
-		MaxIngestQueue:    *maxQueue,
-		Refresh:           view.Policy{Interval: *interval, EveryN: *everyN},
-		View:              view.Options{FullRebuildEvery: *fullEvery},
-		Store:             st,
-		Window:            *windowSpan,
-		Bucket:            *bucketSpan,
-		RoundEps:          *roundEps,
-		Log:               logger,
+		Role:                  nodeRole,
+		NodeID:                *nodeID,
+		Peers:                 peerList,
+		PullInterval:          *pullInterval,
+		DisableDeltaPull:      !*pullDelta,
+		ClusterDir:            clusterDir,
+		Shards:                *shards,
+		IngestWorkers:         *workers,
+		MaxInflightIngest:     *maxInflight,
+		MaxIngestQueue:        *maxQueue,
+		Refresh:               view.Policy{Interval: *interval, EveryN: *everyN},
+		View:                  view.Options{FullRebuildEvery: *fullEvery},
+		Store:                 st,
+		Window:                *windowSpan,
+		Bucket:                *bucketSpan,
+		RoundEps:              *roundEps,
+		DegradedProbeInterval: *degradedProbe,
+		QuarantineAfter:       *quarantineAfter,
+		QuarantineInterval:    *quarantineInterval,
+		Log:                   logger,
 	})
 	if err != nil {
 		die(err)
@@ -280,15 +317,19 @@ func main() {
 		}()
 	}
 
-	// Read timeouts bound how long a slow (or slow-loris) client can
-	// hold a connection — and with it one of the server's bounded batch
-	// slots — mid-request. Two minutes is ample for a 16 MiB batch on a
-	// slow uplink; everything else completes in milliseconds.
+	// Read and write timeouts bound how long a slow (or slow-loris)
+	// client can hold a connection — and with it one of the server's
+	// bounded batch slots — mid-request or mid-response. Two minutes is
+	// ample for a 16 MiB batch or state export on a slow uplink;
+	// everything else completes in milliseconds. Without WriteTimeout a
+	// peer that stops reading a large /state response would pin the
+	// handler goroutine (and the exported state's memory) forever.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
 		IdleTimeout:       2 * time.Minute,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

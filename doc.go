@@ -268,4 +268,55 @@
 // drift says how fast the population is moving — together they answer
 // "can I trust this epoch" without ground truth. All three are also
 // exported as ldp_view_* gauges and stamped onto the build's span.
+//
+// # Failure modes and degraded operation
+//
+// Because reports are irreplaceable, the server's failure philosophy is
+// refuse-don't-lie: it never acks a report it cannot make durable, and
+// it never serves a view it cannot account for — but it keeps serving
+// whatever it *can* account for instead of falling over. Two state
+// machines implement that.
+//
+// A durable node tracks WAL health:
+//
+//	healthy ──WAL append/fsync/rotate fails──▶ degraded ──probe writes ok──▶ recovering ──WAL revived,
+//	   ▲                                      (ingest shed 503,              (exclusive barrier,        memory re-snapshotted
+//	   │                                       reads serve from memory)       tail repaired)                │
+//	   └────────────────────────────────────────────────────────────────────────────────────────────────────┘
+//
+// The batch in flight when the disk dies is answered 500 with an
+// Accepted count naming exactly how many reports entered memory —
+// consumed but not durably acked — and every later write is shed with
+// 503 + Retry-After while reads (/marginal, /query, /status, /state)
+// keep serving from memory. A background sentinel probe
+// (-degraded-probe-interval) rewrites a probe file in the data
+// directory; once writes succeed it revives the WAL, repairs any torn
+// segment tail, force-snapshots the in-memory state (making the
+// consumed-but-unlogged reports durable after the fact), and flips the
+// node back to healthy. Every 503 the server emits — degraded sheds and
+// readiness refusals alike — carries Retry-After, a JSON reason, and
+// the request's trace id.
+//
+// A coordinator tracks per-peer health: healthy, backing_off, or
+// quarantined. Transient pull failures (dial, HTTP status, body read)
+// back off exponentially and never quarantine — the peer rejoins the
+// moment the network heals. Content failures (CRC mismatch, frame
+// decode, validation, fold errors) are *poison*: after
+// -quarantine-after consecutive poisoned pulls the circuit breaker
+// trips, the peer's held contribution keeps serving unchanged, and
+// pulls drop to a half-open probe cadence (-quarantine-interval). One
+// clean pull — scheduled or forced via POST /pull — closes the breaker.
+// Peer health is reported on /view/status, /readyz (which stays ready:
+// the held state still serves), span attributes, and metrics.
+//
+// Alert on: ldp_health_state (0 healthy / 1 degraded / 2 recovering),
+// ldp_degraded_transitions_total vs ldp_recoveries_total (a gap means a
+// node is stuck degraded), ldp_disk_probe_failures_total,
+// ldp_ingest_shed_degraded_total (reports being refused),
+// ldp_wal_revives_total, ldp_cluster_peer_health (0/1/2 per peer), and
+// ldp_cluster_peer_quarantines_total. ldp_fault_injections_total is
+// nonzero only when -fault-spec armed the deterministic fault registry
+// (internal/fault) — a dev/chaos-testing lever that must never be set
+// in production. Recovery procedure and a chaos walkthrough live in
+// examples/http_deployment/README.md.
 package ldpmarginals

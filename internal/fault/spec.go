@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ParseSpec parses the -fault-spec dev-flag grammar into rules:
+//
+//	spec := rule (';' rule)*
+//	rule := site '=' mode (':' opt)*
+//	mode := 'error' | 'latency' | 'corrupt'
+//	opt  := 'after=' N | 'times=' N | 'prob=' F | 'seed=' N
+//	      | 'delay=' duration | 'msg=' text
+//
+// Example:
+//
+//	store.wal.append=error:after=50:times=30:msg=no space left on device;cluster.pull.body=corrupt:times=8:seed=7
+//
+// times defaults to 0 (persistent); use times=1 for error-once. msg
+// consumes the remainder of its rule, so it must be the last option.
+func ParseSpec(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		site, rest, ok := strings.Cut(raw, "=")
+		site = strings.TrimSpace(site)
+		if !ok || site == "" {
+			return nil, fmt.Errorf("fault spec %q: want site=mode[:opts]", raw)
+		}
+		parts := strings.Split(rest, ":")
+		rule := Rule{Site: site}
+		switch strings.TrimSpace(parts[0]) {
+		case "error":
+			rule.Mode = ModeError
+		case "latency":
+			rule.Mode = ModeLatency
+		case "corrupt":
+			rule.Mode = ModeCorrupt
+		default:
+			return nil, fmt.Errorf("fault spec %q: unknown mode %q", raw, parts[0])
+		}
+		for i := 1; i < len(parts); i++ {
+			key, val, ok := strings.Cut(parts[i], "=")
+			if !ok {
+				return nil, fmt.Errorf("fault spec %q: bad option %q", raw, parts[i])
+			}
+			key = strings.TrimSpace(key)
+			var err error
+			switch key {
+			case "after":
+				rule.After, err = strconv.Atoi(val)
+			case "times":
+				rule.Times, err = strconv.Atoi(val)
+			case "prob":
+				rule.Prob, err = strconv.ParseFloat(val, 64)
+				if err == nil && (rule.Prob < 0 || rule.Prob > 1) {
+					err = fmt.Errorf("prob %v out of [0,1]", rule.Prob)
+				}
+			case "seed":
+				rule.Seed, err = strconv.ParseUint(val, 10, 64)
+			case "delay":
+				rule.Delay, err = time.ParseDuration(val)
+			case "msg":
+				// msg swallows the rest of the rule, colons included.
+				rule.Msg = strings.Join(append([]string{val}, parts[i+1:]...), ":")
+				i = len(parts)
+			default:
+				return nil, fmt.Errorf("fault spec %q: unknown option %q", raw, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("fault spec %q: option %q: %v", raw, key, err)
+			}
+		}
+		if rule.Mode == ModeLatency && rule.Delay <= 0 {
+			return nil, fmt.Errorf("fault spec %q: latency rule needs delay=", raw)
+		}
+		if rule.After < 0 || rule.Times < 0 {
+			return nil, fmt.Errorf("fault spec %q: after/times must be >= 0", raw)
+		}
+		rules = append(rules, rule)
+	}
+	return rules, nil
+}

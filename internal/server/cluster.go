@@ -14,12 +14,27 @@ import (
 	"time"
 
 	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/fault"
 	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/store"
 	"ldpmarginals/internal/trace"
 	"ldpmarginals/internal/view"
 	"ldpmarginals/internal/wire"
+)
+
+// Fault-injection sites on the coordinator's pull path (internal/fault;
+// no-ops unless a test or -fault-spec arms them).
+const (
+	// FaultClusterDial fails the pull before the HTTP request is sent —
+	// an unreachable or timing-out peer (transient).
+	FaultClusterDial = "cluster.pull.dial"
+	// FaultClusterBody corrupts the response body bytes after the read —
+	// a peer shipping damaged frames (poison, via the decode failure it
+	// causes).
+	FaultClusterBody = "cluster.pull.body"
+	// FaultClusterDecode fails frame decoding directly (poison).
+	FaultClusterDecode = "cluster.pull.decode"
 )
 
 // The cluster tier. An edge exports its aggregation state on GET /state;
@@ -94,6 +109,76 @@ type peerEntry struct {
 	fails   int
 	nextDue time.Time
 	lastErr string
+
+	// Circuit breaker: consecutive poison failures (frames that arrived
+	// but failed CRC/decode/validation/fold) trip the peer into
+	// quarantine — held contribution retained, regular pulls suspended,
+	// half-open probes on the quarantine timer. quarantines counts trips
+	// over the peer's lifetime.
+	poisonFails   int
+	quarantined   bool
+	quarantinedAt time.Time
+	quarantines   int
+}
+
+// peerHealthState is a peer's circuit-breaker health as surfaced on
+// /view/status, /readyz, and metrics.
+type peerHealthState int
+
+const (
+	peerHealthy peerHealthState = iota
+	peerBackingOff
+	peerQuarantined
+)
+
+func (h peerHealthState) String() string {
+	switch h {
+	case peerHealthy:
+		return "healthy"
+	case peerBackingOff:
+		return "backing_off"
+	case peerQuarantined:
+		return "quarantined"
+	default:
+		return "unknown"
+	}
+}
+
+// healthLocked derives the peer's health; callers hold fleet.mu.
+func (pe *peerEntry) healthLocked() peerHealthState {
+	switch {
+	case pe.quarantined:
+		return peerQuarantined
+	case pe.fails > 0:
+		return peerBackingOff
+	default:
+		return peerHealthy
+	}
+}
+
+// poisonError marks a pull failure caused by the peer's *content* —
+// the frame arrived but failed CRC/decode/validation/fold — as opposed
+// to a transient transport failure (dial, timeout, non-200). Transient
+// failures mean "try again soon"; poison failures mean the peer is
+// serving garbage deterministically, and retrying at the backoff
+// cadence just re-downloads and re-rejects the same bytes. Consecutive
+// poison failures trip the circuit breaker.
+type poisonError struct{ err error }
+
+func (e *poisonError) Error() string { return e.err.Error() }
+func (e *poisonError) Unwrap() error { return e.err }
+
+// poison wraps a content-level pull failure for breaker classification.
+func poison(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &poisonError{err: err}
+}
+
+func isPoison(err error) bool {
+	var pe *poisonError
+	return errors.As(err, &pe)
 }
 
 // errStaleDeltaBase marks a delta frame that cannot be applied because
@@ -655,6 +740,21 @@ func (f *fleet) peersWithState() int {
 	return n
 }
 
+// peerHealth snapshots every configured peer's circuit-breaker health,
+// keyed by peer URL, for /readyz. Quarantined peers do not fail
+// readiness — the held contribution keeps serving, which is the point
+// of quarantine — they are surfaced so operators and balancers can see
+// which constituents are stale.
+func (f *fleet) peerHealth() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := make(map[string]string, len(f.peers))
+	for _, pe := range f.peers {
+		m[pe.url] = pe.healthLocked().String()
+	}
+	return m
+}
+
 // peerInstruments is one peer's pull metrics, maintained by the puller.
 type peerInstruments struct {
 	latency     *metrics.Histogram // one pull's wall time
@@ -685,6 +785,12 @@ type puller struct {
 	tracer    *trace.Tracer // roots background rounds; may be nil in tests
 	log       *logx.Logger
 
+	// Circuit breaker knobs: quarAfter consecutive poison failures trip
+	// a peer into quarantine; quarDelay is the half-open probe cadence
+	// while quarantined.
+	quarAfter int
+	quarDelay time.Duration
+
 	// ins is keyed by peer URL; the peer set is fixed at construction so
 	// the map is read-only after newPuller.
 	ins    map[string]*peerInstruments
@@ -707,6 +813,18 @@ type puller struct {
 // maxBackoffShift caps the failure backoff at interval << 5 = 32x.
 const maxBackoffShift = 5
 
+// Circuit-breaker defaults, selected by Options.QuarantineAfter <= 0
+// and Options.QuarantineInterval <= 0 respectively. Three consecutive
+// poison failures rule out a single torn response; the half-open probe
+// cadence defaults to 16x the pull interval — long enough that a peer
+// deterministically serving garbage is not re-downloaded and
+// re-rejected every backoff tick, short enough that a repaired peer
+// rejoins within a few minutes at the default 5s interval.
+const (
+	defaultQuarantineAfter = 3
+	quarantineIntervalMult = 16
+)
+
 // backoffDelay is the wait before retrying a peer that failed fails
 // consecutive pulls: exponential in the failure count, capped at
 // maxBackoffShift doublings, plus bounded random jitter (up to half the
@@ -726,7 +844,13 @@ func backoffDelay(interval time.Duration, fails int) time.Duration {
 	return backoff + rand.N(backoff/2+1)
 }
 
-func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, noDelta bool, tracer *trace.Tracer, log *logx.Logger) *puller {
+func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, noDelta bool, quarAfter int, quarDelay time.Duration, tracer *trace.Tracer, log *logx.Logger) *puller {
+	if quarAfter <= 0 {
+		quarAfter = defaultQuarantineAfter
+	}
+	if quarDelay <= 0 {
+		quarDelay = quarantineIntervalMult * interval
+	}
 	// A dedicated transport, not http.DefaultTransport: the puller's
 	// keep-alive connections to its peers must die with the puller.
 	// Shared-transport idle connections (two goroutines each) outlive
@@ -759,6 +883,8 @@ func newPuller(f *fleet, interval, timeout time.Duration, maxState int64, noDelt
 		interval:  interval,
 		maxState:  maxState,
 		noDelta:   noDelta,
+		quarAfter: quarAfter,
+		quarDelay: quarDelay,
 		tracer:    tracer,
 		log:       log,
 		ins:       ins,
@@ -891,30 +1017,70 @@ func (pl *puller) pull(ctx context.Context, url string) (changed bool) {
 	}
 	if err != nil {
 		span.SetAttr("error", err.Error())
-		pl.log.Warn("pull failed", "peer", url, "err", err)
+		span.SetAttr("poison", isPoison(err))
+		pl.log.Warn("pull failed", "peer", url, "poison", isPoison(err), "err", err)
 	} else {
 		span.SetAttr("changed", changed)
 		span.SetAttr("mode", mode)
 	}
+	health := pl.updateSchedule(url, err)
+	span.SetAttr("peer_health", health.String())
 	span.End()
+	return changed
+}
+
+// updateSchedule advances one peer's pull schedule and circuit breaker
+// after a pull, returning the peer's resulting health. Transient
+// failures back off exponentially; poison failures (see poisonError)
+// additionally count toward quarantine, and quarAfter consecutive ones
+// trip the breaker: the held contribution is retained, regular pulls
+// stop, and the peer is probed half-open every quarDelay. Any clean
+// pull — half-open probe or forced round — closes the breaker.
+func (pl *puller) updateSchedule(url string, err error) peerHealthState {
+	now := time.Now()
 	pl.f.mu.Lock()
 	defer pl.f.mu.Unlock()
-	for _, pe := range pl.f.peers {
-		if pe.url != url {
-			continue
-		}
-		if err != nil {
-			pe.fails++
-			pe.lastErr = err.Error()
-			pe.nextDue = time.Now().Add(backoffDelay(pl.interval, pe.fails))
-		} else {
-			pe.fails = 0
-			pe.lastErr = ""
-			pe.pulledAt = time.Now()
-			pe.nextDue = time.Now().Add(pl.interval)
-		}
+	pe := pl.f.findPeer(url)
+	if pe == nil {
+		return peerHealthy
 	}
-	return changed
+	if err == nil {
+		if pe.quarantined {
+			pe.quarantined = false
+			pe.quarantinedAt = time.Time{}
+			pl.log.Info("peer recovered from quarantine", "peer", url)
+		}
+		pe.fails = 0
+		pe.poisonFails = 0
+		pe.lastErr = ""
+		pe.pulledAt = now
+		pe.nextDue = now.Add(pl.interval)
+		return peerHealthy
+	}
+	pe.fails++
+	pe.lastErr = err.Error()
+	if isPoison(err) {
+		pe.poisonFails++
+		if !pe.quarantined && pe.poisonFails >= pl.quarAfter {
+			pe.quarantined = true
+			pe.quarantinedAt = now
+			pe.quarantines++
+			pl.log.Warn("peer quarantined: repeated poison pulls; holding last good contribution",
+				"peer", url, "poison_failures", pe.poisonFails,
+				"probe_interval", pl.quarDelay, "err", err)
+		}
+	} else {
+		// Only *consecutive* poison failures quarantine: a transient
+		// failure in between means the transport, not the content, is
+		// the current problem.
+		pe.poisonFails = 0
+	}
+	if pe.quarantined {
+		pe.nextDue = now.Add(pl.quarDelay)
+	} else {
+		pe.nextDue = now.Add(backoffDelay(pl.interval, pe.fails))
+	}
+	return pe.healthLocked()
 }
 
 // fetch performs the HTTP GET, frame validation, and accept for one
@@ -948,6 +1114,9 @@ func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allow
 		req.Header.Set("If-None-Match", stateETag(base))
 	}
 	trace.Inject(span, req.Header)
+	if err := fault.Hit(FaultClusterDial); err != nil {
+		return false, "", err
+	}
 	resp, err := pl.client.Do(req)
 	if err != nil {
 		return false, "", err
@@ -974,25 +1143,32 @@ func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allow
 		return false, "", fmt.Errorf("GET /state: reading body: %w", err)
 	}
 	if int64(len(body)) > pl.maxState {
-		return false, "", fmt.Errorf("GET /state: body exceeds %d bytes", pl.maxState)
+		return false, "", poison(fmt.Errorf("GET /state: body exceeds %d bytes", pl.maxState))
+	}
+	// From here on every failure is *content*: the peer answered, the
+	// bytes arrived, and they do not decode/validate/fold. Those count
+	// toward quarantine (see poisonError).
+	body = fault.Mangle(FaultClusterBody, body)
+	if err := fault.Hit(FaultClusterDecode); err != nil {
+		return false, "", poison(fmt.Errorf("GET /state: decoding frame: %w", err))
 	}
 	var cf wire.ComponentFrame
 	if wire.IsComponentFrame(body) {
 		// maxState bounds the decompressed component total too: flate in
 		// a hostile frame must not inflate past the configured budget.
 		if cf, err = wire.DecodeComponentFrame(body, pl.maxState); err != nil {
-			return false, "", err
+			return false, "", poison(err)
 		}
 	} else {
 		sf, err := wire.DecodeStateFrame(body)
 		if err != nil {
-			return false, "", err
+			return false, "", poison(err)
 		}
 		cf = componentFrameFromState(sf)
 	}
 	if cf.Delta {
 		if !allowDelta {
-			return false, "", fmt.Errorf("GET /state: peer answered a delta frame to a full-frame request")
+			return false, "", poison(fmt.Errorf("GET /state: peer answered a delta frame to a full-frame request"))
 		}
 		mode = pullModeDelta
 		if ins != nil {
@@ -1001,7 +1177,7 @@ func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allow
 			}
 		}
 		if err := validateComponents(pl.f.p, cf); err != nil {
-			return false, mode, err
+			return false, mode, poison(err)
 		}
 		changed, err = pl.f.acceptDelta(url, cf)
 		if errors.Is(err, errStaleDeltaBase) {
@@ -1010,7 +1186,7 @@ func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allow
 			// the same pull.
 			return pl.fetch(ctx, span, url, false)
 		}
-		return changed, mode, err
+		return changed, mode, poison(err)
 	}
 	mode = pullModeFull
 	if ins != nil {
@@ -1023,10 +1199,10 @@ func (pl *puller) fetch(ctx context.Context, span *trace.Span, url string, allow
 		return false, mode, nil
 	}
 	if err := validateComponents(pl.f.p, cf); err != nil {
-		return false, mode, err
+		return false, mode, poison(err)
 	}
 	changed, err = pl.f.acceptFull(url, cf)
-	return changed, mode, err
+	return changed, mode, poison(err)
 }
 
 // PeerStatus is one peer's entry in the /status cluster block.
@@ -1052,6 +1228,16 @@ type PeerStatus struct {
 	ConsecutiveFailures int `json:"consecutive_failures"`
 	// LastError is the most recent pull failure, cleared on success.
 	LastError string `json:"last_error,omitempty"`
+	// Health is the peer's circuit-breaker state: healthy, backing_off
+	// (consecutive pull failures, exponential backoff), or quarantined
+	// (repeated poison frames; held contribution retained, half-open
+	// probes only).
+	Health string `json:"health"`
+	// PoisonFailures counts consecutive content-level failures (CRC,
+	// decode, validation, fold) — the quarantine trigger.
+	PoisonFailures int `json:"poison_failures,omitempty"`
+	// Quarantines counts breaker trips over the peer's lifetime.
+	Quarantines int `json:"quarantines,omitempty"`
 }
 
 // ClusterStatus is the cluster block of a /status reply.
@@ -1088,6 +1274,9 @@ func (f *fleet) status() (peers []PeerStatus, saveErr string) {
 			LastPullAgeSeconds:  -1,
 			ConsecutiveFailures: pe.fails,
 			LastError:           pe.lastErr,
+			Health:              pe.healthLocked().String(),
+			PoisonFailures:      pe.poisonFails,
+			Quarantines:         pe.quarantines,
 		}
 		if !pe.pulledAt.IsZero() {
 			// Clamp at zero: a pulledAt stamp whose monotonic reading was

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ldpmarginals/internal/fault"
 	"ldpmarginals/internal/logx"
 	"ldpmarginals/internal/metrics"
 	"ldpmarginals/internal/trace"
@@ -116,6 +117,19 @@ func (s *Server) buildRegistry() *metrics.Registry {
 			func() float64 { return float64(s.adm.queued.Load()) })
 	}
 
+	if s.deg != nil {
+		r.MustGaugeFunc("ldp_health_state", "Durability health state machine (0 healthy, 1 degraded, 2 recovering).", nil,
+			func() float64 { return float64(s.deg.state.Load()) })
+		r.MustRegister("ldp_degraded_transitions_total", "Transitions into degraded read-only mode.", nil, s.deg.transitions)
+		r.MustRegister("ldp_recoveries_total", "Recoveries from degraded mode back to healthy.", nil, s.deg.recoveries)
+		r.MustRegister("ldp_disk_probe_failures_total", "Failed disk probes or WAL revives while degraded.", nil, s.deg.probeFails)
+		r.MustRegister("ldp_ingest_shed_degraded_total", "Ingest requests shed with 503 while degraded.", nil, s.deg.shedded)
+	}
+	// Fault-injection visibility: zero in production (nothing armed), and
+	// the chaos harness asserts its schedule actually fired.
+	r.MustCounterFunc("ldp_fault_injections_total", "Fault-injection rules fired (internal/fault; 0 unless armed).", nil,
+		func() float64 { return float64(fault.Default.Fired()) })
+
 	r.MustCounterFunc("ldp_trace_spans_total", "Spans recorded by the tracer.", nil,
 		func() float64 { return float64(s.tracer.Stats().Spans) })
 	r.MustCounterFunc("ldp_trace_traces_total", "Completed traces published to the /debug/traces ring.", nil,
@@ -195,6 +209,18 @@ func (s *Server) registerClusterMetrics(r *metrics.Registry) {
 				s.fleet.mu.Lock()
 				defer s.fleet.mu.Unlock()
 				return float64(pe.fails)
+			})
+		r.MustGaugeFunc("ldp_cluster_peer_health", "Peer circuit-breaker state: 0 healthy, 1 backing_off, 2 quarantined.", labels,
+			func() float64 {
+				s.fleet.mu.Lock()
+				defer s.fleet.mu.Unlock()
+				return float64(pe.healthLocked())
+			})
+		r.MustCounterFunc("ldp_cluster_peer_quarantines_total", "Circuit-breaker trips: times the peer entered quarantine after repeated poison pulls.", labels,
+			func() float64 {
+				s.fleet.mu.Lock()
+				defer s.fleet.mu.Unlock()
+				return float64(pe.quarantines)
 			})
 	}
 }
@@ -320,13 +346,17 @@ func (s *Server) shed(w http.ResponseWriter, r *http.Request, counter *metrics.C
 	httpError(w, r, "ingest at capacity; retry with backoff", http.StatusTooManyRequests)
 }
 
+// FaultIngestAdmit is the ingest admission fault-injection site: error
+// rules force a 429 shed, latency rules simulate queue pressure.
+const FaultIngestAdmit = "server.ingest.admit"
+
 // admit claims an ingest admission slot inside an "ingest.admission"
 // span, so time spent waiting in the bounded queue is visible on the
 // request's trace. On false the request has already been answered
 // (shed with 429); on true the caller must release the slot.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, shedCounter *metrics.Counter) bool {
 	_, span := trace.StartSpan(r.Context(), "ingest.admission")
-	ok := s.adm.acquire(r)
+	ok := fault.Hit(FaultIngestAdmit) == nil && s.adm.acquire(r)
 	span.SetAttr("admitted", ok)
 	span.End()
 	if !ok {
@@ -339,8 +369,18 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, shedCounter *metr
 type ReadyResponse struct {
 	Ready bool   `json:"ready"`
 	Role  string `json:"role"`
+	// Health is the durability state machine's state (healthy, degraded,
+	// recovering); always "healthy" for roles without a durable ingest
+	// path.
+	Health string `json:"health"`
 	// Reasons lists what is not ready; empty when Ready.
 	Reasons []string `json:"reasons,omitempty"`
+	// PeerHealth maps each configured peer URL to healthy, backing_off,
+	// or quarantined; coordinators only.
+	PeerHealth map[string]string `json:"peer_health,omitempty"`
+	// TraceID joins a 503 reply to the server's traces and logs; set
+	// only on not-ready replies.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // readiness computes the node's readiness. Liveness (/healthz) answers
@@ -351,7 +391,7 @@ type ReadyResponse struct {
 // at least one peer's state (pulled this run or recovered from its
 // cluster directory) so it has something real to serve.
 func (s *Server) readiness() ReadyResponse {
-	resp := ReadyResponse{Ready: true, Role: s.role.String()}
+	resp := ReadyResponse{Ready: true, Role: s.role.String(), Health: s.Health()}
 	fail := func(reason string) {
 		resp.Ready = false
 		resp.Reasons = append(resp.Reasons, reason)
@@ -361,11 +401,26 @@ func (s *Server) readiness() ReadyResponse {
 			fail("wal_failed: " + err.Error())
 		}
 	}
+	if s.deg != nil && s.deg.health() != healthHealthy {
+		// Mid-recovery the WAL error may already be cleared; the state
+		// machine keeps the node unready until durability is restored.
+		if s.deg.health() == healthRecovering {
+			fail("recovering")
+		} else if s.deg.st.WALErr() == nil {
+			fail("degraded: " + s.deg.lastErrString())
+		}
+	}
 	if s.reads != nil && s.reads.engine.Current() == nil {
 		fail("no_epoch")
 	}
-	if s.fleet != nil && s.fleet.peersWithState() == 0 {
-		fail("no_peer_state")
+	if s.fleet != nil {
+		if s.fleet.peersWithState() == 0 {
+			fail("no_peer_state")
+		}
+		// Peer health is surfaced but does not gate readiness: a
+		// quarantined peer's held contribution keeps serving, which is
+		// the point of quarantine.
+		resp.PeerHealth = s.fleet.peerHealth()
 	}
 	return resp
 }
@@ -375,8 +430,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := s.readiness()
-	w.Header().Set("Content-Type", "application/json")
 	if !resp.Ready {
+		// Like every 503 this server emits: an explicit retry hint and a
+		// trace id the probe's failure report can be joined on.
+		resp.TraceID = traceID(r)
+		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	writeJSON(w, resp)

@@ -230,6 +230,21 @@ type Options struct {
 	// not ingest.
 	Store *store.Store
 
+	// DegradedProbeInterval is the cadence at which a node degraded by a
+	// WAL failure probes its data directory (sentinel write + fsync) and
+	// attempts recovery; <= 0 selects 2s. Ignored without a Store.
+	DegradedProbeInterval time.Duration
+	// QuarantineAfter is the number of consecutive poison failures
+	// (corrupt, undecodable, or unfoldable frames — not transport
+	// errors) after which a coordinator quarantines a peer; <= 0 selects
+	// 3. Ignored outside RoleCoordinator.
+	QuarantineAfter int
+	// QuarantineInterval is the half-open probe cadence for quarantined
+	// peers: one pull is attempted per interval, and a clean pull lifts
+	// the quarantine; <= 0 selects 16x PullInterval. Ignored outside
+	// RoleCoordinator.
+	QuarantineInterval time.Duration
+
 	// Window, with Bucket, turns the deployment into a continual
 	// release: reports land in a time-bucketed ring (internal/window)
 	// and estimates cover the last Window of wall time instead of the
@@ -371,6 +386,7 @@ type Server struct {
 
 	ins    *serverInstruments // always non-nil; hot paths update unconditionally
 	adm    *admission         // ingest load shedding; nil when disabled or not ingesting
+	deg    *degrader          // WAL-failure degradation; nil without a durable ingest path
 	reg    *metrics.Registry  // the /metrics registry, assembled at construction
 	tracer *trace.Tracer      // always non-nil; roots one span per request
 	log    *logx.Logger       // nil-safe; nil discards everything
@@ -477,6 +493,9 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 			}
 			s.adm = newAdmission(inflight, queue)
 		}
+		if s.ingest.st != nil {
+			s.deg = newDegrader(s.ingest.st, s.log, opts.DegradedProbeInterval)
+		}
 	}
 	var src view.Source = s.agg
 	if s.win != nil {
@@ -499,7 +518,8 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		if maxState <= 0 {
 			maxState = defaultMaxStateBytes
 		}
-		s.puller = newPuller(s.fleet, interval, timeout, maxState, opts.DisableDeltaPull, s.tracer, s.log)
+		s.puller = newPuller(s.fleet, interval, timeout, maxState, opts.DisableDeltaPull,
+			opts.QuarantineAfter, opts.QuarantineInterval, s.tracer, s.log)
 	}
 	if s.role.serves() {
 		maxQuery := opts.MaxQueryBytes
@@ -523,6 +543,9 @@ func NewWithOptions(p core.Protocol, opts Options) (*Server, error) {
 		// construction.
 		s.rotor = newRotator(s)
 		s.rotor.start()
+	}
+	if s.deg != nil {
+		s.deg.start()
 	}
 	// Every layer now exists; assemble the /metrics registry over them.
 	s.reg = s.buildRegistry()
@@ -583,6 +606,11 @@ func (s *Server) Close() error {
 	}
 	if s.puller != nil {
 		s.puller.Close()
+	}
+	if s.deg != nil {
+		// Stop the health probe before the store goes away: a Recover
+		// mid-close would race the final snapshot.
+		s.deg.Close()
 	}
 	if s.reads != nil {
 		s.reads.engine.Close()
@@ -731,6 +759,9 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ingest == nil {
 		s.rejectRole(w, r, "report ingestion", "single or edge")
+		return
+	}
+	if !s.admitHealthy(w, r) {
 		return
 	}
 	if s.adm != nil {
@@ -914,6 +945,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ingest == nil {
 		s.rejectRole(w, r, "report ingestion", "single or edge")
+		return
+	}
+	if !s.admitHealthy(w, r) {
 		return
 	}
 	if s.adm != nil {
@@ -1470,6 +1504,10 @@ type PeerViewStatus struct {
 	// serving epoch was folded from (an edge's shards, a mid-tier
 	// coordinator's pass-through constituents).
 	Components int `json:"components,omitempty"`
+	// Health is the peer's circuit-breaker state (healthy, backing_off,
+	// quarantined); a quarantined peer's view contribution is its last
+	// good pull, frozen until a half-open probe succeeds.
+	Health string `json:"health,omitempty"`
 }
 
 func (s *Server) viewStatus(v *view.View) ViewStatusResponse {
@@ -1521,6 +1559,7 @@ func (s *Server) peerViewStatus(v *view.View) []PeerViewStatus {
 			NodeID:         cur.NodeID,
 			CurrentN:       cur.N,
 			CurrentVersion: cur.Version,
+			Health:         cur.Health,
 		}
 		if c, ok := inView[cur.URL]; ok {
 			pvs.ViewN = c.N
@@ -1636,13 +1675,16 @@ type DurabilityStatus struct {
 // present only for deployments with a store; Cluster describes the
 // node's role and, on a coordinator, every configured peer.
 type StatusResponse struct {
-	Protocol   string            `json:"protocol"`
-	D          int               `json:"d"`
-	K          int               `json:"k"`
-	Epsilon    float64           `json:"epsilon"`
-	N          int               `json:"n"`
-	ReportBits int               `json:"report_bits"`
-	Shards     int               `json:"shards"`
+	Protocol   string  `json:"protocol"`
+	D          int     `json:"d"`
+	K          int     `json:"k"`
+	Epsilon    float64 `json:"epsilon"`
+	N          int     `json:"n"`
+	ReportBits int     `json:"report_bits"`
+	Shards     int     `json:"shards"`
+	// Health is the durability state machine's state (healthy, degraded,
+	// recovering).
+	Health     string            `json:"health"`
 	Durability *DurabilityStatus `json:"durability,omitempty"`
 	Cluster    *ClusterStatus    `json:"cluster,omitempty"`
 	Window     *WindowStatus     `json:"window,omitempty"`
@@ -1690,6 +1732,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		N:          s.N(), // atomic reads; no lock
 		ReportBits: s.protocol.CommunicationBits(),
 		Shards:     s.agg.Shards(),
+		Health:     s.Health(),
 		Cluster:    s.clusterStatus(),
 		Window:     s.windowStatus(),
 	}

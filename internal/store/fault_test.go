@@ -1,0 +1,221 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"ldpmarginals/internal/core"
+	"ldpmarginals/internal/fault"
+)
+
+// sourceOf adapts a plain aggregator to the snapshot-source contract.
+func sourceOf(agg core.Aggregator) func() (core.Aggregator, error) {
+	return func() (core.Aggregator, error) { return agg, nil }
+}
+
+// ingestExpectErr drives one chunk and returns Ingest's error; the
+// apply still consumes into agg first, mirroring the server path.
+func ingestChunkErr(st *Store, agg core.Aggregator, reps []core.Report, batch []byte) error {
+	return st.Ingest(batch, func() (int, int, error) {
+		if err := agg.ConsumeBatch(reps); err != nil {
+			return 0, 0, err
+		}
+		return len(reps), len(batch), nil
+	})
+}
+
+func TestWALFailureRecoverRestoresDurability(t *testing.T) {
+	defer fault.Disarm()
+	p := testProtocol(t)
+	dir := t.TempDir()
+	st, err := Open(dir, p, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	st.SetSource(sourceOf(agg))
+
+	reps, frames := makeFrames(t, p, 120, 1)
+	ingestAll(t, st, agg, reps[:40], frames[:40])
+
+	// ENOSPC-style persistent append failure: the next ingest consumes
+	// into memory but cannot log, and every ingest after that fails
+	// fast on the sticky error.
+	fault.Arm(fault.Rule{Site: FaultWALAppend, Mode: fault.ModeError, Msg: "no space left on device"})
+	if err := ingestChunkErr(st, agg, reps[40:80], batchOf(frames[40:80])); err == nil {
+		t.Fatal("ingest with dead WAL succeeded")
+	}
+	if st.WALErr() == nil {
+		t.Fatal("WALErr not sticky after injected append failure")
+	}
+	if err := ingestChunkErr(st, agg, nil, nil); err == nil {
+		t.Fatal("ingest after sticky failure succeeded")
+	}
+
+	// Disk "recovers": Recover revives the committer and force-snapshots
+	// the memory-only reports back to durability.
+	fault.Disarm()
+	if err := st.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.WALErr() != nil {
+		t.Fatalf("WALErr after Recover: %v", st.WALErr())
+	}
+	ingestAll(t, st, agg, reps[80:], frames[80:])
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re, err := Open(dir, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	// Everything consumed — healthy prefix, failure-window chunk, and
+	// post-recovery tail — must be recovered bit-identically.
+	if got, want := recoveredState(t, re), referenceState(t, p, reps); string(got) != string(want) {
+		t.Fatal("recovered state differs from reference after WAL failure + Recover")
+	}
+}
+
+func TestRecoverIsNoOpWhenHealthy(t *testing.T) {
+	p := testProtocol(t)
+	st, err := Open(t.TempDir(), p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.Recover(); err != nil {
+		t.Fatalf("Recover on healthy store: %v", err)
+	}
+}
+
+func TestRecoverRepairsTornTail(t *testing.T) {
+	defer fault.Disarm()
+	p := testProtocol(t)
+	dir := t.TempDir()
+	st, err := Open(dir, p, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := p.NewAggregator()
+	st.SetSource(sourceOf(agg))
+
+	reps, frames := makeFrames(t, p, 90, 2)
+	ingestAll(t, st, agg, reps[:30], frames[:30])
+
+	// The write lands but its fsync fails: the committer dies with
+	// valid records already in the segment.
+	fault.Arm(fault.Rule{Site: FaultWALFsync, Mode: fault.ModeError, Times: 1, Msg: "I/O error"})
+	if err := ingestChunkErr(st, agg, reps[30:60], batchOf(frames[30:60])); err == nil {
+		t.Fatal("ingest with failing fsync succeeded")
+	}
+	fault.Disarm()
+
+	// Simulate the torn tail a partial write leaves: raw garbage after
+	// the last complete record of the failed segment.
+	seg := newestSegment(t, dir)
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x17, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := st.Recover(); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ingestAll(t, st, agg, reps[60:], frames[60:])
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	re, err := Open(dir, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got, want := recoveredState(t, re), referenceState(t, p, reps); string(got) != string(want) {
+		t.Fatal("recovered state differs from reference after torn-tail repair")
+	}
+}
+
+func TestRecoverFailsWhileDiskStillBad(t *testing.T) {
+	defer fault.Disarm()
+	p := testProtocol(t)
+	dir := t.TempDir()
+	st, err := Open(dir, p, Options{Fsync: FsyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	agg := p.NewAggregator()
+	st.SetSource(sourceOf(agg))
+	reps, frames := makeFrames(t, p, 40, 3)
+
+	fault.Arm(
+		fault.Rule{Site: FaultWALAppend, Mode: fault.ModeError, Times: 1},
+		fault.Rule{Site: FaultWALRotate, Mode: fault.ModeError},
+	)
+	if err := ingestChunkErr(st, agg, reps[:20], batchOf(frames[:20])); err == nil {
+		t.Fatal("ingest with dead WAL succeeded")
+	}
+	// The disk is still bad: the revive's fresh segment cannot be
+	// created, so Recover fails and the store stays failed.
+	if err := st.Recover(); err == nil {
+		t.Fatal("Recover succeeded while segment creation still fails")
+	}
+	if st.WALErr() == nil {
+		t.Fatal("store reported healthy after failed Recover")
+	}
+	fault.Disarm()
+	if err := st.Recover(); err != nil {
+		t.Fatalf("Recover after disarm: %v", err)
+	}
+	ingestAll(t, st, agg, reps[20:], frames[20:])
+}
+
+func TestProbeDisk(t *testing.T) {
+	defer fault.Disarm()
+	dir := t.TempDir()
+	if err := ProbeDisk(dir); err != nil {
+		t.Fatalf("ProbeDisk on writable dir: %v", err)
+	}
+	// A path that cannot exist (child of a regular file) must fail.
+	file := filepath.Join(dir, "plain")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ProbeDisk(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("ProbeDisk under a regular file succeeded")
+	}
+	// The probe's own fault site holds a degraded server down.
+	fault.Arm(fault.Rule{Site: FaultDiskProbe, Mode: fault.ModeError})
+	if err := ProbeDisk(dir); err == nil {
+		t.Fatal("ProbeDisk succeeded with probe fault armed")
+	}
+}
+
+// newestSegment returns the path of the highest-indexed WAL segment.
+func newestSegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), segSuffix) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		t.Fatal("no WAL segments found")
+	}
+	sort.Strings(names)
+	return filepath.Join(dir, names[len(names)-1])
+}

@@ -17,6 +17,7 @@ type storeInstruments struct {
 	walFsync     *metrics.Histogram // fsync latency (group commit, interval tick, rotation)
 	walAppended  *metrics.Counter   // bytes written to segments
 	walRotations *metrics.Counter   // completed segment rotations
+	walRevives   *metrics.Counter   // successful committer revivals after a failure
 	appendWait   *metrics.Histogram // Ingest's hand-off wait (incl. group commit under fsync=always)
 	snapshotDur  *metrics.Histogram // full snapshot/compaction latency
 	snapshots    *metrics.Counter   // successful snapshots
@@ -29,6 +30,7 @@ func newStoreInstruments() *storeInstruments {
 		walFsync:     metrics.NewHistogram(metrics.DurationBuckets()),
 		walAppended:  metrics.NewCounter(),
 		walRotations: metrics.NewCounter(),
+		walRevives:   metrics.NewCounter(),
 		appendWait:   metrics.NewHistogram(metrics.DurationBuckets()),
 		snapshotDur:  metrics.NewHistogram(metrics.DurationBuckets()),
 		snapshots:    metrics.NewCounter(),
@@ -71,6 +73,7 @@ func (s *Store) RegisterMetrics(r *metrics.Registry) {
 	r.MustRegister("ldp_wal_fsync_seconds", "Latency of WAL fsyncs (group commit, interval tick, rotation).", nil, ins.walFsync)
 	r.MustRegister("ldp_wal_appended_bytes_total", "Bytes appended to WAL segments.", nil, ins.walAppended)
 	r.MustRegister("ldp_wal_rotations_total", "Completed WAL segment rotations.", nil, ins.walRotations)
+	r.MustRegister("ldp_wal_revives_total", "Committer revivals after a sticky WAL failure (Store.Recover).", nil, ins.walRevives)
 	r.MustRegister("ldp_wal_append_wait_seconds", "Time an ingest spends handing its group to the committer (includes the shared fsync under fsync=always).", nil, ins.appendWait)
 	r.MustRegister("ldp_store_snapshot_seconds", "Latency of counter snapshots (state marshal + rotate + atomic write + prune).", nil, ins.snapshotDur)
 	r.MustRegister("ldp_store_snapshots_total", "Successful counter snapshots.", nil, ins.snapshots)

@@ -10,6 +10,7 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/fault"
 )
 
 // Snapshot file format. A snapshot is one compacted counter state: the
@@ -84,6 +85,9 @@ func decodeSnapshot(buf []byte, tag encoding.Tag, cfg core.Config) (covered uint
 // writeSnapshotFile persists a snapshot atomically: temp file, fsync,
 // rename, directory fsync.
 func (s *Store) writeSnapshotFile(seq uint64, contents []byte) (string, error) {
+	if err := fault.Hit(FaultSnapshotWrite); err != nil {
+		return "", err
+	}
 	path := filepath.Join(s.dir, snapName(seq))
 	tmp := path + tmpSuffix
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)

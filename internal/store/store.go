@@ -43,6 +43,7 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/fault"
 	"ldpmarginals/internal/trace"
 	"ldpmarginals/internal/wire"
 )
@@ -362,6 +363,110 @@ func (s *Store) replaySegment(idx uint64, final bool, agg core.Aggregator) error
 		}
 		rest = next
 		offset = int64(len(buf) - len(rest))
+	}
+	return nil
+}
+
+// repairSegmentTail truncates a torn tail left in segment idx by the
+// partial write that killed the committer, exactly as recovery would
+// after a crash: records are walked, the first damaged or truncated one
+// is cut off (durably), and a segment whose header never landed is
+// removed outright. Damage that a torn write cannot explain is real
+// corruption and fails the repair. Runs on the committer goroutine
+// during a revive, with the snapshot barrier held by Recover.
+func (s *Store) repairSegmentTail(idx uint64) error {
+	path := filepath.Join(s.dir, segName(idx))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	rest, err := checkSegHeader(buf, s.tag, s.cfg)
+	if err != nil {
+		if errors.Is(err, wire.ErrTruncated) {
+			return os.Remove(path)
+		}
+		return fmt.Errorf("store: repairing segment %s: %w", path, err)
+	}
+	offset := int64(len(buf) - len(rest))
+	for len(rest) > 0 {
+		_, next, err := nextRecord(rest)
+		if err != nil {
+			if errors.Is(err, wire.ErrTruncated) || errors.Is(err, errRecordDamaged) {
+				if terr := os.Truncate(path, offset); terr != nil {
+					return fmt.Errorf("store: truncating torn tail of %s: %w", path, terr)
+				}
+				return syncFile(path)
+			}
+			return fmt.Errorf("store: repairing segment %s at offset %d: %w", path, offset, err)
+		}
+		rest = next
+		offset = int64(len(buf) - len(rest))
+	}
+	return nil
+}
+
+// Recover attempts to bring a store whose WAL has failed back to
+// health: it revives the committer on a fresh segment (repairing any
+// torn tail the failure left behind), clears the sticky WAL error, and
+// forces a snapshot so reports consumed into memory while the log was
+// dead become durable again. On a healthy store it is a no-op. If the
+// disk is still bad the revive or snapshot fails, the store stays
+// failed, and Recover returns the error — callers retry on their probe
+// schedule.
+func (s *Store) Recover() error {
+	s.barrier.Lock()
+	defer s.barrier.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.walFailure() == nil {
+		return nil
+	}
+	req := &walReq{revive: true, done: make(chan walRes, 1)}
+	s.reqs <- req
+	res := <-req.done
+	if res.err != nil {
+		return fmt.Errorf("store: wal revive: %w", res.err)
+	}
+	s.walErr.Store(nil)
+	// Everything consumed during the failure window lives only in
+	// memory; only a forced snapshot makes disk cover memory again. If
+	// it fails, re-mark the WAL failed so the caller's state machine
+	// does not declare health the durability layer cannot back.
+	if s.source != nil {
+		if err := s.snapshotLocked(true); err != nil {
+			err = fmt.Errorf("store: post-revive snapshot: %w", err)
+			s.setWALFailure(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// ProbeDisk verifies dir accepts durable writes by creating, fsyncing,
+// and removing a sentinel file. Degraded-mode health probes call it
+// before attempting Recover, so a still-full disk is detected without
+// churning the WAL.
+func ProbeDisk(dir string) error {
+	if err := fault.Hit(FaultDiskProbe); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "health.probe"+tmpSuffix)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	_, werr := f.Write([]byte("ldp disk probe\n"))
+	serr := f.Sync()
+	cerr := f.Close()
+	rerr := os.Remove(path)
+	for _, e := range []error{werr, serr, cerr, rerr} {
+		if e != nil {
+			return e
+		}
 	}
 	return nil
 }

@@ -13,7 +13,27 @@ import (
 
 	"ldpmarginals/internal/core"
 	"ldpmarginals/internal/encoding"
+	"ldpmarginals/internal/fault"
 	"ldpmarginals/internal/wire"
+)
+
+// Fault-injection sites threaded through the durability layer. Armed
+// rules at these names (internal/fault) make the corresponding syscall
+// path fail, for chaos tests and the -fault-spec dev flag; disarmed,
+// each costs one atomic load.
+const (
+	// FaultWALAppend fails the committer's coalesced segment write.
+	FaultWALAppend = "store.wal.append"
+	// FaultWALFsync fails the committer's fsync (group commit, interval
+	// tick, and pre-rotation syncs).
+	FaultWALFsync = "store.wal.fsync"
+	// FaultWALRotate fails opening a fresh segment file.
+	FaultWALRotate = "store.wal.rotate"
+	// FaultSnapshotWrite fails the atomic snapshot file write.
+	FaultSnapshotWrite = "store.snapshot.write"
+	// FaultDiskProbe fails ProbeDisk, holding a degraded server down
+	// even though the real filesystem is fine.
+	FaultDiskProbe = "store.probe.disk"
 )
 
 // WAL segment format. A segment is a header followed by length-prefixed
@@ -247,6 +267,10 @@ type walReq struct {
 	sync bool
 	// rotate closes the active segment (synced) and opens the next one.
 	rotate bool
+	// revive asks a dead committer to abandon its failed segment
+	// (repairing any torn tail it left) and resume on a fresh one; see
+	// Store.Recover.
+	revive bool
 	// done, when non-nil, receives the request's outcome. FsyncAlways
 	// appends and rotations wait on it; FsyncInterval/FsyncOff appends
 	// leave it nil (fire-and-forget — the channel's FIFO order still
@@ -318,7 +342,11 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 			return
 		}
 		t0 := time.Now()
-		n, err := cur.Write(scratch)
+		var n int
+		err := fault.Hit(FaultWALAppend)
+		if err == nil {
+			n, err = cur.Write(scratch)
+		}
 		s.ins.walWrite.Observe(time.Since(t0).Seconds())
 		s.ins.walAppended.Add(uint64(n))
 		curSize += int64(n)
@@ -336,7 +364,10 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 	// explains ingest tail latency under fsync=always.
 	timedSync := func() error {
 		t0 := time.Now()
-		err := cur.Sync()
+		err := fault.Hit(FaultWALFsync)
+		if err == nil {
+			err = cur.Sync()
+		}
 		s.ins.walFsync.Observe(time.Since(t0).Seconds())
 		return err
 	}
@@ -380,6 +411,35 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 		results = results[:0]
 		results = append(results, make([]walRes, len(pending))...)
 		for i, r := range pending {
+			if r.revive {
+				// Bring a dead committer back: the failed segment may hold
+				// a torn record from the partial write that killed it, so
+				// repair its tail first, then resume on a fresh segment.
+				// Ordering is safe because Recover holds the snapshot
+				// barrier exclusively — no ingest is in flight.
+				if dead == nil {
+					results[i] = walRes{seg: curIdx}
+					continue
+				}
+				if cur != nil {
+					_ = cur.Close()
+					cur = nil
+				}
+				if err := s.repairSegmentTail(curIdx); err != nil {
+					results[i] = walRes{err: err}
+					continue
+				}
+				next, nsize, err := s.createSegment(curIdx + 1)
+				if err != nil {
+					results[i] = walRes{err: err}
+					continue
+				}
+				cur, curIdx, curSize, dirty = next, curIdx+1, nsize, false
+				dead = nil
+				s.ins.walRevives.Inc()
+				results[i] = walRes{seg: curIdx}
+				continue
+			}
 			if dead != nil {
 				results[i] = walRes{err: dead}
 				continue
@@ -455,6 +515,9 @@ func (s *Store) committer(f *os.File, idx uint64, size int64) {
 
 // createSegment opens a fresh segment file with its header written.
 func (s *Store) createSegment(idx uint64) (*os.File, int64, error) {
+	if err := fault.Hit(FaultWALRotate); err != nil {
+		return nil, 0, err
+	}
 	path := filepath.Join(s.dir, segName(idx))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 	if err != nil {
